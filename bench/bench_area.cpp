@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Section 5.4 area analysis: component-level breakdown of one MAPLE
+ * instance and its ratio to an Ariane-class in-order core, plus scaling
+ * with the principal RTL parameters.
+ *
+ * Paper headline: MAPLE with 8 queues sharing a 1KB scratchpad is ~1.1% of
+ * the Ariane core it serves, and one instance supplies up to 8 cores.
+ */
+#include <cstdio>
+
+#include "core/area_model.hpp"
+
+using namespace maple::core;
+
+static void
+printBreakdown(const char *title, const AreaParams &p)
+{
+    AreaBreakdown b = mapleArea(p);
+    std::printf("\n--- %s ---\n", title);
+    for (const auto &item : b.items)
+        std::printf("  %-24s %10.0f um^2\n", item.component.c_str(), item.um2);
+    std::printf("  %-24s %10.0f um^2\n", "TOTAL", b.total_um2);
+    std::printf("  %-24s %10.0f um^2\n", "Ariane core (reference)", b.ariane_um2);
+    std::printf("  %-24s %9.2f%%\n", "MAPLE / Ariane", b.ratio() * 100.0);
+    std::printf("  %-24s %9.3f%%\n", "amortized over 8 cores",
+                b.ratio() * 100.0 / 8.0);
+}
+
+int
+main()
+{
+    std::printf("=== Area analysis of the MAPLE RTL (12nm-class model) ===\n");
+    printBreakdown("paper configuration: 8 queues, 1KB scratchpad, 16-entry TLB",
+                   AreaParams{});
+    printBreakdown("4KB scratchpad variant", AreaParams{4096, 8, 16, 16, 16});
+    printBreakdown("32-entry TLB variant", AreaParams{1024, 8, 32, 16, 16});
+    std::printf("\n(paper: 1.1%% of an Ariane core at the default configuration)\n");
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 11: average clock cycles per load instruction under software
+ * prefetching vs MAPLE's LIMA operation (single thread), measured by the
+ * cores' hardware performance counters.
+ *
+ * Paper headline: LIMA nearly halves the average load latency (1.85x
+ * geomean reduction) because IMAs are consumed from the nearby MAPLE queue
+ * instead of missing all the way to DRAM or thrashing the L1.
+ */
+#include "harness/figures.hpp"
+
+using namespace maple;
+
+int
+main()
+{
+    auto workloads = app::allWorkloads();
+    app::RunConfig base;
+    base.threads = 1;
+    base.soc = soc::SocConfig::fpga();
+
+    std::vector<app::Technique> techs = {app::Technique::NoPrefetch,
+                                         app::Technique::SwPrefetch,
+                                         app::Technique::LimaPrefetch};
+    harness::Grid grid = harness::runGrid(workloads, techs, base);
+    auto names = harness::workloadNames(workloads);
+
+    printMetricTable(
+        "Figure 11: average load latency (cycles)", grid, names, techs,
+        [](const app::RunResult &r) { return r.mean_load_latency; }, "cy");
+
+    std::vector<double> reduction;
+    for (auto &n : names) {
+        reduction.push_back(
+            grid.at(n, app::Technique::SwPrefetch).mean_load_latency /
+            grid.at(n, app::Technique::LimaPrefetch).mean_load_latency);
+    }
+    std::printf("\nLIMA load-latency reduction vs software prefetching: "
+                "%.2fx (paper: 1.85x)\n",
+                sim::geomean(reduction));
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 15: sensitivity of MAPLE's decoupling speedup to the core-to-MAPLE
+ * round-trip latency. We sweep an extra per-direction MMIO latency so the
+ * round trip covers ~15 to ~200 cycles while everything else (including the
+ * doall baseline) is unchanged.
+ *
+ * Paper headline: speedups grow as the communication latency shrinks; the
+ * technique remains profitable at realistic NoC distances.
+ */
+#include "harness/figures.hpp"
+
+using namespace maple;
+
+int
+main()
+{
+    auto workloads = app::allWorkloads();
+
+    struct Point {
+        sim::Cycle extra;
+        const char *label;
+    };
+    const Point points[] = {
+        {0, "rt~25"}, {13, "rt~50"}, {38, "rt~100"}, {88, "rt~200"}};
+
+    // Doall baseline is independent of the MMIO latency; run it once.
+    app::RunConfig base;
+    base.threads = 2;
+    base.soc = soc::SocConfig::fpga();
+    harness::Grid base_grid =
+        harness::runGrid(workloads, {app::Technique::Doall}, base);
+
+    std::printf("\n=== Figure 15: MAPLE-decoupling speedup vs core-to-MAPLE "
+                "round-trip latency ===\n");
+    std::printf("%-8s", "app");
+    for (const Point &p : points)
+        std::printf("  %10s", p.label);
+    std::printf("\n");
+
+    std::vector<std::vector<double>> cols(std::size(points));
+    std::vector<std::vector<double>> rows(workloads.size());
+    for (size_t pi = 0; pi < std::size(points); ++pi) {
+        app::RunConfig cfg = base;
+        cfg.soc.core_proto.mmio_extra_latency = points[pi].extra;
+        harness::Grid g = harness::runGrid(
+            workloads, {app::Technique::MapleDecouple}, cfg);
+        for (size_t wi = 0; wi < workloads.size(); ++wi) {
+            const std::string &n = workloads[wi]->name();
+            double sp =
+                double(base_grid.at(n, app::Technique::Doall).cycles) /
+                double(g.at(n, app::Technique::MapleDecouple).cycles);
+            rows[wi].push_back(sp);
+            cols[pi].push_back(sp);
+        }
+    }
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        std::printf("%-8s", workloads[wi]->name().c_str());
+        for (double sp : rows[wi])
+            std::printf("  %9.2fx", sp);
+        std::printf("\n");
+    }
+    std::printf("%-8s", "geomean");
+    for (auto &c : cols)
+        std::printf("  %9.2fx", sim::geomean(c));
+    std::printf("\n\n(paper: lower NoC delay -> greater speedups)\n");
+    return 0;
+}

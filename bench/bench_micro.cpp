@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the simulator's hot primitives:
+ * event-queue throughput, cache access, TLB lookup, mesh transit, page-table
+ * walks and dataset generation. These bound how large a figure sweep can be
+ * and guard against performance regressions in the simulation kernel.
+ */
+#include <benchmark/benchmark.h>
+
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+#include "mem/mmu.hpp"
+#include "noc/mesh.hpp"
+#include "sim/coro.hpp"
+#include "sim/event_queue.hpp"
+#include "workloads/data.hpp"
+
+using namespace maple;
+
+static void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1024; ++i)
+            eq.schedule(i, [&sink] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+static void
+BM_CoroutineRoundTrip(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        auto task = [](sim::EventQueue &q) -> sim::Task<void> {
+            for (int i = 0; i < 256; ++i)
+                co_await sim::delay(q, 1);
+        };
+        sim::Join j = sim::spawn(task(eq));
+        eq.run();
+        benchmark::DoNotOptimize(j.done());
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_CoroutineRoundTrip);
+
+static void
+BM_CacheHitAccess(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    mem::Dram dram(eq);
+    mem::Cache cache(eq, mem::CacheParams{"bench", 64 * 1024, 8, 2, 16}, dram);
+    // Warm one line.
+    sim::spawn(cache.access(0x1000, 8, mem::AccessKind::Read));
+    eq.run();
+    for (auto _ : state) {
+        sim::spawn(cache.access(0x1000, 8, mem::AccessKind::Read));
+        eq.run();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHitAccess);
+
+static void
+BM_CacheMissFill(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    mem::Dram dram(eq);
+    mem::Cache cache(eq, mem::CacheParams{"bench", 8 * 1024, 4, 2, 16}, dram);
+    sim::Addr a = 0;
+    for (auto _ : state) {
+        sim::spawn(cache.access(a, 8, mem::AccessKind::Read));
+        eq.run();
+        a += mem::kLineSize;  // always a fresh line: guaranteed miss
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheMissFill);
+
+static void
+BM_TlbLookup(benchmark::State &state)
+{
+    mem::Tlb tlb(16);
+    for (int i = 0; i < 16; ++i)
+        tlb.insert(i * mem::kPageSize, mem::Pte::makeLeaf(i * mem::kPageSize, true));
+    size_t i = 0;
+    for (auto _ : state) {
+        auto pte = tlb.lookup((i++ % 16) * mem::kPageSize);
+        benchmark::DoNotOptimize(pte);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TlbLookup);
+
+static void
+BM_MeshTransit(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    noc::Mesh mesh(eq, noc::MeshParams{8, 8, 1, 16});
+    for (auto _ : state) {
+        sim::spawn(mesh.transit(0, 63, 5));
+        eq.run();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MeshTransit);
+
+static void
+BM_RmatGeneration(benchmark::State &state)
+{
+    for (auto _ : state) {
+        app::SparseMatrix g = app::makeRmat(
+            static_cast<unsigned>(state.range(0)), 8, 1);
+        benchmark::DoNotOptimize(g.nnz());
+    }
+}
+BENCHMARK(BM_RmatGeneration)->Arg(10)->Arg(12);
+
+BENCHMARK_MAIN();

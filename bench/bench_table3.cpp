@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Table 3: core and memory parameters of the simulated system used for the
+ * comparison against prior work (Figure 12), printed from the live
+ * configuration object.
+ */
+#include <cstdio>
+
+#include "soc/soc.hpp"
+
+using namespace maple;
+
+int
+main()
+{
+    soc::SocConfig cfg = soc::SocConfig::simulated(2);
+
+    std::printf("=== Table 3: simulated system (vs prior work) ===\n");
+    std::printf("%-40s %u / 1\n", "Core count / threads per core", cfg.num_cores);
+    std::printf("%-40s 1 / 1, in-order (blocking loads)\n",
+                "Instruction window / ROB size");
+    std::printf("%-40s %uKB / %u-way / %llu-cycle\n", "L1D (per core) / latency",
+                cfg.l1.size_bytes / 1024, cfg.l1.assoc,
+                (unsigned long long)cfg.l1.hit_latency);
+    std::printf("%-40s %uKB / %u-way / ~%llu-cycle\n", "L2 (shared) / latency",
+                cfg.llc.size_bytes / 1024, cfg.llc.assoc,
+                (unsigned long long)(cfg.llc.hit_latency + 4));
+    std::printf("%-40s %lluGB / %u channels x 64B/cy / %llu-cycle\n",
+                "DRAM size / bandwidth / latency",
+                (unsigned long long)(cfg.dram_bytes >> 30), cfg.dram.channels,
+                (unsigned long long)cfg.dram.latency);
+    return 0;
+}

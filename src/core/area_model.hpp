@@ -1,0 +1,44 @@
+/**
+ * @file
+ * First-order area model of MAPLE's RTL (Section 5.4).
+ *
+ * The paper reports that a MAPLE instance with 8 queues sharing a 1KB
+ * scratchpad synthesizes to about 1.1% of an Ariane core in the 12nm tapeout
+ * node. We do not have the 12nm libraries, so this model decomposes the
+ * design into SRAM bits, TLB CAM bits, pipeline registers and combinational
+ * logic with per-structure area coefficients *calibrated so the published
+ * headline (Ariane ratio) is met at the paper's configuration*; the point of
+ * the model is how area scales with the RTL parameters (scratchpad size,
+ * queue count, TLB entries), which is structural, not library-specific.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace maple::core {
+
+struct AreaParams {
+    unsigned scratchpad_bytes = 1024;
+    unsigned queues = 8;
+    unsigned tlb_entries = 16;
+    unsigned produce_buffer = 16;
+    unsigned lima_cmds = 16;
+};
+
+struct AreaBreakdown {
+    struct Item {
+        std::string component;
+        double um2;
+    };
+    std::vector<Item> items;
+    double total_um2 = 0;
+    double ariane_um2 = 0;      ///< reference in-order core (w/o caches)
+    double ratio() const { return total_um2 / ariane_um2; }
+};
+
+/** Compute the component-level area estimate for @p p. */
+AreaBreakdown mapleArea(const AreaParams &p = {});
+
+}  // namespace maple::core

@@ -1,0 +1,513 @@
+#include "core/maple.hpp"
+
+#include <algorithm>
+
+#include "sim/log.hpp"
+
+namespace maple::core {
+
+Maple::Maple(sim::EventQueue &eq, MapleParams params, MapleWiring wiring)
+    : eq_(eq), params_(std::move(params)), w_(wiring),
+      mmu_(eq, *wiring.pm, *wiring.walk_port, params_.tlb_entries),
+      stats_(params_.name)
+{
+    MAPLE_ASSERT(w_.pm && w_.dram_port && w_.walk_port, "MAPLE wiring incomplete");
+    MAPLE_ASSERT(params_.max_queues >= 1 && params_.max_queues <= kMaxQueuesPerPage,
+                 "queue count must fit the MMIO encoding");
+    queues_.resize(params_.max_queues);
+    queue_generation_.assign(params_.max_queues, 0);
+    amo_addend_.assign(params_.max_queues, 0);
+    amo_seq_alloc_.assign(params_.max_queues, 0);
+    amo_seq_commit_.assign(params_.max_queues, 0);
+    // Power-on default: all queues share the scratchpad evenly, 4B entries.
+    applyQueueConfig(packQueueConfig(
+        params_.max_queues, params_.scratchpad_bytes / (params_.max_queues * 4), 4));
+}
+
+MapleQueue &
+Maple::queue(unsigned idx)
+{
+    MAPLE_ASSERT(idx < queues_.size(), "queue index out of range");
+    return queues_[idx];
+}
+
+void
+Maple::setDriverFaultHandler(mem::Mmu::FaultHandler handler)
+{
+    mmu_.setFaultHandler(
+        [this, handler = std::move(handler)](sim::Addr vaddr, bool write) -> sim::Task<bool> {
+            last_fault_vaddr_ = vaddr;
+            bumpCounter(Counter::PageFaults);
+            bool ok = co_await handler(vaddr, write);
+            co_return ok;
+        });
+}
+
+sim::Task<void>
+Maple::pipeEnter(sim::Cycle &next_free)
+{
+    sim::Cycle start = std::max(eq_.now(), next_free);
+    next_free = start + 1;  // initiation interval 1
+    co_await sim::delay(eq_, (start + params_.pipe_latency) - eq_.now());
+}
+
+sim::Task<void>
+Maple::acquirePipeHead()
+{
+    while (pipe_head_held_) {
+        sim::Signal wait = pipe_head_wait_;
+        co_await wait;
+    }
+    pipe_head_held_ = true;
+}
+
+void
+Maple::releasePipeHead()
+{
+    pipe_head_held_ = false;
+    sim::Signal wake = std::exchange(pipe_head_wait_, sim::Signal{});
+    wake.set(sim::Unit{});
+}
+
+void
+Maple::applyQueueConfig(std::uint64_t payload)
+{
+    QueueConfigPayload cfg = unpackQueueConfig(payload);
+    if (cfg.count == 0 || cfg.count > queues_.size()) {
+        MAPLE_WARN("%s: bad queue count %u", params_.name.c_str(), cfg.count);
+        return;
+    }
+    std::uint64_t bytes =
+        std::uint64_t(cfg.count) * cfg.entries * cfg.entry_bytes;
+    if (bytes > params_.scratchpad_bytes) {
+        MAPLE_WARN("%s: queue config (%u x %u x %uB) exceeds the %uB scratchpad",
+                   params_.name.c_str(), cfg.count, cfg.entries, cfg.entry_bytes,
+                   params_.scratchpad_bytes);
+        return;
+    }
+    for (unsigned i = 0; i < queues_.size(); ++i) {
+        ++queue_generation_[i];
+        if (i < cfg.count)
+            queues_[i].configure(cfg.entries, cfg.entry_bytes);
+        else
+            queues_[i].reset();
+    }
+}
+
+sim::Task<std::uint64_t>
+Maple::mmioLoad(sim::Addr paddr, unsigned size, sim::ThreadId)
+{
+    (void)size;
+    unsigned q = decodeQueue(paddr);
+    unsigned raw_op = decodeOp(paddr);
+    MAPLE_ASSERT(q < queues_.size(), "load targets nonexistent queue %u", q);
+
+    auto op = static_cast<LoadOp>(raw_op);
+    if (op == LoadOp::Consume)
+        co_return co_await consume(q, /*pair=*/false);
+    if (op == LoadOp::ConsumePair)
+        co_return co_await consume(q, /*pair=*/true);
+    co_return co_await configLoad(q, op, raw_op);
+}
+
+sim::Task<void>
+Maple::mmioStore(sim::Addr paddr, std::uint64_t data, unsigned size, sim::ThreadId)
+{
+    (void)size;
+    unsigned q = decodeQueue(paddr);
+    unsigned raw_op = decodeOp(paddr);
+    MAPLE_ASSERT(q < queues_.size(), "store targets nonexistent queue %u", q);
+
+    switch (static_cast<StoreOp>(raw_op)) {
+      case StoreOp::ProduceData:
+        co_return co_await produceData(q, data);
+      case StoreOp::ProducePtr:
+        co_return co_await producePtr(q, data);
+      case StoreOp::ProduceAmoAdd:
+        co_return co_await produceAmoAdd(q, data);
+      default:
+        co_return co_await configStore(q, static_cast<StoreOp>(raw_op), data);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Produce pipeline
+// ---------------------------------------------------------------------------
+
+sim::Task<void>
+Maple::produceData(unsigned q, std::uint64_t data)
+{
+    co_await pipeEnter(produce_free_);
+    bumpCounter(Counter::ProducedData);
+    if (params_.shared_pipeline_hazard)
+        co_await acquirePipeHead();
+    co_await pointerlessEnqueueWait(q);
+    MapleQueue &queue = queues_[q];
+    unsigned slot = queue.reserveSlot();
+    queue.fillSlot(slot, data);
+    if (params_.shared_pipeline_hazard)
+        releasePipeHead();
+}
+
+sim::Task<void>
+Maple::producePtr(unsigned q, sim::Addr vaddr)
+{
+    co_await pipeEnter(produce_free_);
+    bumpCounter(Counter::ProducedPtrs);
+
+    // Produce buffer: bounded number of produces between decode and issue.
+    while (produce_inflight_ >= params_.produce_buffer) {
+        sim::Signal wait = produce_buffer_wait_;
+        co_await wait;
+    }
+    ++produce_inflight_;
+    if (params_.shared_pipeline_hazard)
+        co_await acquirePipeHead();
+    co_await pointerProduceInner(q, vaddr);
+    if (params_.shared_pipeline_hazard)
+        releasePipeHead();
+    --produce_inflight_;
+    sim::Signal wake = std::exchange(produce_buffer_wait_, sim::Signal{});
+    wake.set(sim::Unit{});
+}
+
+sim::Task<void>
+Maple::pointerProduceInner(unsigned q, sim::Addr vaddr)
+{
+    co_await pointerlessEnqueueWait(q);
+    MapleQueue &queue = queues_[q];
+    unsigned slot = queue.reserveSlot();
+    unsigned generation = queue_generation_[q];
+
+    // Translate in MAPLE's own MMU (may walk page tables / fault to driver).
+    mem::Translation tr = co_await mmu_.translate(vaddr, /*write=*/false);
+    if (tr.fault) {
+        MAPLE_WARN("%s: unresolved fault for va 0x%llx; poisoning slot",
+                   params_.name.c_str(), (unsigned long long)vaddr);
+        if (generation == queue_generation_[q])
+            queue.fillSlot(slot, 0);
+        co_return;
+    }
+    // Issue the memory request; the slot index is the transaction ID. The
+    // produce is acknowledged now (the Access thread's store retires), and
+    // the response fills the slot asynchronously.
+    sim::spawn(fetchIntoSlot(q, generation, slot, tr.paddr, queue.entryBytes()));
+}
+
+sim::Task<void>
+Maple::pointerlessEnqueueWait(unsigned q)
+{
+    MapleQueue &queue = queues_[q];
+    MAPLE_ASSERT(queue.configured(), "produce to unconfigured queue %u", q);
+    sim::Cycle wait_start = eq_.now();
+    while (queue.full()) {
+        sim::Signal wait = queue.spaceSignal();
+        co_await wait;
+    }
+    if (eq_.now() != wait_start)
+        bumpCounter(Counter::FullStallCycles, eq_.now() - wait_start);
+}
+
+sim::Task<void>
+Maple::fetchIntoSlot(unsigned q, unsigned generation, unsigned slot,
+                     sim::Addr paddr, unsigned bytes)
+{
+    bumpCounter(Counter::MemRequests);
+    mem::TimedMem *port = params_.fetch_via_llc && w_.llc_port ? w_.llc_port
+                                                               : w_.dram_port;
+    co_await port->access(paddr, bytes, mem::AccessKind::Read);
+    if (generation != queue_generation_[q])
+        co_return;  // queue was closed/reconfigured while the fetch flew
+    std::uint64_t value = 0;
+    w_.pm->read(paddr, &value, bytes);
+    queues_[q].fillSlot(slot, value);
+}
+
+sim::Task<void>
+Maple::produceAmoAdd(unsigned q, sim::Addr vaddr)
+{
+    co_await pipeEnter(produce_free_);
+    bumpCounter(Counter::ProducedPtrs);
+
+    while (produce_inflight_ >= params_.produce_buffer) {
+        sim::Signal wait = produce_buffer_wait_;
+        co_await wait;
+    }
+    ++produce_inflight_;
+    co_await pointerlessEnqueueWait(q);
+    MapleQueue &queue = queues_[q];
+    unsigned slot = queue.reserveSlot();
+    unsigned generation = queue_generation_[q];
+    // Take a commit ticket at reservation time: translations can complete
+    // out of order (page walks to the same table line merge and resume in
+    // arbitrary order), but RMWs must linearize in program order or the
+    // old-value FIFO contract breaks.
+    std::uint64_t ticket = amo_seq_alloc_[q]++;
+    mem::Translation tr = co_await mmu_.translate(vaddr, /*write=*/true);
+    while (amo_seq_commit_[q] != ticket) {
+        sim::Signal wait = amo_commit_wait_;
+        co_await wait;
+    }
+    if (tr.fault) {
+        MAPLE_WARN("%s: unresolved AMO fault at va 0x%llx; poisoning slot",
+                   params_.name.c_str(), (unsigned long long)vaddr);
+        if (generation == queue_generation_[q])
+            queue.fillSlot(slot, 0);
+    } else {
+        unsigned bytes = queue.entryBytes();
+        std::uint64_t old = 0;
+        w_.pm->read(tr.paddr, &old, bytes);
+        std::uint64_t updated = old + amo_addend_[q];
+        w_.pm->write(tr.paddr, &updated, bytes);
+        sim::spawn(amoIntoSlot(q, generation, slot, tr.paddr, old, bytes));
+    }
+    ++amo_seq_commit_[q];
+    sim::Signal commit_wake = std::exchange(amo_commit_wait_, sim::Signal{});
+    commit_wake.set(sim::Unit{});
+    --produce_inflight_;
+    sim::Signal wake = std::exchange(produce_buffer_wait_, sim::Signal{});
+    wake.set(sim::Unit{});
+}
+
+sim::Task<void>
+Maple::amoIntoSlot(unsigned q, unsigned generation, unsigned slot,
+                   sim::Addr paddr, std::uint64_t old_value, unsigned bytes)
+{
+    bumpCounter(Counter::MemRequests);
+    // Atomics are coherent: charge an LLC round trip for the RMW.
+    mem::TimedMem *port = w_.llc_port ? w_.llc_port : w_.dram_port;
+    co_await port->access(paddr, bytes, mem::AccessKind::Write);
+    if (generation != queue_generation_[q])
+        co_return;
+    queues_[q].fillSlot(slot, old_value);
+}
+
+// ---------------------------------------------------------------------------
+// Consume pipeline
+// ---------------------------------------------------------------------------
+
+sim::Task<std::uint64_t>
+Maple::consume(unsigned q, bool pair)
+{
+    // Ablation: with a single shared pipeline, consumes serialize behind
+    // produces -- including produces parked on a full queue (deadlock).
+    co_await pipeEnter(params_.shared_pipeline_hazard ? produce_free_
+                                                      : consume_free_);
+    if (params_.shared_pipeline_hazard)
+        co_await acquirePipeHead();
+    MapleQueue &queue = queues_[q];
+    MAPLE_ASSERT(queue.configured(), "consume from unconfigured queue %u", q);
+    if (pair) {
+        MAPLE_ASSERT(queue.entryBytes() == 4,
+                     "ConsumePair needs 4-byte queue entries");
+    }
+
+    const unsigned needed = pair ? 2 : 1;
+    sim::Cycle wait_start = eq_.now();
+    while (!queue.headValid(needed)) {
+        sim::Signal wait = queue.dataSignal();
+        co_await wait;
+    }
+    if (eq_.now() != wait_start)
+        bumpCounter(Counter::EmptyStallCycles, eq_.now() - wait_start);
+
+    std::uint64_t value = queue.pop();
+    if (pair)
+        value |= queue.pop() << 32;
+    bumpCounter(Counter::Consumed, needed);
+    stats_.average("occupancy_at_consume").sample(queue.occupancy());
+    if (params_.shared_pipeline_hazard)
+        releasePipeHead();
+    co_return value;
+}
+
+// ---------------------------------------------------------------------------
+// Configuration pipeline
+// ---------------------------------------------------------------------------
+
+sim::Task<std::uint64_t>
+Maple::configLoad(unsigned q, LoadOp op, unsigned raw_op)
+{
+    co_await pipeEnter(config_free_);
+    if (raw_op >= static_cast<unsigned>(LoadOp::CounterBase)) {
+        unsigned idx = raw_op - static_cast<unsigned>(LoadOp::CounterBase);
+        if (idx < counters_.size())
+            co_return counters_[idx].value();
+        co_return 0;
+    }
+    switch (op) {
+      case LoadOp::Open:
+        co_return queues_[q].tryOpen() ? 1 : 0;
+      case LoadOp::Occupancy:
+        co_return queues_[q].occupancy();
+      case LoadOp::FaultVaddr:
+        co_return last_fault_vaddr_;
+      case LoadOp::QueueConfig:
+        co_return (std::uint64_t(queues_[q].capacity()) << 8) |
+            queues_[q].entryBytes();
+      default:
+        MAPLE_WARN("%s: unknown load op %u", params_.name.c_str(), raw_op);
+        co_return 0;
+    }
+}
+
+sim::Task<void>
+Maple::configStore(unsigned q, StoreOp op, std::uint64_t data)
+{
+    co_await pipeEnter(config_free_);
+    switch (op) {
+      case StoreOp::Close:
+        ++queue_generation_[q];
+        queues_[q].close();
+        co_return;
+      case StoreOp::ConfigQueues:
+        applyQueueConfig(data);
+        co_return;
+      case StoreOp::LimaABase:
+        lima_a_base_ = data;
+        co_return;
+      case StoreOp::LimaBBase:
+        lima_b_base_ = data;
+        co_return;
+      case StoreOp::LimaRange:
+        lima_range_ = data;
+        co_return;
+      case StoreOp::LimaLaunch: {
+        while (lima_cmds_.size() >= params_.lima_cmds) {
+            sim::Signal wait = lima_space_wait_;
+            co_await wait;
+        }
+        LimaCmd cmd;
+        cmd.a_base = lima_a_base_;
+        cmd.b_base = lima_b_base_;
+        cmd.start = static_cast<std::uint32_t>(lima_range_ & 0xffffffffu);
+        cmd.end = static_cast<std::uint32_t>(lima_range_ >> 32);
+        cmd.ctrl = unpackLimaControl(data);
+        lima_cmds_.push_back(cmd);
+        if (!lima_running_) {
+            lima_running_ = true;
+            sim::spawn(limaWorker());
+        }
+        co_return;
+      }
+      case StoreOp::PrefetchPtr:
+        sim::spawn(speculativePrefetch(data));
+        co_return;
+      case StoreOp::ResetCounters:
+        for (auto &c : counters_)
+            c.reset();
+        co_return;
+      case StoreOp::AmoAddend:
+        amo_addend_[q] = data;
+        co_return;
+      default:
+        MAPLE_WARN("%s: unknown store op %u", params_.name.c_str(),
+                   static_cast<unsigned>(op));
+        co_return;
+    }
+}
+
+sim::Task<void>
+Maple::speculativePrefetch(sim::Addr vaddr)
+{
+    mem::Translation tr = co_await mmu_.translate(vaddr, /*write=*/false);
+    if (tr.fault)
+        co_return;  // speculative: drop on fault
+    bumpCounter(Counter::PrefetchesIssued);
+    if (w_.llc_cache)
+        w_.llc_cache->prefetch(tr.paddr);
+}
+
+// ---------------------------------------------------------------------------
+// LIMA: Loops of Indirect Memory Accesses (A[B[i]] for i in [start, end))
+// ---------------------------------------------------------------------------
+
+sim::Task<void>
+Maple::limaWorker()
+{
+    while (!lima_cmds_.empty()) {
+        LimaCmd cmd = lima_cmds_.front();
+        lima_cmds_.pop_front();
+        sim::Signal wake = std::exchange(lima_space_wait_, sim::Signal{});
+        wake.set(sim::Unit{});
+        bumpCounter(Counter::LimaCommands);
+        co_await limaOne(cmd);
+    }
+    lima_running_ = false;
+}
+
+sim::Task<void>
+Maple::limaOne(const LimaCmd &cmd)
+{
+    const unsigned b_elem = cmd.ctrl.b_elem_bytes;
+    const unsigned a_elem = cmd.ctrl.a_elem_bytes;
+    MAPLE_ASSERT(b_elem == 4 || b_elem == 8, "bad LIMA index width");
+
+    // Double-buffered chunk fetch: translate + issue the DRAM read for one
+    // 64B chunk of B, and while iterating it, the next chunk's fetch is
+    // already in flight (the scratchpad holds both).
+    struct ChunkFetch {
+        bool valid = false;
+        bool fault = false;
+        sim::Addr first_pa = 0;      ///< paddr of the first covered element
+        std::uint64_t first = 0;     ///< index of the first covered element
+        std::uint64_t last = 0;      ///< one past the last covered element
+        sim::Signal arrived;
+    };
+
+    auto startFetch = [this, &cmd, b_elem](std::uint64_t i) -> sim::Task<ChunkFetch> {
+        ChunkFetch f;
+        f.valid = true;
+        f.first = i;
+        sim::Addr b_vaddr = cmd.b_base + i * b_elem;
+        mem::Translation tr = co_await mmu_.translate(b_vaddr, false);
+        if (tr.fault) {
+            MAPLE_WARN("%s: LIMA fault on B at va 0x%llx; aborting command",
+                       params_.name.c_str(), (unsigned long long)b_vaddr);
+            f.fault = true;
+            f.arrived.set(sim::Unit{});
+            co_return f;
+        }
+        f.first_pa = tr.paddr;
+        sim::Addr chunk_pa = mem::lineBase(tr.paddr);
+        std::uint64_t in_chunk = (mem::kLineSize - (tr.paddr - chunk_pa)) / b_elem;
+        f.last = std::min<std::uint64_t>(cmd.end, i + in_chunk);
+        bumpCounter(Counter::MemRequests);
+        auto fetch = [](Maple *self, sim::Addr pa, sim::Signal done) -> sim::Task<void> {
+            co_await self->w_.dram_port->access(pa, mem::kLineSize,
+                                                mem::AccessKind::Read);
+            done.set(sim::Unit{});
+        };
+        sim::spawn(fetch(this, chunk_pa, f.arrived));
+        co_return f;
+    };
+
+    if (cmd.start >= cmd.end)
+        co_return;
+    ChunkFetch cur = co_await startFetch(cmd.start);
+    while (cur.valid && !cur.fault) {
+        ChunkFetch next;
+        if (cur.last < cmd.end)
+            next = co_await startFetch(cur.last);
+        co_await cur.arrived;
+
+        // Iterate word by word over the elements present in this chunk.
+        for (std::uint64_t i = cur.first; i < cur.last; ++i) {
+            co_await sim::delay(eq_, 1);
+            sim::Addr elem_pa = cur.first_pa + (i - cur.first) * b_elem;
+            std::uint64_t index = 0;
+            w_.pm->read(elem_pa, &index, b_elem);
+            bumpCounter(Counter::LimaElements);
+            sim::Addr a_vaddr = cmd.a_base + index * a_elem;
+            if (cmd.ctrl.speculative) {
+                co_await speculativePrefetch(a_vaddr);
+            } else {
+                co_await pipeEnter(produce_free_);
+                co_await pointerProduceInner(cmd.ctrl.target_queue, a_vaddr);
+            }
+        }
+        cur = std::move(next);
+    }
+}
+
+}  // namespace maple::core

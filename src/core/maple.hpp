@@ -1,0 +1,193 @@
+/**
+ * @file
+ * The Memory Access Parallel-Load Engine (MAPLE) device model.
+ *
+ * MAPLE sits on its own NoC tile and is driven purely through MMIO loads and
+ * stores (no ISA changes, no core modifications). Mirroring Figure 6 of the
+ * paper, the device has three independent pipelines plus a queue controller:
+ *
+ *  - Configuration pipeline: queue creation/binding, LIMA configuration,
+ *    debug and performance-counter reads. Non-blocking.
+ *  - Produce pipeline: data-produce and pointer-produce stores. A pointer
+ *    produce reserves a queue slot in program order, translates the pointer
+ *    in MAPLE's own MMU, issues the memory request with the slot index as
+ *    transaction ID, and acknowledges the store -- the DRAM response fills
+ *    the slot later, re-ordered by the transaction ID.
+ *  - Consume pipeline: loads that pop queue entries; an empty queue parks
+ *    the request (no polling) until data arrives.
+ *
+ * Separate pipelines avoid deadlock: produces blocked on a full queue never
+ * impede consumes, which are what eventually free space. An ablation knob
+ * (shared_pipeline_hazard) deliberately reintroduces the hazard so the tests
+ * can demonstrate the deadlock the design avoids.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "core/maple_isa.hpp"
+#include "core/maple_queue.hpp"
+#include "mem/cache.hpp"
+#include "mem/mmu.hpp"
+#include "mem/physical_memory.hpp"
+#include "mem/timed_mem.hpp"
+#include "sim/coro.hpp"
+#include "sim/stats.hpp"
+#include "soc/address_map.hpp"
+
+namespace maple::core {
+
+struct MapleParams {
+    std::string name = "maple";
+    sim::TileId tile = 0;
+    sim::Addr mmio_base = 0;          ///< physical base of the device page
+    unsigned scratchpad_bytes = 1024; ///< shared by all queues (Table 2: 1KB)
+    unsigned max_queues = 8;
+    unsigned produce_buffer = 16;     ///< buffered produce ops (backpressure)
+    unsigned lima_cmds = 16;          ///< depth of the LIMA command FIFO
+    sim::Cycle pipe_latency = 3;      ///< decode + pipeline traversal
+    size_t tlb_entries = 16;
+    bool fetch_via_llc = false;       ///< pointer fetches via LLC vs DRAM
+    bool shared_pipeline_hazard = false;  ///< ablation: single shared pipeline
+};
+
+/** Memory-side connections of a MAPLE instance. */
+struct MapleWiring {
+    mem::PhysicalMemory *pm = nullptr;
+    mem::TimedMem *dram_port = nullptr;  ///< non-coherent direct-to-DRAM path
+    mem::TimedMem *llc_port = nullptr;   ///< coherent path through the LLC
+    mem::Cache *llc_cache = nullptr;     ///< for speculative LLC prefetches
+    mem::TimedMem *walk_port = nullptr;  ///< page-table-walker port
+};
+
+class Maple : public soc::MmioDevice {
+  public:
+    Maple(sim::EventQueue &eq, MapleParams params, MapleWiring wiring);
+
+    /// @name soc::MmioDevice
+    /// @{
+    sim::Task<std::uint64_t> mmioLoad(sim::Addr paddr, unsigned size,
+                                      sim::ThreadId thread) override;
+    sim::Task<void> mmioStore(sim::Addr paddr, std::uint64_t data, unsigned size,
+                              sim::ThreadId thread) override;
+    /// @}
+
+    mem::Mmu &mmu() { return mmu_; }
+
+    /**
+     * Install the OS driver's fault handler; MAPLE additionally latches the
+     * faulting virtual address into the FaultVaddr debug register first, the
+     * way the real driver reads it back through the configuration pipeline.
+     */
+    void setDriverFaultHandler(mem::Mmu::FaultHandler handler);
+
+    MapleQueue &queue(unsigned idx);
+    const MapleParams &params() const { return params_; }
+    std::uint64_t counter(Counter c) const
+    {
+        return counters_[static_cast<size_t>(c)].value();
+    }
+    sim::StatGroup &stats() { return stats_; }
+
+  private:
+    struct LimaCmd {
+        sim::Addr a_base, b_base;
+        std::uint32_t start, end;
+        LimaControl ctrl;
+    };
+
+    /// @name Pipeline front-ends
+    /// @{
+    sim::Task<void> produceData(unsigned q, std::uint64_t data);
+    sim::Task<void> producePtr(unsigned q, sim::Addr vaddr);
+    sim::Task<std::uint64_t> consume(unsigned q, bool pair);
+    sim::Task<void> configStore(unsigned q, StoreOp op, std::uint64_t data);
+    sim::Task<std::uint64_t> configLoad(unsigned q, LoadOp op, unsigned raw_op);
+    /// @}
+
+    /** Reserve + translate + issue fetch for one pointer (produce & LIMA). */
+    sim::Task<void> pointerProduceInner(unsigned q, sim::Addr vaddr);
+
+    /** Extension: remote fetch-and-add; old value fills the queue slot. */
+    sim::Task<void> produceAmoAdd(unsigned q, sim::Addr vaddr);
+    sim::Task<void> amoIntoSlot(unsigned q, unsigned generation, unsigned slot,
+                                sim::Addr paddr, std::uint64_t old_value,
+                                unsigned bytes);
+
+    /** Wait until queue @p q has a free slot, counting full-stall cycles. */
+    sim::Task<void> pointerlessEnqueueWait(unsigned q);
+
+    /** Background fill of a reserved slot from memory. */
+    sim::Task<void> fetchIntoSlot(unsigned q, unsigned generation, unsigned slot,
+                                  sim::Addr paddr, unsigned bytes);
+
+    /** Speculative prefetch of one pointer into the LLC. */
+    sim::Task<void> speculativePrefetch(sim::Addr vaddr);
+
+    /** Drains the LIMA command FIFO; at most one instance runs. */
+    sim::Task<void> limaWorker();
+    sim::Task<void> limaOne(const LimaCmd &cmd);
+
+    /** Occupy a pipeline issue slot (II=1) then traverse it. */
+    sim::Task<void> pipeEnter(sim::Cycle &next_free);
+
+    /// @name Shared-pipeline ablation: a parked op occupies the pipe head,
+    /// blocking every op behind it (the head-of-line hazard the real design
+    /// avoids with separate pipelines).
+    /// @{
+    sim::Task<void> acquirePipeHead();
+    void releasePipeHead();
+    /// @}
+
+    void applyQueueConfig(std::uint64_t payload);
+    void bumpCounter(Counter c, std::uint64_t n = 1)
+    {
+        counters_[static_cast<size_t>(c)].inc(n);
+    }
+
+    sim::EventQueue &eq_;
+    MapleParams params_;
+    MapleWiring w_;
+    mem::Mmu mmu_;
+    sim::StatGroup stats_;
+
+    std::vector<MapleQueue> queues_;
+    std::vector<unsigned> queue_generation_;
+
+    // Pipeline issue chains (next-free-cycle reservations).
+    sim::Cycle produce_free_ = 0;
+    sim::Cycle consume_free_ = 0;
+    sim::Cycle config_free_ = 0;
+
+    // Produce buffer backpressure.
+    unsigned produce_inflight_ = 0;
+    sim::Signal produce_buffer_wait_;
+
+    // Shared-pipeline ablation state.
+    bool pipe_head_held_ = false;
+    sim::Signal pipe_head_wait_;
+
+    // AMO extension state: one addend register per queue, plus a commit
+    // sequencer so RMWs linearize in program order even when translations
+    // complete out of order.
+    std::vector<std::uint64_t> amo_addend_;
+    std::vector<std::uint64_t> amo_seq_alloc_;
+    std::vector<std::uint64_t> amo_seq_commit_;
+    sim::Signal amo_commit_wait_;
+
+    // LIMA state.
+    sim::Addr lima_a_base_ = 0;
+    sim::Addr lima_b_base_ = 0;
+    std::uint64_t lima_range_ = 0;
+    std::deque<LimaCmd> lima_cmds_;
+    sim::Signal lima_space_wait_;
+    bool lima_running_ = false;
+
+    sim::Addr last_fault_vaddr_ = 0;
+    std::array<sim::Counter, static_cast<size_t>(Counter::kCount)> counters_;
+};
+
+}  // namespace maple::core

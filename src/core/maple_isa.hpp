@@ -1,0 +1,143 @@
+/**
+ * @file
+ * MAPLE's MMIO "instruction set": how API operations are encoded into plain
+ * load/store addresses within the device's 4KB page.
+ *
+ * Following the paper (Section 3.6), the word index within the page encodes
+ * the operation: bits [8:3] give 64 load opcodes and 64 store opcodes, and
+ * bits [11:9] select one of up to 8 queues. No ISA extension is involved --
+ * any core that can issue loads and stores can drive MAPLE.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace maple::core {
+
+inline constexpr unsigned kOpShift = 3;
+inline constexpr unsigned kOpBits = 6;
+inline constexpr unsigned kQueueShift = kOpShift + kOpBits;  // bit 9
+inline constexpr unsigned kQueueBits = 3;
+inline constexpr unsigned kMaxQueuesPerPage = 1u << kQueueBits;
+
+/** Operations carried by MMIO loads (they return a value). */
+enum class LoadOp : std::uint8_t {
+    Consume = 0,       ///< pop one entry from the queue (blocks until valid)
+    ConsumePair = 1,   ///< pop two 32-bit entries packed into one 64-bit word
+    Open = 2,          ///< bind the queue; returns 1 on success, 0 if taken
+    Occupancy = 3,     ///< debug: current number of reserved entries
+    FaultVaddr = 4,    ///< driver: virtual address of the last page fault
+    QueueConfig = 5,   ///< debug: (capacity << 8) | entry_bytes
+    CounterBase = 16,  ///< ops [16, 64) read performance counter (op - 16)
+};
+
+/** Operations carried by MMIO stores (the payload is the operand). */
+enum class StoreOp : std::uint8_t {
+    ProduceData = 0,   ///< push the payload into the queue
+    ProducePtr = 1,    ///< payload is a virtual address: fetch + enqueue
+    Close = 2,         ///< release + drain the queue
+    ConfigQueues = 3,  ///< payload packs (count, entries, entry_bytes)
+    LimaABase = 4,     ///< LIMA: base virtual address of data array A
+    LimaBBase = 5,     ///< LIMA: base virtual address of index array B
+    LimaRange = 6,     ///< LIMA: packed (start_index, end_index) u32 pair
+    LimaLaunch = 7,    ///< LIMA: packed control word; enqueues the command
+    PrefetchPtr = 8,   ///< speculative prefetch of payload vaddr into the LLC
+    ResetCounters = 9, ///< zero all performance counters
+    // Extension ops (Section 3: the programming model is "easily extensible
+    // to incorporate ... Read-Modify-Write atomic operations"):
+    AmoAddend = 10,    ///< latch the per-queue addend for ProduceAmoAdd
+    ProduceAmoAdd = 11,///< payload is a vaddr: fetch-and-add (addend reg),
+                       ///< old value lands in the queue in program order
+};
+
+/** Index of a performance counter readable via LoadOp::CounterBase + idx. */
+enum class Counter : std::uint8_t {
+    ProducedData = 0,
+    ProducedPtrs = 1,
+    Consumed = 2,
+    LimaElements = 3,
+    LimaCommands = 4,
+    FullStallCycles = 5,   ///< cycles produce ops waited on a full queue
+    EmptyStallCycles = 6,  ///< cycles consume ops waited on an empty queue
+    MemRequests = 7,
+    TlbMisses = 8,
+    PageFaults = 9,
+    PrefetchesIssued = 10,
+    kCount
+};
+
+inline sim::Addr
+encodeOp(sim::Addr page_base, unsigned queue, unsigned op)
+{
+    return page_base | (sim::Addr(queue) << kQueueShift) | (sim::Addr(op) << kOpShift);
+}
+
+inline sim::Addr
+encodeLoad(sim::Addr page_base, unsigned queue, LoadOp op)
+{
+    return encodeOp(page_base, queue, static_cast<unsigned>(op));
+}
+
+inline sim::Addr
+encodeStore(sim::Addr page_base, unsigned queue, StoreOp op)
+{
+    return encodeOp(page_base, queue, static_cast<unsigned>(op));
+}
+
+inline unsigned decodeQueue(sim::Addr a) { return (a >> kQueueShift) & (kMaxQueuesPerPage - 1); }
+inline unsigned decodeOp(sim::Addr a) { return (a >> kOpShift) & ((1u << kOpBits) - 1); }
+
+/** Payload packing for StoreOp::ConfigQueues. */
+inline std::uint64_t
+packQueueConfig(unsigned count, unsigned entries, unsigned entry_bytes)
+{
+    return (std::uint64_t(count) << 32) | (std::uint64_t(entries) << 8) | entry_bytes;
+}
+
+struct QueueConfigPayload {
+    unsigned count, entries, entry_bytes;
+};
+
+inline QueueConfigPayload
+unpackQueueConfig(std::uint64_t v)
+{
+    return {static_cast<unsigned>(v >> 32),
+            static_cast<unsigned>((v >> 8) & 0xffffff),
+            static_cast<unsigned>(v & 0xff)};
+}
+
+/** Control word for StoreOp::LimaLaunch. */
+struct LimaControl {
+    std::uint8_t target_queue = 0;   ///< destination queue (non-speculative)
+    std::uint8_t b_elem_bytes = 4;   ///< element width of index array B
+    std::uint8_t a_elem_bytes = 4;   ///< element width of data array A
+    bool speculative = false;        ///< true: prefetch into LLC, no queue
+};
+
+inline std::uint64_t
+packLimaControl(const LimaControl &c)
+{
+    return (std::uint64_t(c.speculative) << 24) | (std::uint64_t(c.a_elem_bytes) << 16) |
+           (std::uint64_t(c.b_elem_bytes) << 8) | c.target_queue;
+}
+
+inline LimaControl
+unpackLimaControl(std::uint64_t v)
+{
+    LimaControl c;
+    c.target_queue = static_cast<std::uint8_t>(v & 0xff);
+    c.b_elem_bytes = static_cast<std::uint8_t>((v >> 8) & 0xff);
+    c.a_elem_bytes = static_cast<std::uint8_t>((v >> 16) & 0xff);
+    c.speculative = ((v >> 24) & 1) != 0;
+    return c;
+}
+
+inline std::uint64_t
+packRange(std::uint32_t start, std::uint32_t end)
+{
+    return (std::uint64_t(end) << 32) | start;
+}
+
+}  // namespace maple::core

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * A MAPLE hardware queue: a circular FIFO carved out of the device's
+ * scratchpad, with slot reservation and per-slot valid bits.
+ *
+ * Pointer-produces reserve a slot at the tail immediately (in program order)
+ * and the DRAM response fills it later, using the slot index as the memory
+ * transaction ID -- this is how out-of-order memory responses are re-ordered
+ * back into program order. Consumers pop only when the head slot is valid.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/coro.hpp"
+#include "sim/log.hpp"
+#include "sim/stats.hpp"
+
+namespace maple::core {
+
+class MapleQueue {
+  public:
+    /** (Re)configure the queue geometry; resets all state. */
+    void
+    configure(unsigned capacity, unsigned entry_bytes)
+    {
+        MAPLE_ASSERT(capacity > 0, "queue capacity must be nonzero");
+        MAPLE_ASSERT(entry_bytes == 4 || entry_bytes == 8,
+                     "entry size must be 4 or 8 bytes");
+        capacity_ = capacity;
+        entry_bytes_ = entry_bytes;
+        data_.assign(capacity, 0);
+        valid_.assign(capacity, false);
+        head_ = tail_ = reserved_ = 0;
+        open_ = false;
+        configured_ = true;
+        wakeSpace();
+        wakeData();
+    }
+
+    void
+    reset()
+    {
+        configured_ = false;
+        open_ = false;
+        capacity_ = 0;
+        data_.clear();
+        valid_.clear();
+        head_ = tail_ = reserved_ = 0;
+        wakeSpace();
+        wakeData();
+    }
+
+    bool configured() const { return configured_; }
+    bool open() const { return open_; }
+    unsigned capacity() const { return capacity_; }
+    unsigned entryBytes() const { return entry_bytes_; }
+    unsigned occupancy() const { return reserved_; }
+    bool full() const { return reserved_ == capacity_; }
+    bool empty() const { return reserved_ == 0; }
+
+    /** Try to bind the queue to a software context. */
+    bool
+    tryOpen()
+    {
+        if (!configured_ || open_)
+            return false;
+        open_ = true;
+        return true;
+    }
+
+    /** Release the queue; in-flight entries are discarded. */
+    void
+    close()
+    {
+        open_ = false;
+        head_ = tail_ = reserved_ = 0;
+        valid_.assign(valid_.size(), false);
+        wakeSpace();
+        wakeData();
+    }
+
+    /**
+     * Reserve the tail slot (caller must have checked !full()).
+     * @return the slot index, used as the memory transaction ID.
+     */
+    unsigned
+    reserveSlot()
+    {
+        MAPLE_ASSERT(configured_ && !full(), "reserve on full/unconfigured queue");
+        unsigned slot = tail_;
+        tail_ = (tail_ + 1) % capacity_;
+        ++reserved_;
+        return slot;
+    }
+
+    /** Fill a reserved slot with data (memory response or data-produce). */
+    void
+    fillSlot(unsigned slot, std::uint64_t value)
+    {
+        MAPLE_ASSERT(slot < capacity_ && !valid_[slot], "bad slot fill");
+        data_[slot] = value;
+        valid_[slot] = true;
+        wakeData();
+    }
+
+    /** True when the next @p n entries at the head are ready to pop. */
+    bool
+    headValid(unsigned n = 1) const
+    {
+        if (!configured_ || reserved_ < n)
+            return false;
+        for (unsigned i = 0; i < n; ++i) {
+            if (!valid_[(head_ + i) % capacity_])
+                return false;
+        }
+        return true;
+    }
+
+    /** Pop the head entry (caller must have checked headValid()). */
+    std::uint64_t
+    pop()
+    {
+        MAPLE_ASSERT(headValid(), "pop on empty/invalid head");
+        std::uint64_t v = data_[head_];
+        valid_[head_] = false;
+        head_ = (head_ + 1) % capacity_;
+        --reserved_;
+        wakeSpace();
+        return v;
+    }
+
+    /// @name Wait points used by the produce/consume pipelines
+    /// Waiters loop: grab the current signal, await it, re-check their
+    /// condition. Signals resume waiters FIFO, preserving program order.
+    /// @{
+    sim::Signal spaceSignal() const { return space_; }
+    sim::Signal dataSignal() const { return data_sig_; }
+    /// @}
+
+  private:
+    void
+    wakeSpace()
+    {
+        sim::Signal s = std::exchange(space_, sim::Signal{});
+        s.set(sim::Unit{});
+    }
+
+    void
+    wakeData()
+    {
+        sim::Signal s = std::exchange(data_sig_, sim::Signal{});
+        s.set(sim::Unit{});
+    }
+
+    bool configured_ = false;
+    bool open_ = false;
+    unsigned capacity_ = 0;
+    unsigned entry_bytes_ = 4;
+    std::vector<std::uint64_t> data_;
+    std::vector<bool> valid_;
+    unsigned head_ = 0;
+    unsigned tail_ = 0;
+    unsigned reserved_ = 0;
+    sim::Signal space_;
+    sim::Signal data_sig_;
+};
+
+}  // namespace maple::core

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * MAPLE's user-space software API (Section 3.1-3.2 of the paper).
+ *
+ * Every operation below compiles down to ordinary loads/stores against the
+ * device's MMIO page, which the OS mapped into the process's address space.
+ * There are no new instructions: INIT/OPEN/CLOSE/PRODUCE/CONSUME/PRODUCE_PTR
+ * plus the LIMA and speculative-prefetch operations and the debug/counter
+ * interface are all just memory accesses issued by an off-the-shelf core.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "core/maple.hpp"
+#include "core/maple_isa.hpp"
+#include "cpu/core.hpp"
+#include "os/kernel.hpp"
+#include "sim/coro.hpp"
+
+namespace maple::core {
+
+/** One LIMA request: prefetch A[B[i]] for i in [start, end). */
+struct LimaRequest {
+    sim::Addr a_base = 0;           ///< virtual base of data array A
+    sim::Addr b_base = 0;           ///< virtual base of index array B
+    std::uint32_t start = 0;        ///< first index (inclusive)
+    std::uint32_t end = 0;          ///< last index (exclusive)
+    unsigned b_elem_bytes = 4;
+    unsigned a_elem_bytes = 4;
+    bool speculative = false;       ///< true: LLC prefetch; false: into queue
+    unsigned target_queue = 0;      ///< destination queue when non-speculative
+};
+
+/**
+ * Software handle to one MAPLE instance mapped into one process.
+ * Construct via attach(), which performs the OS work: map the MMIO page,
+ * point the device MMU at the process page table, and install the driver's
+ * page-fault handler.
+ */
+class MapleApi {
+  public:
+    static MapleApi
+    attach(os::Process &proc, Maple &device)
+    {
+        sim::Addr base = proc.mapMmio(device.params().mmio_base);
+        proc.attachMmu(&device.mmu());
+        device.setDriverFaultHandler(proc.kernel().makeFaultHandler(proc));
+        return MapleApi(base, &device);
+    }
+
+    /** User virtual address of the device page. */
+    sim::Addr base() const { return base_; }
+    Maple &device() { return *device_; }
+
+    /** INIT: carve the scratchpad into @p queues queues. */
+    sim::Task<void>
+    init(cpu::Core &core, unsigned queues, unsigned entries, unsigned entry_bytes)
+    {
+        co_await core.store(encodeStore(base_, 0, StoreOp::ConfigQueues),
+                            packQueueConfig(queues, entries, entry_bytes));
+        co_await core.storeFence();  // configuration must land before use
+    }
+
+    /** OPEN: bind queue @p q; returns true on success. */
+    sim::Task<bool>
+    open(cpu::Core &core, unsigned q)
+    {
+        std::uint64_t got =
+            co_await core.load(encodeLoad(base_, q, LoadOp::Open));
+        co_return got != 0;
+    }
+
+    /** CLOSE: release queue @p q, discarding in-flight entries. */
+    sim::Task<void>
+    close(cpu::Core &core, unsigned q)
+    {
+        co_await core.store(encodeStore(base_, q, StoreOp::Close), 0);
+        co_await core.storeFence();
+    }
+
+    /** PRODUCE: push a data value. */
+    sim::Task<void>
+    produce(cpu::Core &core, unsigned q, std::uint64_t data)
+    {
+        co_await core.store(encodeStore(base_, q, StoreOp::ProduceData), data);
+    }
+
+    /** PRODUCE_PTR: push a pointer for MAPLE to fetch asynchronously. */
+    sim::Task<void>
+    producePtr(cpu::Core &core, unsigned q, sim::Addr ptr)
+    {
+        co_await core.store(encodeStore(base_, q, StoreOp::ProducePtr), ptr);
+    }
+
+    /** CONSUME: pop one entry (blocks until data is available). */
+    sim::Task<std::uint64_t>
+    consume(cpu::Core &core, unsigned q)
+    {
+        co_return co_await core.load(encodeLoad(base_, q, LoadOp::Consume));
+    }
+
+    /** CONSUME of two 4-byte entries packed into one 8-byte load. */
+    sim::Task<std::uint64_t>
+    consumePair(cpu::Core &core, unsigned q)
+    {
+        co_return co_await core.load(encodeLoad(base_, q, LoadOp::ConsumePair));
+    }
+
+    /** PREFETCH: speculative prefetch of @p ptr into the LLC. */
+    sim::Task<void>
+    prefetch(cpu::Core &core, sim::Addr ptr)
+    {
+        co_await core.store(encodeStore(base_, 0, StoreOp::PrefetchPtr), ptr);
+    }
+
+    /// @name Read-modify-write extension (Section 3's "easily extensible")
+    /// @{
+
+    /** Latch the addend used by subsequent produceAmoAdd on queue @p q. */
+    sim::Task<void>
+    setAmoAddend(cpu::Core &core, unsigned q, std::uint64_t addend)
+    {
+        co_await core.store(encodeStore(base_, q, StoreOp::AmoAddend), addend);
+    }
+
+    /**
+     * Offloaded fetch-and-add: MAPLE performs a coherent RMW at @p ptr and
+     * delivers the *old* value into queue @p q in program order -- the
+     * Access thread never stalls on the atomic's round trip.
+     */
+    sim::Task<void>
+    produceAmoAdd(cpu::Core &core, unsigned q, sim::Addr ptr)
+    {
+        co_await core.store(encodeStore(base_, q, StoreOp::ProduceAmoAdd), ptr);
+    }
+
+    /// @}
+
+    /**
+     * LIMA: offload a whole loop of indirect accesses with one API call.
+     * The runtime shadows the device's base/control registers so repeated
+     * launches over the same arrays cost a single store.
+     */
+    sim::Task<void>
+    lima(cpu::Core &core, const LimaRequest &req)
+    {
+        if (shadow_a_ != req.a_base) {
+            co_await core.store(encodeStore(base_, 0, StoreOp::LimaABase), req.a_base);
+            shadow_a_ = req.a_base;
+        }
+        if (shadow_b_ != req.b_base) {
+            co_await core.store(encodeStore(base_, 0, StoreOp::LimaBBase), req.b_base);
+            shadow_b_ = req.b_base;
+        }
+        co_await core.store(encodeStore(base_, 0, StoreOp::LimaRange),
+                            packRange(req.start, req.end));
+        LimaControl ctrl;
+        ctrl.target_queue = static_cast<std::uint8_t>(req.target_queue);
+        ctrl.b_elem_bytes = static_cast<std::uint8_t>(req.b_elem_bytes);
+        ctrl.a_elem_bytes = static_cast<std::uint8_t>(req.a_elem_bytes);
+        ctrl.speculative = req.speculative;
+        co_await core.store(encodeStore(base_, 0, StoreOp::LimaLaunch),
+                            packLimaControl(ctrl));
+    }
+
+    /** Debug: read a hardware performance counter. */
+    sim::Task<std::uint64_t>
+    readCounter(cpu::Core &core, Counter c)
+    {
+        unsigned op = static_cast<unsigned>(LoadOp::CounterBase) +
+                      static_cast<unsigned>(c);
+        co_return co_await core.load(encodeOp(base_, 0, op));
+    }
+
+    /** Debug: queue occupancy. */
+    sim::Task<std::uint64_t>
+    occupancy(cpu::Core &core, unsigned q)
+    {
+        co_return co_await core.load(encodeLoad(base_, q, LoadOp::Occupancy));
+    }
+
+    sim::Task<void>
+    resetCounters(cpu::Core &core)
+    {
+        co_await core.store(encodeStore(base_, 0, StoreOp::ResetCounters), 0);
+        co_await core.storeFence();
+    }
+
+  private:
+    MapleApi(sim::Addr base, Maple *device) : base_(base), device_(device) {}
+
+    sim::Addr base_;
+    Maple *device_;
+    sim::Addr shadow_a_ = sim::kBadAddr;
+    sim::Addr shadow_b_ = sim::kBadAddr;
+};
+
+}  // namespace maple::core

@@ -1,0 +1,97 @@
+#include "harness/figures.hpp"
+
+#include <cstdio>
+
+#include "sim/stats.hpp"
+
+namespace maple::harness {
+
+Grid
+runGrid(const std::vector<std::unique_ptr<app::Workload>> &workloads,
+        const std::vector<app::Technique> &techniques,
+        const app::RunConfig &base,
+        const std::function<void(app::RunConfig &, app::Technique)> &tweak)
+{
+    Grid grid;
+    for (const auto &w : workloads) {
+        for (app::Technique t : techniques) {
+            app::RunConfig cfg = base;
+            cfg.tech = t;
+            if (tweak)
+                tweak(cfg, t);
+            app::RunResult r = w->run(cfg);
+            if (!r.valid) {
+                MAPLE_FATAL("invalid result: %s under %s (checksum mismatch)",
+                            r.workload.c_str(), r.technique.c_str());
+            }
+            std::fprintf(stderr, "  [run] %-6s %-15s %12llu cycles%s\n",
+                         r.workload.c_str(), r.technique.c_str(),
+                         (unsigned long long)r.cycles,
+                         r.fell_back_to_doall ? "  (fell back to doall)" : "");
+            grid.put(std::move(r));
+        }
+    }
+    return grid;
+}
+
+std::vector<std::string>
+workloadNames(const std::vector<std::unique_ptr<app::Workload>> &ws)
+{
+    std::vector<std::string> names;
+    for (const auto &w : ws)
+        names.push_back(w->name());
+    return names;
+}
+
+void
+printSpeedupTable(const std::string &title, const Grid &grid,
+                  const std::vector<std::string> &workloads,
+                  const std::vector<app::Technique> &series,
+                  app::Technique baseline)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    std::printf("%-8s", "app");
+    for (app::Technique t : series)
+        std::printf("  %14s", app::techniqueName(t));
+    std::printf("\n");
+
+    std::vector<std::vector<double>> cols(series.size());
+    for (const std::string &w : workloads) {
+        std::printf("%-8s", w.c_str());
+        double base_cycles =
+            static_cast<double>(grid.at(w, baseline).cycles);
+        for (size_t i = 0; i < series.size(); ++i) {
+            double sp = base_cycles /
+                        static_cast<double>(grid.at(w, series[i]).cycles);
+            cols[i].push_back(sp);
+            std::printf("  %13.2fx", sp);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-8s", "geomean");
+    for (auto &c : cols)
+        std::printf("  %13.2fx", sim::geomean(c));
+    std::printf("\n");
+}
+
+void
+printMetricTable(const std::string &title, const Grid &grid,
+                 const std::vector<std::string> &workloads,
+                 const std::vector<app::Technique> &series,
+                 const std::function<double(const app::RunResult &)> &metric,
+                 const std::string &unit)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    std::printf("%-8s", "app");
+    for (app::Technique t : series)
+        std::printf("  %14s", app::techniqueName(t));
+    std::printf("\n");
+    for (const std::string &w : workloads) {
+        std::printf("%-8s", w.c_str());
+        for (app::Technique t : series)
+            std::printf("  %12.2f%s", metric(grid.at(w, t)), unit.c_str());
+        std::printf("\n");
+    }
+}
+
+}  // namespace maple::harness

@@ -1,0 +1,191 @@
+#include "kern/interp.hpp"
+#include <cstring>
+
+#include <bit>
+
+namespace maple::kern {
+
+namespace {
+
+std::uint64_t
+aluEval(const Inst &in, std::uint64_t a, std::uint64_t b)
+{
+    auto f32 = [](std::uint64_t v) {
+        return std::bit_cast<float>(static_cast<std::uint32_t>(v));
+    };
+    auto bits = [](float f) {
+        return static_cast<std::uint64_t>(std::bit_cast<std::uint32_t>(f));
+    };
+    switch (in.op) {
+      case Op::Add: return a + b;
+      case Op::Sub: return a - b;
+      case Op::Mul: return a * b;
+      case Op::Shl: return a << in.imm;
+      case Op::MulF32: return bits(f32(a) * f32(b));
+      case Op::AddF32: return bits(f32(a) + f32(b));
+      default: MAPLE_PANIC("not an ALU op: %s", opName(in.op));
+    }
+}
+
+struct LoopFrame {
+    size_t begin_pc;  ///< index of the LoopBegin instruction
+};
+
+}  // namespace
+
+sim::Task<void>
+interpret(const Program &prog, ExecEnv env)
+{
+    MAPLE_ASSERT(env.core != nullptr, "interpreter needs a core");
+    MAPLE_ASSERT(prog.wellFormed(), "refusing to run malformed program");
+    cpu::Core &core = *env.core;
+    std::vector<std::uint64_t> regs(prog.num_regs, 0);
+    std::vector<LoopFrame> loops;
+
+    size_t pc = 0;
+    while (pc < prog.code.size()) {
+        const Inst &in = prog.code[pc];
+        switch (in.op) {
+          case Op::Const:
+            co_await core.compute(1);
+            regs[in.dst] = in.imm;
+            break;
+          case Op::Add:
+          case Op::Sub:
+          case Op::Mul:
+          case Op::MulF32:
+          case Op::AddF32:
+            co_await core.compute(1);
+            regs[in.dst] = aluEval(in, regs[in.a], regs[in.b]);
+            break;
+          case Op::Shl:
+            co_await core.compute(1);
+            regs[in.dst] = aluEval(in, regs[in.a], 0);
+            break;
+          case Op::Load:
+            regs[in.dst] = co_await core.load(regs[in.a], in.size);
+            break;
+          case Op::Store:
+            co_await core.store(regs[in.a], regs[in.b], in.size);
+            break;
+          case Op::Prefetch:
+            co_await core.prefetchL1(regs[in.a]);
+            break;
+          case Op::LoopBegin:
+            co_await core.compute(1);  // induction init / bound compare
+            regs[in.dst] = regs[in.a];
+            if (regs[in.dst] >= regs[in.b]) {
+                // Zero-trip loop: skip to the matching LoopEnd.
+                int depth = 1;
+                while (depth > 0) {
+                    ++pc;
+                    MAPLE_ASSERT(pc < prog.code.size());
+                    if (prog.code[pc].op == Op::LoopBegin)
+                        ++depth;
+                    if (prog.code[pc].op == Op::LoopEnd)
+                        --depth;
+                }
+            } else {
+                loops.push_back(LoopFrame{pc});
+            }
+            break;
+          case Op::LoopEnd: {
+            co_await core.compute(1);  // increment + backedge compare
+            MAPLE_ASSERT(!loops.empty());
+            const Inst &head = prog.code[loops.back().begin_pc];
+            if (++regs[head.dst] < regs[head.b]) {
+                pc = loops.back().begin_pc;  // take the backedge
+            } else {
+                loops.pop_back();
+            }
+            break;
+          }
+          case Op::Produce:
+            MAPLE_ASSERT(env.api, "decoupling op without a MAPLE binding");
+            co_await env.api->produce(core, env.queue_base + in.queue, regs[in.a]);
+            break;
+          case Op::ProducePtr:
+            MAPLE_ASSERT(env.api, "decoupling op without a MAPLE binding");
+            co_await core.compute(1);  // address materialization
+            co_await env.api->producePtr(core, env.queue_base + in.queue,
+                                         regs[in.a]);
+            break;
+          case Op::Consume:
+            MAPLE_ASSERT(env.api, "decoupling op without a MAPLE binding");
+            regs[in.dst] =
+                co_await env.api->consume(core, env.queue_base + in.queue);
+            break;
+        }
+        ++pc;
+    }
+    co_await core.storeFence();
+}
+
+void
+interpretFunctional(const Program &prog, os::Process &proc)
+{
+    MAPLE_ASSERT(prog.wellFormed(), "malformed program");
+    std::vector<std::uint64_t> regs(prog.num_regs, 0);
+    std::vector<LoopFrame> loops;
+
+    size_t pc = 0;
+    while (pc < prog.code.size()) {
+        const Inst &in = prog.code[pc];
+        switch (in.op) {
+          case Op::Const:
+            regs[in.dst] = in.imm;
+            break;
+          case Op::Add:
+          case Op::Sub:
+          case Op::Mul:
+          case Op::MulF32:
+          case Op::AddF32:
+            regs[in.dst] = aluEval(in, regs[in.a], regs[in.b]);
+            break;
+          case Op::Shl:
+            regs[in.dst] = aluEval(in, regs[in.a], 0);
+            break;
+          case Op::Load: {
+            std::uint64_t v = 0;
+            std::vector<std::uint8_t> buf(in.size);
+            proc.readBytes(regs[in.a], buf.data(), in.size);
+            std::memcpy(&v, buf.data(), in.size);
+            regs[in.dst] = v;
+            break;
+          }
+          case Op::Store:
+            proc.writeBytes(regs[in.a], &regs[in.b], in.size);
+            break;
+          case Op::Prefetch:
+            break;  // no functional effect
+          case Op::LoopBegin:
+            regs[in.dst] = regs[in.a];
+            if (regs[in.dst] >= regs[in.b]) {
+                int depth = 1;
+                while (depth > 0) {
+                    ++pc;
+                    if (prog.code[pc].op == Op::LoopBegin)
+                        ++depth;
+                    if (prog.code[pc].op == Op::LoopEnd)
+                        --depth;
+                }
+            } else {
+                loops.push_back(LoopFrame{pc});
+            }
+            break;
+          case Op::LoopEnd: {
+            const Inst &head = prog.code[loops.back().begin_pc];
+            if (++regs[head.dst] < regs[head.b])
+                pc = loops.back().begin_pc;
+            else
+                loops.pop_back();
+            break;
+          }
+          default:
+            MAPLE_PANIC("decoupling ops unsupported in functional mode");
+        }
+        ++pc;
+    }
+}
+
+}  // namespace maple::kern

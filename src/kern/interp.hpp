@@ -1,0 +1,36 @@
+/**
+ * @file
+ * IR interpreter: executes a kern::Program as simulated software on a core.
+ * Each instruction charges issue cycles like hand-written workload code;
+ * Produce/Consume/ProducePtr lower to the MAPLE runtime API (plain MMIO
+ * loads/stores), exactly what the paper's compiler-generated code does.
+ */
+#pragma once
+
+#include <vector>
+
+#include "core/maple_runtime.hpp"
+#include "cpu/core.hpp"
+#include "kern/ir.hpp"
+#include "sim/coro.hpp"
+
+namespace maple::kern {
+
+/** Execution environment of one program instance. */
+struct ExecEnv {
+    cpu::Core *core = nullptr;
+    ::maple::core::MapleApi *api = nullptr;  ///< required for decoupling ops
+    unsigned queue_base = 0;  ///< program queue ids are offset by this
+};
+
+/** Run @p prog on @p env.core; returns when the program finishes. */
+sim::Task<void> interpret(const Program &prog, ExecEnv env);
+
+/**
+ * Functional (zero-time) reference execution against process memory; used
+ * by tests to check that timed execution computes the same values.
+ * Decoupling ops are not supported here.
+ */
+void interpretFunctional(const Program &prog, os::Process &proc);
+
+}  // namespace maple::kern

@@ -1,0 +1,112 @@
+#include "kern/ir.hpp"
+
+#include <sstream>
+
+namespace maple::kern {
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Const: return "const";
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::Mul: return "mul";
+      case Op::Shl: return "shl";
+      case Op::MulF32: return "mulf32";
+      case Op::AddF32: return "addf32";
+      case Op::Load: return "load";
+      case Op::Store: return "store";
+      case Op::Prefetch: return "prefetch";
+      case Op::LoopBegin: return "loop";
+      case Op::LoopEnd: return "endloop";
+      case Op::Produce: return "produce";
+      case Op::ProducePtr: return "produce_ptr";
+      case Op::Consume: return "consume";
+    }
+    return "?";
+}
+
+bool
+Program::wellFormed(std::string *why) const
+{
+    auto fail = [why](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+    int depth = 0;
+    for (size_t i = 0; i < code.size(); ++i) {
+        const Inst &in = code[i];
+        auto check_reg = [&](Reg r, bool required) {
+            if (!required && r == kNoReg)
+                return true;
+            return r >= 0 && r < num_regs;
+        };
+        switch (in.op) {
+          case Op::LoopBegin:
+            ++depth;
+            if (!check_reg(in.dst, true) || !check_reg(in.a, true) ||
+                !check_reg(in.b, true))
+                return fail("bad loop registers at " + std::to_string(i));
+            break;
+          case Op::LoopEnd:
+            if (--depth < 0)
+                return fail("unbalanced endloop at " + std::to_string(i));
+            break;
+          case Op::Store:
+            if (!check_reg(in.a, true) || !check_reg(in.b, true))
+                return fail("bad store registers at " + std::to_string(i));
+            break;
+          case Op::Prefetch:
+          case Op::Produce:
+          case Op::ProducePtr:
+            if (!check_reg(in.a, true))
+                return fail("bad operand at " + std::to_string(i));
+            break;
+          case Op::Const:
+          case Op::Consume:
+            if (!check_reg(in.dst, true))
+                return fail("bad destination at " + std::to_string(i));
+            break;
+          default:
+            if (!check_reg(in.dst, true) || !check_reg(in.a, true))
+                return fail("bad registers at " + std::to_string(i));
+            break;
+        }
+    }
+    if (depth != 0)
+        return fail("unclosed loop");
+    return true;
+}
+
+std::string
+disassemble(const Program &p)
+{
+    std::ostringstream os;
+    int indent = 0;
+    for (size_t i = 0; i < p.code.size(); ++i) {
+        const Inst &in = p.code[i];
+        if (in.op == Op::LoopEnd)
+            --indent;
+        for (int k = 0; k < indent; ++k)
+            os << "  ";
+        os << opName(in.op);
+        if (in.dst != kNoReg)
+            os << " r" << in.dst;
+        if (in.a != kNoReg)
+            os << (in.dst != kNoReg ? ", r" : " r") << in.a;
+        if (in.b != kNoReg)
+            os << ", r" << in.b;
+        if (in.op == Op::Const || in.op == Op::Shl)
+            os << ", #" << in.imm;
+        if (in.op == Op::Produce || in.op == Op::ProducePtr || in.op == Op::Consume)
+            os << "  @q" << unsigned(in.queue);
+        os << "\n";
+        if (in.op == Op::LoopBegin)
+            ++indent;
+    }
+    return os.str();
+}
+
+}  // namespace maple::kern

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * A small structured IR for memory-bound kernels, standing in for the LLVM
+ * level at which the paper's automatic transformations operate (Section 3.3,
+ * Figure 5). Programs are lists of instructions over virtual registers with
+ * structured counted loops; the slicer (slicer.hpp) decomposes a program
+ * into Access and Execute slices that communicate through MAPLE queues, and
+ * passes.hpp implements the software-prefetch insertion transform.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/log.hpp"
+#include "sim/types.hpp"
+
+namespace maple::kern {
+
+using Reg = int;
+inline constexpr Reg kNoReg = -1;
+
+enum class Op : std::uint8_t {
+    Const,      ///< dst = imm
+    Add,        ///< dst = a + b
+    Sub,        ///< dst = a - b
+    Mul,        ///< dst = a * b
+    Shl,        ///< dst = a << imm
+    MulF32,     ///< dst = f32(a) * f32(b)   (bit-pattern floats)
+    AddF32,     ///< dst = f32(a) + f32(b)
+    Load,       ///< dst = mem[a], width = size
+    Store,      ///< mem[a] = b, width = size
+    Prefetch,   ///< software prefetch of mem[a] into the L1
+    LoopBegin,  ///< for (dst = a; dst < b; ++dst)
+    LoopEnd,    ///< closes the innermost open loop
+    // Decoupling ops, emitted by the slicer:
+    Produce,     ///< push reg a into queue
+    ProducePtr,  ///< push pointer reg a into queue (MAPLE fetches it)
+    Consume,     ///< dst = pop from queue
+};
+
+struct Inst {
+    Op op;
+    Reg dst = kNoReg;
+    Reg a = kNoReg;
+    Reg b = kNoReg;
+    std::uint64_t imm = 0;
+    std::uint8_t size = 4;   ///< access width for Load/Store
+    std::uint8_t queue = 0;  ///< queue id for Produce/Consume ops
+};
+
+/** A straight-line program with structured loops. */
+struct Program {
+    std::vector<Inst> code;
+    int num_regs = 0;
+
+    /** Structural checks: loop balance, register ranges. */
+    bool wellFormed(std::string *why = nullptr) const;
+};
+
+/** Convenience builder used by tests, examples and the kernel library. */
+class Builder {
+  public:
+    Reg
+    reg()
+    {
+        return prog_.num_regs++;
+    }
+
+    Reg
+    constant(std::uint64_t v)
+    {
+        Reg r = reg();
+        prog_.code.push_back({Op::Const, r, kNoReg, kNoReg, v, 4, 0});
+        return r;
+    }
+
+    Reg
+    binary(Op op, Reg a, Reg b)
+    {
+        Reg r = reg();
+        prog_.code.push_back({op, r, a, b, 0, 4, 0});
+        return r;
+    }
+
+    Reg add(Reg a, Reg b) { return binary(Op::Add, a, b); }
+    Reg sub(Reg a, Reg b) { return binary(Op::Sub, a, b); }
+    Reg mul(Reg a, Reg b) { return binary(Op::Mul, a, b); }
+    Reg mulF32(Reg a, Reg b) { return binary(Op::MulF32, a, b); }
+    Reg addF32(Reg a, Reg b) { return binary(Op::AddF32, a, b); }
+
+    Reg
+    shl(Reg a, unsigned bits)
+    {
+        Reg r = reg();
+        prog_.code.push_back({Op::Shl, r, a, kNoReg, bits, 4, 0});
+        return r;
+    }
+
+    Reg
+    load(Reg addr, unsigned size = 4)
+    {
+        Reg r = reg();
+        prog_.code.push_back(
+            {Op::Load, r, addr, kNoReg, 0, static_cast<std::uint8_t>(size), 0});
+        return r;
+    }
+
+    void
+    store(Reg addr, Reg value, unsigned size = 4)
+    {
+        prog_.code.push_back({Op::Store, kNoReg, addr, value, 0,
+                              static_cast<std::uint8_t>(size), 0});
+    }
+
+    Reg
+    loopBegin(Reg lo, Reg hi)
+    {
+        Reg r = reg();
+        prog_.code.push_back({Op::LoopBegin, r, lo, hi, 0, 4, 0});
+        return r;
+    }
+
+    void loopEnd() { prog_.code.push_back({Op::LoopEnd}); }
+
+    Program
+    take()
+    {
+        MAPLE_ASSERT(prog_.wellFormed(), "builder produced malformed program");
+        return std::move(prog_);
+    }
+
+  private:
+    Program prog_;
+};
+
+const char *opName(Op op);
+
+/** Human-readable disassembly (tests and debugging). */
+std::string disassemble(const Program &p);
+
+}  // namespace maple::kern

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Canonical IR kernels used by tests, benches and examples -- including the
+ * paper's Figure 5 kernel res[i] = A[B[i]] * C[i].
+ *
+ * Note on software-prefetch padding: insertSoftwarePrefetch() emits an
+ * unguarded load of B[i+distance], so callers running that transform must
+ * allocate the index array with at least `distance` elements of slack.
+ */
+#pragma once
+
+#include "kern/ir.hpp"
+
+namespace maple::kern {
+
+/** Register handles to a kernel's runtime parameters (set via Const). */
+struct GatherKernel {
+    Program prog;
+    size_t pc_a, pc_b, pc_c, pc_res, pc_n;  ///< Const insts to patch
+};
+
+/**
+ * Figure 5: for (i = 0; i < n; i++) res[i] = A[B[i]] * C[i]
+ * A, B, C, res are arrays of 4-byte elements; bases patched at run time.
+ */
+inline GatherKernel
+makeGatherMultiply()
+{
+    GatherKernel k;
+    Builder b;
+    Reg a_base = b.constant(0);
+    k.pc_a = 0;
+    Reg b_base = b.constant(0);
+    k.pc_b = 1;
+    Reg c_base = b.constant(0);
+    k.pc_c = 2;
+    Reg res_base = b.constant(0);
+    k.pc_res = 3;
+    Reg n = b.constant(0);
+    k.pc_n = 4;
+    Reg zero = b.constant(0);
+
+    Reg i = b.loopBegin(zero, n);
+    Reg off = b.shl(i, 2);
+    Reg baddr = b.add(b_base, off);
+    Reg idx = b.load(baddr, 4);            // B[i] (sequential)
+    Reg aoff = b.shl(idx, 2);
+    Reg aaddr = b.add(a_base, aoff);
+    Reg av = b.load(aaddr, 4);             // A[B[i]] (the IMA)
+    Reg caddr = b.add(c_base, off);
+    Reg cv = b.load(caddr, 4);             // C[i] (sequential, execute-only)
+    Reg prod = b.mulF32(av, cv);
+    Reg raddr = b.add(res_base, off);
+    b.store(raddr, prod, 4);
+    b.loopEnd();
+    k.prog = b.take();
+    return k;
+}
+
+/**
+ * RMW scatter: for (i = 0; i < n; i++) Y[B[i]] += C[i]
+ * The indirect access is a read-modify-write; the slicer must refuse it.
+ */
+inline GatherKernel
+makeRmwScatter()
+{
+    GatherKernel k;
+    Builder b;
+    Reg y_base = b.constant(0);
+    k.pc_a = 0;
+    Reg b_base = b.constant(0);
+    k.pc_b = 1;
+    Reg c_base = b.constant(0);
+    k.pc_c = 2;
+    k.pc_res = 0;  // unused
+    Reg n = b.constant(0);
+    k.pc_n = 3;
+    Reg zero = b.constant(0);
+
+    Reg i = b.loopBegin(zero, n);
+    Reg off = b.shl(i, 2);
+    Reg baddr = b.add(b_base, off);
+    Reg idx = b.load(baddr, 4);
+    Reg yoff = b.shl(idx, 2);
+    Reg yaddr = b.add(y_base, yoff);
+    Reg yv = b.load(yaddr, 4);             // IMA...
+    Reg caddr = b.add(c_base, off);
+    Reg cv = b.load(caddr, 4);
+    Reg sum = b.addF32(yv, cv);
+    b.store(yaddr, sum, 4);                // ...that is also stored: RMW
+    b.loopEnd();
+    k.prog = b.take();
+    return k;
+}
+
+/**
+ * Dense sum: for (i = 0; i < n; i++) res[i] = A[i] + C[i]
+ * No indirect access at all; the slicer must fall back to doall.
+ */
+inline GatherKernel
+makeDenseAdd()
+{
+    GatherKernel k;
+    Builder b;
+    Reg a_base = b.constant(0);
+    k.pc_a = 0;
+    Reg c_base = b.constant(0);
+    k.pc_c = 1;
+    Reg res_base = b.constant(0);
+    k.pc_res = 2;
+    k.pc_b = 0;  // unused
+    Reg n = b.constant(0);
+    k.pc_n = 3;
+    Reg zero = b.constant(0);
+
+    Reg i = b.loopBegin(zero, n);
+    Reg off = b.shl(i, 2);
+    Reg av = b.load(b.add(a_base, off), 4);
+    Reg cv = b.load(b.add(c_base, off), 4);
+    Reg sum = b.addF32(av, cv);
+    b.store(b.add(res_base, off), sum, 4);
+    b.loopEnd();
+    k.prog = b.take();
+    return k;
+}
+
+/** Register handles for the CSR SPMV kernel's parameters. */
+struct SpmvKernel {
+    Program prog;
+    size_t pc_row_ptr, pc_col, pc_vals, pc_x, pc_y, pc_rows;
+};
+
+/**
+ * CSR sparse matrix-vector product with a nested loop:
+ *
+ *   for (r = 0; r < rows; ++r)
+ *     for (j = row_ptr[r]; j < row_ptr[r+1]; ++j)
+ *       y[r] += vals[j] * x[col[j]]
+ *
+ * Exercises the slicer's hard cases: the inner-loop bounds are themselves
+ * *loads* (jb/je must be duplicated into both slices), col[j] is an
+ * access-only feeder, x[col[j]] is the terminal IMA, and the y accumulation
+ * is a (regular, non-indirect) read-modify-write that stays in Execute.
+ */
+inline SpmvKernel
+makeSpmvIr()
+{
+    SpmvKernel k;
+    Builder b;
+    Reg row_ptr = b.constant(0);
+    k.pc_row_ptr = 0;
+    Reg col = b.constant(0);
+    k.pc_col = 1;
+    Reg vals = b.constant(0);
+    k.pc_vals = 2;
+    Reg x = b.constant(0);
+    k.pc_x = 3;
+    Reg y = b.constant(0);
+    k.pc_y = 4;
+    Reg rows = b.constant(0);
+    k.pc_rows = 5;
+    Reg zero = b.constant(0);
+    Reg four = b.constant(4);
+
+    Reg r = b.loopBegin(zero, rows);
+    Reg off_r = b.shl(r, 2);
+    Reg rp_addr = b.add(row_ptr, off_r);
+    Reg jb = b.load(rp_addr, 4);                 // inner lower bound (load!)
+    Reg je = b.load(b.add(rp_addr, four), 4);    // inner upper bound (load!)
+    Reg yaddr = b.add(y, off_r);
+    Reg j = b.loopBegin(jb, je);
+    Reg off_j = b.shl(j, 2);
+    Reg c = b.load(b.add(col, off_j), 4);        // feeds the IMA address
+    Reg v = b.load(b.add(vals, off_j), 4);       // execute-only stream
+    Reg xv = b.load(b.add(x, b.shl(c, 2)), 4);   // the terminal IMA
+    Reg prod = b.mulF32(v, xv);
+    Reg yv = b.load(yaddr, 4);                   // regular RMW accumulator
+    Reg acc = b.addF32(yv, prod);
+    b.store(yaddr, acc, 4);
+    b.loopEnd();
+    b.loopEnd();
+    k.prog = b.take();
+    return k;
+}
+
+/** Patch a Const instruction's immediate (kernel parameter binding). */
+inline void
+patchConst(Program &p, size_t pc, std::uint64_t value)
+{
+    MAPLE_ASSERT(pc < p.code.size() && p.code[pc].op == Op::Const,
+                 "patch target is not a Const");
+    p.code[pc].imm = value;
+}
+
+}  // namespace maple::kern

@@ -1,0 +1,448 @@
+#include "kern/slicer.hpp"
+#include <functional>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sim/log.hpp"
+
+namespace maple::kern {
+
+namespace {
+
+/** Per-program dataflow facts shared by the slicer and the prefetch pass. */
+struct Analysis {
+    const Program &prog;
+    std::vector<int> def;          ///< reg -> defining instruction (or -1)
+    std::vector<bool> ima;         ///< inst -> is an indirect load
+    std::vector<std::set<int>> reg_load_taint;  ///< reg -> feeding load insts
+
+    explicit Analysis(const Program &p) : prog(p)
+    {
+        def.assign(p.num_regs, -1);
+        ima.assign(p.code.size(), false);
+        reg_load_taint.assign(p.num_regs, {});
+
+        for (size_t i = 0; i < p.code.size(); ++i) {
+            const Inst &in = p.code[i];
+            if (in.dst != kNoReg) {
+                MAPLE_ASSERT(def[in.dst] == -1,
+                             "slicer requires single-assignment registers");
+                def[in.dst] = static_cast<int>(i);
+            }
+            // Forward load-taint propagation (code is in execution order for
+            // straight-line bodies; loop back-edges cannot introduce new
+            // taint sources in our single-assignment IR).
+            auto taint_of = [&](Reg r) -> std::set<int> {
+                return r == kNoReg ? std::set<int>{} : reg_load_taint[r];
+            };
+            switch (in.op) {
+              case Op::Load: {
+                if (!taint_of(in.a).empty())
+                    ima[i] = true;  // address depends on a loaded value
+                reg_load_taint[in.dst] = {static_cast<int>(i)};
+                break;
+              }
+              case Op::Store:
+              case Op::Prefetch:
+              case Op::LoopEnd:
+                break;
+              case Op::LoopBegin:
+                // Induction variables do not carry data taint even when the
+                // loop *bounds* are loaded (e.g. CSR row pointers): accesses
+                // strided by the induction variable are unit-stride streams,
+                // not indirect accesses.
+                break;
+              default:
+                if (in.dst != kNoReg) {
+                    std::set<int> t = taint_of(in.a);
+                    std::set<int> tb = taint_of(in.b);
+                    t.insert(tb.begin(), tb.end());
+                    reg_load_taint[in.dst] = std::move(t);
+                }
+                break;
+            }
+        }
+    }
+
+    /** Registers read by instruction @p i. */
+    std::vector<Reg>
+    operands(size_t i) const
+    {
+        const Inst &in = prog.code[i];
+        std::vector<Reg> regs;
+        switch (in.op) {
+          case Op::Const:
+            break;
+          case Op::LoopEnd:
+            break;
+          case Op::Store:
+            regs = {in.a, in.b};
+            break;
+          case Op::Shl:
+          case Op::Prefetch:
+          case Op::Produce:
+          case Op::ProducePtr:
+            regs = {in.a};
+            break;
+          case Op::Load:
+            regs = {in.a};
+            break;
+          case Op::Consume:
+            break;
+          default:
+            regs = {in.a, in.b};
+            break;
+        }
+        regs.erase(std::remove(regs.begin(), regs.end(), kNoReg), regs.end());
+        return regs;
+    }
+
+    /**
+     * Backward closure of instructions needed to produce @p seeds, stopping
+     * at registers in @p cut (their defs are replaced in the target slice).
+     */
+    std::set<int>
+    needClosure(const std::set<Reg> &seeds, const std::set<Reg> &cut) const
+    {
+        std::set<int> needed;
+        std::vector<Reg> work(seeds.begin(), seeds.end());
+        std::set<Reg> seen;
+        while (!work.empty()) {
+            Reg r = work.back();
+            work.pop_back();
+            if (r == kNoReg || seen.count(r) || cut.count(r))
+                continue;
+            seen.insert(r);
+            int d = def[r];
+            if (d < 0)
+                continue;
+            needed.insert(d);
+            for (Reg op : operands(d))
+                work.push_back(op);
+        }
+        return needed;
+    }
+};
+
+}  // namespace
+
+SliceResult
+sliceProgram(const Program &prog)
+{
+    SliceResult res;
+    std::string why;
+    if (!prog.wellFormed(&why)) {
+        res.reason = "malformed program: " + why;
+        return res;
+    }
+    Analysis an(prog);
+
+    // Collect loads / stores and detect the decoupling opportunities.
+    std::vector<size_t> ima_loads;
+    std::set<Reg> store_addr_regs;
+    for (size_t i = 0; i < prog.code.size(); ++i) {
+        const Inst &in = prog.code[i];
+        if (in.op == Op::Load && an.ima[i])
+            ima_loads.push_back(i);
+        if (in.op == Op::Store)
+            store_addr_regs.insert(in.a);
+    }
+    if (ima_loads.empty()) {
+        res.reason = "no indirect memory access found";
+        return res;
+    }
+
+    // RMW detection: an indirect load whose address register is also used
+    // as a store address means load-store aliasing within the iteration.
+    for (size_t li : ima_loads) {
+        if (store_addr_regs.count(prog.code[li].a)) {
+            res.reason = "indirect access is a read-modify-write";
+            return res;
+        }
+    }
+
+    // Classify every load.
+    //  - Terminal:      IMA whose value only Execute uses -> PRODUCE_PTR.
+    //  - SharedForward: IMA needed by both sides -> Access loads + PRODUCEs.
+    //  - Duplicate:     cache-friendly load needed by both sides -> both
+    //                   slices perform it (cheaper than a queue transfer;
+    //                   this is what the loop bounds jb/je of a CSR kernel
+    //                   become).
+    //  - AccessOnly / ExecuteOnly: stays in one slice.
+    enum class LoadKind { Terminal, SharedForward, Duplicate, AccessOnly,
+                          ExecuteOnly };
+    std::map<size_t, LoadKind> load_kind;
+
+    // A load's value is "needed by access" when it taints any load address,
+    // store address, or loop bound.
+    std::set<int> addr_feeding_loads;
+    auto absorb = [&](Reg r) {
+        if (r == kNoReg)
+            return;
+        for (int l : an.reg_load_taint[r])
+            addr_feeding_loads.insert(l);
+    };
+    for (size_t i = 0; i < prog.code.size(); ++i) {
+        const Inst &in = prog.code[i];
+        if (in.op == Op::Load || in.op == Op::Store)
+            absorb(in.a);
+        if (in.op == Op::LoopBegin) {
+            absorb(in.a);
+            absorb(in.b);
+        }
+    }
+
+    // A load's value is "needed by execute" when it taints a store value.
+    std::set<int> value_feeding_loads;
+    for (size_t i = 0; i < prog.code.size(); ++i) {
+        const Inst &in = prog.code[i];
+        if (in.op == Op::Store) {
+            for (int l : an.reg_load_taint[in.b])
+                value_feeding_loads.insert(l);
+        }
+    }
+
+    // Pass 1: terminal candidates, from taint facts alone.
+    unsigned decoupled_count = 0;
+    std::set<Reg> terminal_cut;
+    for (size_t i = 0; i < prog.code.size(); ++i) {
+        if (prog.code[i].op != Op::Load)
+            continue;
+        bool by_access = addr_feeding_loads.count(static_cast<int>(i)) != 0;
+        bool by_exec_value = value_feeding_loads.count(static_cast<int>(i)) != 0;
+        if (an.ima[i] && !by_access && by_exec_value) {
+            if (prog.code[i].size != 4) {
+                res.reason = "indirect access wider than a queue entry";
+                return res;
+            }
+            load_kind[i] = LoadKind::Terminal;  // -> PRODUCE_PTR / CONSUME
+            terminal_cut.insert(prog.code[i].dst);
+            ++decoupled_count;
+        }
+    }
+    if (decoupled_count == 0) {
+        res.reason = "no decoupleable indirect load";
+        return res;
+    }
+
+    // Execute's seeds: store operands, loop bounds (the slices share the
+    // loop structure), and later its own loads' addresses via the closure.
+    std::set<Reg> exec_seeds;
+    for (size_t i = 0; i < prog.code.size(); ++i) {
+        const Inst &in = prog.code[i];
+        if (in.op == Op::LoopBegin) {
+            exec_seeds.insert(in.a);
+            exec_seeds.insert(in.b);
+        } else if (in.op == Op::Store) {
+            exec_seeds.insert(in.a);
+            exec_seeds.insert(in.b);
+        }
+    }
+
+    // Pass 2: everything Execute can reach with terminals cut determines
+    // which remaining loads it needs; loads also needed by Access become
+    // SharedForward (IMA: forward through the queue) or Duplicate (cache-
+    // friendly: both slices load, e.g. CSR row bounds).
+    std::set<int> exec_reach = an.needClosure(exec_seeds, terminal_cut);
+    std::set<Reg> exec_cut = terminal_cut;
+    for (size_t i = 0; i < prog.code.size(); ++i) {
+        if (prog.code[i].op != Op::Load || load_kind.count(i))
+            continue;
+        bool by_access = addr_feeding_loads.count(static_cast<int>(i)) != 0;
+        bool exec_needs = exec_reach.count(static_cast<int>(i)) != 0;
+        if (by_access && exec_needs) {
+            if (an.ima[i]) {
+                if (prog.code[i].size != 4) {
+                    res.reason = "forwarded value wider than a queue entry";
+                    return res;
+                }
+                load_kind[i] = LoadKind::SharedForward;
+                exec_cut.insert(prog.code[i].dst);
+            } else {
+                load_kind[i] = LoadKind::Duplicate;
+            }
+        } else if (by_access) {
+            load_kind[i] = LoadKind::AccessOnly;
+        } else {
+            // Cache-friendly, execute-only load: stays in Execute (Fig. 5).
+            load_kind[i] = LoadKind::ExecuteOnly;
+        }
+    }
+
+    // Final need sets with the complete cut set.
+    std::set<Reg> access_seeds;
+    for (size_t i = 0; i < prog.code.size(); ++i) {
+        const Inst &in = prog.code[i];
+        if (in.op == Op::LoopBegin) {
+            access_seeds.insert(in.a);
+            access_seeds.insert(in.b);
+        } else if (in.op == Op::Load) {
+            if (load_kind[i] != LoadKind::ExecuteOnly)
+                access_seeds.insert(in.a);
+        }
+    }
+    std::set<int> access_need = an.needClosure(access_seeds, {});
+    std::set<int> exec_need = an.needClosure(exec_seeds, exec_cut);
+
+    // Emit both slices, preserving instruction (and therefore queue) order.
+    res.access.num_regs = prog.num_regs;
+    res.execute.num_regs = prog.num_regs;
+    for (size_t i = 0; i < prog.code.size(); ++i) {
+        const Inst &in = prog.code[i];
+        switch (in.op) {
+          case Op::LoopBegin:
+          case Op::LoopEnd:
+            res.access.code.push_back(in);
+            res.execute.code.push_back(in);
+            break;
+          case Op::Store:
+            res.execute.code.push_back(in);
+            break;
+          case Op::Prefetch:
+            break;  // slicing supersedes software prefetching
+          case Op::Load:
+            switch (load_kind[i]) {
+              case LoadKind::Terminal: {
+                Inst pp{Op::ProducePtr, kNoReg, in.a, kNoReg, 0, in.size, 0};
+                res.access.code.push_back(pp);
+                Inst cons{Op::Consume, in.dst, kNoReg, kNoReg, 0, in.size, 0};
+                res.execute.code.push_back(cons);
+                break;
+              }
+              case LoadKind::SharedForward: {
+                res.access.code.push_back(in);
+                Inst pr{Op::Produce, kNoReg, in.dst, kNoReg, 0, in.size, 0};
+                res.access.code.push_back(pr);
+                Inst cons{Op::Consume, in.dst, kNoReg, kNoReg, 0, in.size, 0};
+                res.execute.code.push_back(cons);
+                break;
+              }
+              case LoadKind::Duplicate:
+                res.access.code.push_back(in);
+                res.execute.code.push_back(in);
+                break;
+              case LoadKind::AccessOnly:
+                res.access.code.push_back(in);
+                break;
+              case LoadKind::ExecuteOnly:
+                res.execute.code.push_back(in);
+                break;
+            }
+            break;
+          default:
+            if (access_need.count(static_cast<int>(i)))
+                res.access.code.push_back(in);
+            if (exec_need.count(static_cast<int>(i)))
+                res.execute.code.push_back(in);
+            break;
+        }
+    }
+
+    MAPLE_ASSERT(res.access.wellFormed() && res.execute.wellFormed(),
+                 "slicer emitted malformed code");
+    res.decoupled = true;
+    res.queues_used = 1;
+    return res;
+}
+
+Program
+insertSoftwarePrefetch(const Program &prog, unsigned distance)
+{
+    Analysis an(prog);
+
+    // Find the canonical pattern: an index load whose address is
+    // base + f(loop_var), feeding exactly the address of an indirect load.
+    // For each such pair, emit (at the indirect load):
+    //   i' = i + distance; addrB' = clone(addrB)[i := i'];
+    //   idx' = load addrB'; addrA' = clone(addrA)[idx := idx'];
+    //   prefetch addrA'
+    Program out;
+    out.num_regs = prog.num_regs;
+
+    // Helper: clone the def-chain of @p r with substitution map @p sub,
+    // appending cloned instructions to @p out. Returns the cloned register.
+    std::function<Reg(Reg, std::map<Reg, Reg> &)> clone =
+        [&](Reg r, std::map<Reg, Reg> &sub) -> Reg {
+        if (auto it = sub.find(r); it != sub.end())
+            return it->second;
+        int d = an.def[r];
+        if (d < 0)
+            return r;  // undefined (external) register: use as-is
+        const Inst &in = prog.code[d];
+        if (in.op == Op::LoopBegin)
+            return r;  // loop vars are only replaced via the substitution map
+        Inst copy = in;
+        copy.dst = out.num_regs++;
+        if (copy.a != kNoReg && in.op != Op::Const)
+            copy.a = clone(in.a, sub);
+        if (copy.b != kNoReg)
+            copy.b = clone(in.b, sub);
+        out.code.push_back(copy);
+        sub[r] = copy.dst;
+        return copy.dst;
+    };
+
+    for (size_t i = 0; i < prog.code.size(); ++i) {
+        const Inst &in = prog.code[i];
+        if (in.op == Op::Load && an.ima[i]) {
+            // The taint set of the address names the index load(s).
+            const std::set<int> &feeders = an.reg_load_taint[in.a];
+            if (feeders.size() == 1) {
+                size_t bi = static_cast<size_t>(*feeders.begin());
+                const Inst &bload = prog.code[bi];
+                // Find the loop variable the index-load address depends on.
+                Reg loop_var = kNoReg;
+                for (size_t k = 0; k < prog.code.size(); ++k) {
+                    if (prog.code[k].op == Op::LoopBegin) {
+                        std::map<Reg, Reg> probe{{prog.code[k].dst, prog.code[k].dst}};
+                        // Cheap dependence test: does addr's chain reach dst?
+                        std::set<Reg> seen;
+                        std::vector<Reg> work{bload.a};
+                        while (!work.empty()) {
+                            Reg r = work.back();
+                            work.pop_back();
+                            if (r == kNoReg || seen.count(r))
+                                continue;
+                            seen.insert(r);
+                            if (r == prog.code[k].dst) {
+                                loop_var = r;
+                                break;
+                            }
+                            int d = an.def[r];
+                            if (d >= 0)
+                                for (Reg op : an.operands(d))
+                                    work.push_back(op);
+                        }
+                        if (loop_var != kNoReg)
+                            break;
+                    }
+                }
+                if (loop_var != kNoReg) {
+                    // i' = i + distance
+                    Reg dist = out.num_regs++;
+                    out.code.push_back({Op::Const, dist, kNoReg, kNoReg,
+                                        distance, 4, 0});
+                    Reg ip = out.num_regs++;
+                    out.code.push_back({Op::Add, ip, loop_var, dist, 0, 4, 0});
+                    std::map<Reg, Reg> sub{{loop_var, ip}};
+                    Reg baddr2 = clone(bload.a, sub);
+                    Reg idx2 = out.num_regs++;
+                    out.code.push_back({Op::Load, idx2, baddr2, kNoReg, 0,
+                                        bload.size, 0});
+                    std::map<Reg, Reg> sub2{{bload.dst, idx2}};
+                    Reg aaddr2 = clone(in.a, sub2);
+                    out.code.push_back({Op::Prefetch, kNoReg, aaddr2, kNoReg,
+                                        0, in.size, 0});
+                }
+            }
+        }
+        out.code.push_back(in);
+    }
+    MAPLE_ASSERT(out.wellFormed(), "prefetch pass emitted malformed code");
+    return out;
+}
+
+}  // namespace maple::kern

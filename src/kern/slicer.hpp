@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Automatic access/execute program slicing (Section 3.3, Figure 5).
+ *
+ * Mirrors the DeSC/DEC++ compiler flow the paper adapts: the program is
+ * sliced into an Access program (address computation + memory access) and an
+ * Execute program (value computation + stores) communicating through one
+ * MAPLE queue.
+ *
+ *  - Indirect loads (loads whose address depends on another load's value)
+ *    whose values feed only the Execute side become PRODUCE_PTR in Access
+ *    and CONSUME in Execute: MAPLE fetches the data asynchronously.
+ *  - Access-side loads whose values Execute also needs are loaded by Access
+ *    and forwarded with PRODUCE.
+ *  - Cache-friendly loads used only by Execute stay in Execute (Figure 5
+ *    keeps C[i] there).
+ *  - Kernels whose indirect accesses are read-modify-writes (the loaded
+ *    location is also stored in the same iteration -- SPMM) *cannot* be
+ *    decoupled; the slicer reports a fallback to doall, exactly as the
+ *    paper describes.
+ */
+#pragma once
+
+#include <string>
+
+#include "kern/ir.hpp"
+
+namespace maple::kern {
+
+struct SliceResult {
+    bool decoupled = false;
+    std::string reason;   ///< set when decoupled == false
+    Program access;
+    Program execute;
+    unsigned queues_used = 0;  ///< number of MAPLE queues the pair needs
+};
+
+/** Slice @p prog; on failure the result carries the fallback reason. */
+SliceResult sliceProgram(const Program &prog);
+
+/**
+ * Software-prefetch insertion pass (Ainsworth & Jones-style): for each
+ * indirect load B-then-A pattern inside a loop, emit code that loads
+ * B[i+distance], recomputes A's address and prefetches it. Returns the
+ * transformed program (the original if no pattern matched).
+ */
+Program insertSoftwarePrefetch(const Program &prog, unsigned distance);
+
+}  // namespace maple::kern

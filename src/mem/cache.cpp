@@ -1,0 +1,188 @@
+#include "mem/cache.hpp"
+
+#include "sim/log.hpp"
+
+namespace maple::mem {
+
+Cache::Cache(sim::EventQueue &eq, CacheParams params, TimedMem &downstream)
+    : eq_(eq), params_(std::move(params)), downstream_(downstream),
+      stats_(params_.name)
+{
+    MAPLE_ASSERT(params_.assoc > 0 && params_.size_bytes > 0);
+    MAPLE_ASSERT(params_.size_bytes % (params_.assoc * kLineSize) == 0,
+                 "cache size must be a multiple of assoc * line size");
+    num_sets_ = params_.size_bytes / (params_.assoc * kLineSize);
+    MAPLE_ASSERT((num_sets_ & (num_sets_ - 1)) == 0, "set count must be a power of two");
+    sets_.assign(num_sets_, std::vector<Way>(params_.assoc));
+}
+
+size_t
+Cache::setIndex(sim::Addr line) const
+{
+    return static_cast<size_t>((line >> kLineShift) & (num_sets_ - 1));
+}
+
+Cache::Way *
+Cache::lookup(sim::Addr line)
+{
+    for (Way &w : sets_[setIndex(line)]) {
+        if (w.valid && w.tag == line)
+            return &w;
+    }
+    return nullptr;
+}
+
+const Cache::Way *
+Cache::lookupConst(sim::Addr line) const
+{
+    for (const Way &w : sets_[setIndex(line)]) {
+        if (w.valid && w.tag == line)
+            return &w;
+    }
+    return nullptr;
+}
+
+void
+Cache::touch(Way &way)
+{
+    way.lru = lru_clock_++;
+}
+
+Cache::Way &
+Cache::selectVictim(size_t set)
+{
+    Way *victim = &sets_[set][0];
+    for (Way &w : sets_[set]) {
+        if (!w.valid)
+            return w;
+        if (w.lru < victim->lru)
+            victim = &w;
+    }
+    return *victim;
+}
+
+bool
+Cache::probe(sim::Addr paddr) const
+{
+    return lookupConst(lineBase(paddr)) != nullptr;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &set : sets_)
+        for (Way &w : set)
+            w = Way{};
+}
+
+void
+Cache::prefetch(sim::Addr paddr)
+{
+    sim::spawn(access(lineBase(paddr), kLineSize, AccessKind::Prefetch));
+}
+
+sim::Task<void>
+Cache::access(sim::Addr paddr, std::uint32_t size, AccessKind kind)
+{
+    MAPLE_ASSERT(size > 0);
+    sim::Addr first = lineBase(paddr);
+    sim::Addr last = lineBase(paddr + size - 1);
+    for (sim::Addr line = first; line <= last; line += kLineSize)
+        co_await accessLine(line, kind);
+}
+
+sim::Task<void>
+Cache::accessLine(sim::Addr line, AccessKind kind)
+{
+    co_await sim::delay(eq_, params_.hit_latency);
+
+    bool demand = kind != AccessKind::Prefetch;
+    if (Way *w = lookup(line)) {
+        touch(*w);
+        if (kind == AccessKind::Write)
+            w->dirty = true;
+        stats_.counter(demand ? "demand_hits" : "prefetch_hits").inc();
+        co_return;
+    }
+    stats_.counter(demand ? "demand_misses" : "prefetch_misses").inc();
+
+    bool dropped = false;
+    co_await handleMiss(line, kind, dropped);
+    if (dropped)
+        co_return;
+
+    // The fill installed the line; a concurrent eviction between resumptions
+    // is possible but benign for a timing model -- treat it as present.
+    if (kind == AccessKind::Write) {
+        if (Way *w = lookup(line))
+            w->dirty = true;
+    }
+}
+
+sim::Task<void>
+Cache::handleMiss(sim::Addr line, AccessKind kind, bool &dropped)
+{
+    // Merge into an in-flight fill for the same line.
+    if (auto it = mshrs_.find(line); it != mshrs_.end()) {
+        stats_.counter("mshr_merges").inc();
+        sim::Signal fill = it->second;
+        co_await fill;
+        co_return;
+    }
+
+    // Wait for a free MSHR; prefetches are dropped instead of waiting.
+    while (mshrs_.size() >= params_.mshrs) {
+        if (kind == AccessKind::Prefetch) {
+            stats_.counter("prefetch_drops").inc();
+            dropped = true;
+            co_return;
+        }
+        stats_.counter("mshr_stalls").inc();
+        sim::Signal wait = mshr_wait_;
+        co_await wait;
+        // Re-check everything after waking: the line may have been installed
+        // or an MSHR for it allocated while we slept.
+        if (lookup(line))
+            co_return;
+        if (auto it = mshrs_.find(line); it != mshrs_.end()) {
+            sim::Signal fill = it->second;
+            co_await fill;
+            co_return;
+        }
+    }
+
+    sim::Signal fill_done;
+    mshrs_.emplace(line, fill_done);
+
+    co_await downstream_.access(line, kLineSize, AccessKind::Read);
+
+    size_t set = setIndex(line);
+    Way &victim = selectVictim(set);
+    if (victim.valid) {
+        stats_.counter("evictions").inc();
+        if (victim.dirty) {
+            stats_.counter("writebacks").inc();
+            // Writeback consumes downstream bandwidth but nobody waits on it.
+            sim::spawn(downstream_.access(victim.tag, kLineSize, AccessKind::Write));
+        }
+    }
+    victim.tag = line;
+    victim.valid = true;
+    victim.dirty = false;
+    touch(victim);
+    if (kind == AccessKind::Prefetch)
+        stats_.counter("prefetch_fills").inc();
+
+    mshrs_.erase(line);
+    wakeMshrWaiters();
+    fill_done.set(sim::Unit{});
+}
+
+void
+Cache::wakeMshrWaiters()
+{
+    sim::Signal s = std::exchange(mshr_wait_, sim::Signal{});
+    s.set(sim::Unit{});
+}
+
+}  // namespace maple::mem

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Non-blocking, set-associative, write-back/write-allocate cache with MSHRs.
+ *
+ * Timing-only (tag array + LRU state); data stays in PhysicalMemory. Used for
+ * the per-core L1D, the OpenPiton-style L1.5 stage and the shared LLC (L2).
+ * Exposes a prefetch() entry point used by the software-prefetch baseline,
+ * the DROPLET model and MAPLE's speculative LLC prefetches.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/physical_memory.hpp"
+#include "mem/timed_mem.hpp"
+#include "sim/stats.hpp"
+
+namespace maple::mem {
+
+struct CacheParams {
+    std::string name = "cache";
+    std::uint32_t size_bytes = 8 * 1024;
+    std::uint32_t assoc = 4;
+    sim::Cycle hit_latency = 2;
+    std::uint32_t mshrs = 16;
+};
+
+class Cache : public TimedMem {
+  public:
+    Cache(sim::EventQueue &eq, CacheParams params, TimedMem &downstream);
+
+    /** Timed demand access (or prefetch when @p kind == Prefetch). */
+    sim::Task<void> access(sim::Addr paddr, std::uint32_t size, AccessKind kind) override;
+
+    /** Fire-and-forget prefetch of the line containing @p paddr. */
+    void prefetch(sim::Addr paddr);
+
+    /** True when the line containing @p paddr is present (no LRU update). */
+    bool probe(sim::Addr paddr) const;
+
+    /** Drop all lines (no writeback; tests only). */
+    void invalidateAll();
+
+    const CacheParams &params() const { return params_; }
+    sim::StatGroup &stats() { return stats_; }
+    const sim::StatGroup &stats() const { return stats_; }
+
+    std::uint64_t demandHits() const { return stats_.counterValue("demand_hits"); }
+    std::uint64_t demandMisses() const { return stats_.counterValue("demand_misses"); }
+
+  private:
+    struct Way {
+        sim::Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lru = 0;
+    };
+
+    /** One access covering a single cache line. */
+    sim::Task<void> accessLine(sim::Addr line, AccessKind kind);
+
+    /** Resolve a miss on @p line; merges into an existing MSHR if any. */
+    sim::Task<void> handleMiss(sim::Addr line, AccessKind kind, bool &dropped);
+
+    size_t setIndex(sim::Addr line) const;
+    Way *lookup(sim::Addr line);
+    const Way *lookupConst(sim::Addr line) const;
+    void touch(Way &way);
+    Way &selectVictim(size_t set);
+    void wakeMshrWaiters();
+
+    sim::EventQueue &eq_;
+    CacheParams params_;
+    TimedMem &downstream_;
+    size_t num_sets_;
+    std::vector<std::vector<Way>> sets_;
+    std::uint64_t lru_clock_ = 1;
+    std::unordered_map<sim::Addr, sim::Signal> mshrs_;
+    sim::Signal mshr_wait_;
+    sim::StatGroup stats_;
+};
+
+}  // namespace maple::mem

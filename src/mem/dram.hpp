@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Main-memory timing model: fixed access latency plus a bandwidth model
+ * implemented as channel-slot reservation (Table 2/3: 300-cycle latency,
+ * ~64B per cycle aggregate bandwidth by default).
+ */
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "mem/physical_memory.hpp"
+#include "mem/timed_mem.hpp"
+#include "sim/stats.hpp"
+
+namespace maple::mem {
+
+struct DramParams {
+    sim::Cycle latency = 300;          ///< closed-bank access latency
+    sim::Cycle cycles_per_line = 1;    ///< serialization cost per 64B line
+    unsigned channels = 1;             ///< independent channel slots
+};
+
+class Dram : public TimedMem {
+  public:
+    Dram(sim::EventQueue &eq, DramParams params = {})
+        : eq_(eq), params_(params), channel_free_(params.channels, 0)
+    {
+        MAPLE_ASSERT(params.channels > 0);
+    }
+
+    sim::Task<void>
+    access(sim::Addr paddr, std::uint32_t size, AccessKind kind) override
+    {
+        (void)kind;
+        reads_.inc();
+        // Line-interleaved channel mapping.
+        unsigned lines = std::max<std::uint32_t>(1, (size + kLineSize - 1) / kLineSize);
+        unsigned ch = static_cast<unsigned>((paddr >> kLineShift) % params_.channels);
+        sim::Cycle now = eq_.now();
+        sim::Cycle start = std::max(now, channel_free_[ch]);
+        channel_free_[ch] = start + params_.cycles_per_line * lines;
+        sim::Cycle done = channel_free_[ch] + params_.latency;
+        queue_wait_.sample(static_cast<double>(start - now));
+        co_await sim::delay(eq_, done - now);
+    }
+
+    std::uint64_t requests() const { return reads_.value(); }
+    double meanQueueWait() const { return queue_wait_.mean(); }
+
+  private:
+    sim::EventQueue &eq_;
+    DramParams params_;
+    std::vector<sim::Cycle> channel_free_;
+    sim::Counter reads_;
+    sim::Average queue_wait_;
+};
+
+}  // namespace maple::mem

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Memory-management unit: TLB + hardware page-table walker + fault hook.
+ *
+ * Both cores and MAPLE instances own an Mmu. On a TLB miss the walker issues
+ * timed reads for each page-table level through a memory port (so walks cost
+ * real cycles and bandwidth). On a page fault the optional fault handler --
+ * the MAPLE device driver in `src/os` -- is invoked; if it resolves the fault
+ * the translation is retried once.
+ */
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "mem/page_table.hpp"
+#include "mem/physical_memory.hpp"
+#include "mem/timed_mem.hpp"
+#include "mem/tlb.hpp"
+#include "sim/coro.hpp"
+#include "sim/stats.hpp"
+
+namespace maple::mem {
+
+struct Translation {
+    bool fault = false;
+    sim::Addr paddr = sim::kBadAddr;
+};
+
+class Mmu {
+  public:
+    /**
+     * A fault handler resolves a page fault (e.g. maps the page) and returns
+     * true, or returns false for a truly fatal access error. It may take
+     * simulated time (it is a coroutine): interrupt + driver latency.
+     */
+    using FaultHandler = std::function<sim::Task<bool>(sim::Addr vaddr, bool write)>;
+
+    Mmu(sim::EventQueue &eq, PhysicalMemory &pm, TimedMem &walk_port,
+        size_t tlb_entries = 16)
+        : eq_(eq), pm_(pm), walk_port_(walk_port), tlb_(tlb_entries)
+    {
+    }
+
+    /** Point the MMU at an address space (root page-table frame). */
+    void
+    setRoot(sim::Addr root_paddr)
+    {
+        root_ = root_paddr;
+        tlb_.flush();
+    }
+
+    void setFaultHandler(FaultHandler h) { fault_handler_ = std::move(h); }
+
+    /**
+     * Translate @p vaddr, charging TLB/walk/fault latency as appropriate.
+     * Returns fault=true only if the fault handler failed (or none is set).
+     */
+    sim::Task<Translation>
+    translate(sim::Addr vaddr, bool write)
+    {
+        for (int attempt = 0; attempt < 2; ++attempt) {
+            if (auto pte = tlb_.lookup(vaddr)) {
+                if (pte->readable() && (!write || pte->writable()))
+                    co_return Translation{false, pte->paddrBase() | pageOffset(vaddr)};
+                tlb_.invalidate(vaddr);  // stale permissions: rewalk
+            }
+            auto walked = co_await walk(vaddr);
+            if (walked && walked->readable() && (!write || walked->writable())) {
+                tlb_.insert(vaddr, *walked);
+                co_return Translation{
+                    false, walked->paddrBase() | pageOffset(vaddr)};
+            }
+            faults_.inc();
+            if (attempt == 1 || !fault_handler_)
+                break;
+            bool resolved = co_await fault_handler_(vaddr, write);
+            if (!resolved)
+                break;
+        }
+        co_return Translation{true, sim::kBadAddr};
+    }
+
+    /** TLB shootdown for one page (called by the OS on unmap/remap). */
+    void invalidate(sim::Addr vaddr) { tlb_.invalidate(vaddr); }
+
+    /** Full TLB shootdown. */
+    void flush() { tlb_.flush(); }
+
+    Tlb &tlb() { return tlb_; }
+    std::uint64_t walks() const { return walks_.value(); }
+    std::uint64_t faults() const { return faults_.value(); }
+
+  private:
+    /** Timed three-level walk; nullopt when any level is invalid. */
+    sim::Task<std::optional<Pte>>
+    walk(sim::Addr vaddr)
+    {
+        MAPLE_ASSERT(root_ != sim::kBadAddr, "MMU has no address space");
+        walks_.inc();
+        sim::Addr table = root_;
+        for (unsigned level = kPtLevels; level-- > 0;) {
+            sim::Addr pte_addr =
+                table + vpnField(vaddr, level) * sizeof(std::uint64_t);
+            co_await walk_port_.access(pte_addr, sizeof(std::uint64_t),
+                                       AccessKind::Read);
+            Pte pte{pm_.readU64(pte_addr)};
+            if (!pte.valid())
+                co_return std::nullopt;
+            if (pte.leaf())
+                co_return pte;
+            table = pte.paddrBase();
+        }
+        co_return std::nullopt;
+    }
+
+    sim::EventQueue &eq_;
+    PhysicalMemory &pm_;
+    TimedMem &walk_port_;
+    Tlb tlb_;
+    sim::Addr root_ = sim::kBadAddr;
+    FaultHandler fault_handler_;
+    sim::Counter walks_, faults_;
+};
+
+}  // namespace maple::mem

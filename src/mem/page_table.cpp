@@ -1,0 +1,82 @@
+#include "mem/page_table.hpp"
+
+#include "sim/log.hpp"
+
+namespace maple::mem {
+
+PageTable::PageTable(PhysicalMemory &pm, FrameAlloc alloc)
+    : pm_(pm), alloc_(std::move(alloc))
+{
+    MAPLE_ASSERT(alloc_ != nullptr, "PageTable needs a frame allocator");
+    root_ = alloc_();
+    MAPLE_ASSERT((root_ & kPageMask) == 0, "root frame not page aligned");
+}
+
+sim::Addr
+PageTable::pteAddr(sim::Addr table, sim::Addr vaddr, unsigned level) const
+{
+    return table + vpnField(vaddr, level) * sizeof(std::uint64_t);
+}
+
+void
+PageTable::map(sim::Addr vaddr, sim::Addr paddr, bool writable)
+{
+    MAPLE_ASSERT((vaddr & kPageMask) == 0 && (paddr & kPageMask) == 0,
+                 "map requires page-aligned addresses");
+    sim::Addr table = root_;
+    for (unsigned level = kPtLevels - 1; level > 0; --level) {
+        sim::Addr pa = pteAddr(table, vaddr, level);
+        Pte pte{pm_.readU64(pa)};
+        if (!pte.valid()) {
+            sim::Addr next = alloc_();
+            ++table_pages_;
+            pm_.writeU64(pa, Pte::makePointer(next).raw);
+            table = next;
+        } else {
+            MAPLE_ASSERT(!pte.leaf(), "huge pages not supported");
+            table = pte.paddrBase();
+        }
+    }
+    pm_.writeU64(pteAddr(table, vaddr, 0), Pte::makeLeaf(paddr, writable).raw);
+}
+
+void
+PageTable::unmap(sim::Addr vaddr)
+{
+    sim::Addr table = root_;
+    for (unsigned level = kPtLevels - 1; level > 0; --level) {
+        Pte pte{pm_.readU64(pteAddr(table, vaddr, level))};
+        if (!pte.valid())
+            return;
+        table = pte.paddrBase();
+    }
+    pm_.writeU64(pteAddr(table, vaddr, 0), 0);
+}
+
+std::optional<Pte>
+PageTable::walk(sim::Addr vaddr) const
+{
+    sim::Addr table = root_;
+    for (unsigned level = kPtLevels; level-- > 0;) {
+        Pte pte{pm_.readU64(pteAddr(table, vaddr, level))};
+        if (!pte.valid())
+            return std::nullopt;
+        if (pte.leaf()) {
+            MAPLE_ASSERT(level == 0, "huge pages not supported");
+            return pte;
+        }
+        table = pte.paddrBase();
+    }
+    return std::nullopt;
+}
+
+std::optional<sim::Addr>
+PageTable::translate(sim::Addr vaddr, Perms perms) const
+{
+    auto pte = walk(vaddr);
+    if (!pte || !pte->readable() || (perms.write && !pte->writable()))
+        return std::nullopt;
+    return pte->paddrBase() | pageOffset(vaddr);
+}
+
+}  // namespace maple::mem

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Sv39-style three-level radix page tables.
+ *
+ * The tables themselves live in simulated physical memory, so the hardware
+ * page-table walker (PageTableWalker) performs real, timed memory reads when
+ * resolving a TLB miss -- exactly the latency effect the paper discusses for
+ * irregular accesses that span many pages.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "mem/physical_memory.hpp"
+#include "sim/types.hpp"
+
+namespace maple::mem {
+
+/** Page table entry, Sv39-flavored. */
+struct Pte {
+    std::uint64_t raw = 0;
+
+    static constexpr std::uint64_t kValid = 1ull << 0;
+    static constexpr std::uint64_t kRead = 1ull << 1;
+    static constexpr std::uint64_t kWrite = 1ull << 2;
+    static constexpr std::uint64_t kExec = 1ull << 3;
+    static constexpr std::uint64_t kUser = 1ull << 4;
+    static constexpr unsigned kPpnShift = 10;
+
+    bool valid() const { return raw & kValid; }
+    bool readable() const { return raw & kRead; }
+    bool writable() const { return raw & kWrite; }
+    bool user() const { return raw & kUser; }
+    /** Leaf PTEs have at least one of R/W/X set; pointers have none. */
+    bool leaf() const { return raw & (kRead | kWrite | kExec); }
+    sim::Addr ppn() const { return raw >> kPpnShift; }
+    sim::Addr paddrBase() const { return ppn() << kPageShift; }
+
+    static Pte
+    makeLeaf(sim::Addr paddr, bool writable, bool user = true)
+    {
+        Pte p;
+        p.raw = ((paddr >> kPageShift) << kPpnShift) | kValid | kRead |
+                (writable ? kWrite : 0) | (user ? kUser : 0);
+        return p;
+    }
+
+    static Pte
+    makePointer(sim::Addr table_paddr)
+    {
+        Pte p;
+        p.raw = ((table_paddr >> kPageShift) << kPpnShift) | kValid;
+        return p;
+    }
+};
+
+/** Access permissions requested by a translation. */
+struct Perms {
+    bool write = false;
+};
+
+inline constexpr unsigned kPtLevels = 3;
+inline constexpr unsigned kVpnBits = 9;
+inline constexpr unsigned kPtesPerPage = 1u << kVpnBits;
+
+/** Virtual page number field of @p vaddr at walk level @p level (2 = root). */
+inline constexpr std::uint64_t
+vpnField(sim::Addr vaddr, unsigned level)
+{
+    return (vaddr >> (kPageShift + kVpnBits * level)) & (kPtesPerPage - 1);
+}
+
+inline constexpr sim::Addr vpnOf(sim::Addr vaddr) { return vaddr >> kPageShift; }
+
+/**
+ * Builder/functional-walker over an in-memory radix table.
+ *
+ * Frame allocation is delegated to the OS via @p alloc so this class stays a
+ * pure memory-format concern.
+ */
+class PageTable {
+  public:
+    using FrameAlloc = std::function<sim::Addr()>;
+
+    PageTable(PhysicalMemory &pm, FrameAlloc alloc);
+
+    /** Physical address of the root table page (the "satp" of this space). */
+    sim::Addr rootPaddr() const { return root_; }
+
+    /** Map one 4KB virtual page to a physical frame. Remap overwrites. */
+    void map(sim::Addr vaddr, sim::Addr paddr, bool writable);
+
+    /** Invalidate the leaf mapping of @p vaddr (no-op when unmapped). */
+    void unmap(sim::Addr vaddr);
+
+    /** Zero-latency walk (for the OS and for checking), nullopt on fault. */
+    std::optional<Pte> walk(sim::Addr vaddr) const;
+
+    /** Translate a full virtual address; nullopt on fault/perm violation. */
+    std::optional<sim::Addr> translate(sim::Addr vaddr, Perms perms) const;
+
+    /** Number of page-table pages allocated (for the area/footprint stats). */
+    size_t tablePages() const { return table_pages_; }
+
+  private:
+    sim::Addr pteAddr(sim::Addr table, sim::Addr vaddr, unsigned level) const;
+
+    PhysicalMemory &pm_;
+    FrameAlloc alloc_;
+    sim::Addr root_;
+    size_t table_pages_ = 1;
+};
+
+}  // namespace maple::mem

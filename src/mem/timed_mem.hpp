@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Timing interface implemented by every memory-side component (caches, DRAM,
+ * NoC ports). Timing and data are decoupled: access() models *when* a request
+ * completes; the requester performs the functional read/write against
+ * PhysicalMemory at completion time.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "sim/coro.hpp"
+#include "sim/types.hpp"
+
+namespace maple::mem {
+
+/** Kind of access, for stats and for prefetch-aware components. */
+enum class AccessKind : std::uint8_t {
+    Read,
+    Write,
+    Prefetch,  ///< fill without a demand waiter
+};
+
+class TimedMem {
+  public:
+    virtual ~TimedMem() = default;
+
+    /**
+     * Perform a timed access to @p paddr of @p size bytes.
+     * The returned task completes when the access would have finished.
+     */
+    virtual sim::Task<void> access(sim::Addr paddr, std::uint32_t size, AccessKind kind) = 0;
+};
+
+/** Fixed-latency wrapper, useful for tests and for modeling simple stages. */
+class FixedLatencyMem : public TimedMem {
+  public:
+    FixedLatencyMem(sim::EventQueue &eq, sim::Cycle latency) : eq_(eq), latency_(latency) {}
+
+    sim::Task<void>
+    access(sim::Addr, std::uint32_t, AccessKind) override
+    {
+        co_await sim::delay(eq_, latency_);
+    }
+
+  private:
+    sim::EventQueue &eq_;
+    sim::Cycle latency_;
+};
+
+}  // namespace maple::mem

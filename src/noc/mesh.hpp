@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Packet-level 2D-mesh network-on-chip (OpenPiton P-Mesh flavoured).
+ *
+ * Dimension-ordered (XY) routing, one cycle per hop by default, and per-link
+ * serialization modeled with link reservation: a packet of F flits occupies
+ * each directed link for F cycles, so contention shows up as queueing delay.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "mem/timed_mem.hpp"
+#include "sim/coro.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/log.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace maple::noc {
+
+struct MeshParams {
+    unsigned width = 2;
+    unsigned height = 1;
+    sim::Cycle hop_latency = 1;     ///< router+link traversal per hop
+    unsigned flit_bytes = 16;       ///< payload bytes per body flit
+};
+
+/** Number of flits for a packet carrying @p payload_bytes (1 header flit). */
+inline unsigned
+flitsFor(unsigned payload_bytes, unsigned flit_bytes = 16)
+{
+    return 1 + (payload_bytes + flit_bytes - 1) / flit_bytes;
+}
+
+class Mesh {
+  public:
+    Mesh(sim::EventQueue &eq, MeshParams params)
+        : eq_(eq), params_(params),
+          link_free_(static_cast<size_t>(params.width) * params.height * 4, 0)
+    {
+        MAPLE_ASSERT(params.width > 0 && params.height > 0);
+    }
+
+    unsigned xOf(sim::TileId t) const { return t % params_.width; }
+    unsigned yOf(sim::TileId t) const { return t / params_.width; }
+
+    sim::TileId
+    tileAt(unsigned x, unsigned y) const
+    {
+        MAPLE_ASSERT(x < params_.width && y < params_.height);
+        return y * params_.width + x;
+    }
+
+    unsigned numTiles() const { return params_.width * params_.height; }
+
+    unsigned
+    hops(sim::TileId src, sim::TileId dst) const
+    {
+        unsigned dx = xOf(src) > xOf(dst) ? xOf(src) - xOf(dst) : xOf(dst) - xOf(src);
+        unsigned dy = yOf(src) > yOf(dst) ? yOf(src) - yOf(dst) : yOf(dst) - yOf(src);
+        return dx + dy;
+    }
+
+    /**
+     * Move a packet of @p flits flits from @p src to @p dst.
+     * Completes when the head flit is ejected at the destination.
+     */
+    sim::Task<void>
+    transit(sim::TileId src, sim::TileId dst, unsigned flits)
+    {
+        MAPLE_ASSERT(src < numTiles() && dst < numTiles());
+        packets_.inc();
+        flits_.inc(flits);
+        sim::Cycle start = eq_.now();
+        sim::Cycle t = start;
+
+        // XY route: resolve X first, then Y; reserve each directed link.
+        unsigned x = xOf(src), y = yOf(src);
+        const unsigned tx = xOf(dst), ty = yOf(dst);
+        while (x != tx || y != ty) {
+            unsigned dir;
+            unsigned nx = x, ny = y;
+            if (x != tx) {
+                dir = x < tx ? kEast : kWest;
+                nx = x < tx ? x + 1 : x - 1;
+            } else {
+                dir = y < ty ? kSouth : kNorth;
+                ny = y < ty ? y + 1 : y - 1;
+            }
+            sim::Cycle &free = link_free_[linkIndex(tileAt(x, y), dir)];
+            sim::Cycle depart = std::max(t, free);
+            free = depart + flits;  // serialization: one flit per cycle
+            t = depart + params_.hop_latency;
+            x = nx;
+            y = ny;
+        }
+        latency_.sample(static_cast<double>(t - start));
+        if (t > start)
+            co_await sim::delay(eq_, t - start);
+    }
+
+    const MeshParams &params() const { return params_; }
+    std::uint64_t packets() const { return packets_.value(); }
+    std::uint64_t flitsSent() const { return flits_.value(); }
+    double meanLatency() const { return latency_.mean(); }
+
+  private:
+    static constexpr unsigned kEast = 0, kWest = 1, kNorth = 2, kSouth = 3;
+
+    size_t
+    linkIndex(sim::TileId tile, unsigned dir) const
+    {
+        return static_cast<size_t>(tile) * 4 + dir;
+    }
+
+    sim::EventQueue &eq_;
+    MeshParams params_;
+    std::vector<sim::Cycle> link_free_;
+    sim::Counter packets_, flits_;
+    sim::Average latency_;
+};
+
+/**
+ * TimedMem adaptor that reaches a remote memory-side component across the
+ * mesh: request packet out, target access, response packet back.
+ */
+class RemotePort : public mem::TimedMem {
+  public:
+    RemotePort(Mesh &mesh, sim::TileId src, sim::TileId dst, mem::TimedMem &target)
+        : mesh_(mesh), src_(src), dst_(dst), target_(target)
+    {
+    }
+
+    sim::Task<void>
+    access(sim::Addr paddr, std::uint32_t size, mem::AccessKind kind) override
+    {
+        const bool write = kind == mem::AccessKind::Write;
+        unsigned req_bytes = write ? size : 0;   // writes carry data out
+        unsigned resp_bytes = write ? 0 : size;  // reads carry data back
+        co_await mesh_.transit(src_, dst_, flitsFor(req_bytes, mesh_.params().flit_bytes));
+        co_await target_.access(paddr, size, kind);
+        co_await mesh_.transit(dst_, src_, flitsFor(resp_bytes, mesh_.params().flit_bytes));
+    }
+
+    sim::TileId destination() const { return dst_; }
+
+  private:
+    Mesh &mesh_;
+    sim::TileId src_;
+    sim::TileId dst_;
+    mem::TimedMem &target_;
+};
+
+}  // namespace maple::noc

@@ -1,0 +1,134 @@
+#include "os/kernel.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace maple::os {
+
+namespace {
+
+/** User virtual layout: heap low, MMIO windows high. */
+constexpr sim::Addr kHeapBase = 0x0000'0000'1000'0000ull;
+constexpr sim::Addr kMmioBase = 0x0000'0000'7000'0000ull;
+
+}  // namespace
+
+Process::Process(Kernel &kernel, std::string name)
+    : kernel_(kernel), name_(std::move(name)),
+      pt_(kernel.physMem(), [&kernel] { return kernel.frames().alloc(); }),
+      heap_next_(kHeapBase), mmio_next_(kMmioBase)
+{
+}
+
+sim::Addr
+Process::allocRegion(size_t bytes, const char *tag, bool lazy)
+{
+    MAPLE_ASSERT(bytes > 0, "empty allocation");
+    sim::Addr base = heap_next_;
+    sim::Addr size = (bytes + mem::kPageMask) & ~mem::kPageMask;
+    heap_next_ += size + mem::kPageSize;  // guard page between regions
+    regions_.push_back(Region{base, size, tag, lazy});
+    if (!lazy) {
+        for (sim::Addr va = base; va < base + size; va += mem::kPageSize)
+            pt_.map(va, kernel_.frames().alloc(), /*writable=*/true);
+    }
+    return base;
+}
+
+sim::Addr
+Process::alloc(size_t bytes, const char *tag)
+{
+    return allocRegion(bytes, tag, /*lazy=*/false);
+}
+
+sim::Addr
+Process::allocLazy(size_t bytes, const char *tag)
+{
+    return allocRegion(bytes, tag, /*lazy=*/true);
+}
+
+sim::Addr
+Process::mapMmio(sim::Addr mmio_paddr, sim::Addr bytes)
+{
+    MAPLE_ASSERT((mmio_paddr & mem::kPageMask) == 0, "MMIO pages are aligned");
+    sim::Addr base = mmio_next_;
+    for (sim::Addr off = 0; off < bytes; off += mem::kPageSize)
+        pt_.map(base + off, mmio_paddr + off, /*writable=*/true);
+    mmio_next_ += bytes + mem::kPageSize;
+    return base;
+}
+
+bool
+Process::owns(sim::Addr vaddr) const
+{
+    return std::any_of(regions_.begin(), regions_.end(), [vaddr](const Region &r) {
+        return vaddr >= r.base && vaddr < r.base + r.size;
+    });
+}
+
+bool
+Process::demandMap(sim::Addr vaddr)
+{
+    if (!owns(vaddr))
+        return false;
+    sim::Addr page = mem::pageBase(vaddr);
+    if (!pt_.walk(page))
+        pt_.map(page, kernel_.frames().alloc(), /*writable=*/true);
+    return true;
+}
+
+void
+Process::unmapPage(sim::Addr vaddr)
+{
+    sim::Addr page = mem::pageBase(vaddr);
+    pt_.unmap(page);
+    // Linux mmu_notifier-style shootdown to every attached MMU.
+    for (mem::Mmu *mmu : mmus_)
+        mmu->invalidate(page);
+}
+
+void
+Process::attachMmu(mem::Mmu *mmu)
+{
+    MAPLE_ASSERT(mmu != nullptr);
+    mmus_.push_back(mmu);
+    mmu->setRoot(pt_.rootPaddr());
+}
+
+void
+Process::writeBytes(sim::Addr vaddr, const void *data, size_t len)
+{
+    const auto *src = static_cast<const std::uint8_t *>(data);
+    while (len > 0) {
+        if (!pt_.walk(mem::pageBase(vaddr))) {
+            bool ok = demandMap(vaddr);
+            MAPLE_ASSERT(ok, "functional write to unreserved va 0x%llx",
+                         (unsigned long long)vaddr);
+        }
+        auto pa = pt_.translate(vaddr, mem::Perms{true});
+        MAPLE_ASSERT(pa.has_value());
+        size_t chunk = std::min<size_t>(len, mem::kPageSize - mem::pageOffset(vaddr));
+        kernel_.physMem().write(*pa, src, chunk);
+        vaddr += chunk;
+        src += chunk;
+        len -= chunk;
+    }
+}
+
+void
+Process::readBytes(sim::Addr vaddr, void *out, size_t len) const
+{
+    auto *dst = static_cast<std::uint8_t *>(out);
+    while (len > 0) {
+        auto pa = pt_.translate(vaddr, mem::Perms{false});
+        MAPLE_ASSERT(pa.has_value(), "functional read of unmapped va 0x%llx",
+                     (unsigned long long)vaddr);
+        size_t chunk = std::min<size_t>(len, mem::kPageSize - mem::pageOffset(vaddr));
+        kernel_.physMem().read(*pa, dst, chunk);
+        vaddr += chunk;
+        dst += chunk;
+        len -= chunk;
+    }
+}
+
+}  // namespace maple::os

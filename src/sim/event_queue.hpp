@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Discrete-event simulation engine.
+ *
+ * All simulated hardware shares one EventQueue. Events are callbacks scheduled
+ * at an absolute cycle; ties are broken by insertion order so simulations are
+ * fully deterministic.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/log.hpp"
+#include "sim/types.hpp"
+
+namespace maple::sim {
+
+class EventQueue {
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule @p cb at absolute cycle @p when (must be >= now()). */
+    void
+    schedule(Cycle when, Callback cb)
+    {
+        MAPLE_ASSERT(when >= now_, "scheduling into the past (%llu < %llu)",
+                     (unsigned long long)when, (unsigned long long)now_);
+        heap_.push(Event{when, seq_++, std::move(cb)});
+    }
+
+    /** Schedule @p cb @p delta cycles from now. */
+    void scheduleIn(Cycle delta, Callback cb) { schedule(now_ + delta, std::move(cb)); }
+
+    /** Current simulated time. */
+    Cycle now() const { return now_; }
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    size_t pending() const { return heap_.size(); }
+
+    /** Total events executed so far (for microbenchmarks and stats). */
+    std::uint64_t executed() const { return executed_; }
+
+    /**
+     * Pop and execute the next event, advancing time.
+     * @return false when the queue was empty.
+     */
+    bool
+    runOne()
+    {
+        if (heap_.empty())
+            return false;
+        // Move the event out before popping so the callback may schedule.
+        Event ev = std::move(const_cast<Event &>(heap_.top()));
+        heap_.pop();
+        MAPLE_ASSERT(ev.when >= now_);
+        now_ = ev.when;
+        ++executed_;
+        ev.cb();
+        return true;
+    }
+
+    /**
+     * Run until the queue drains or @p max_cycles is reached.
+     * @return true if the queue drained (simulation quiesced).
+     */
+    bool
+    run(Cycle max_cycles = kCycleMax)
+    {
+        while (!heap_.empty()) {
+            if (heap_.top().when > max_cycles)
+                return false;
+            runOne();
+        }
+        return true;
+    }
+
+  private:
+    struct Event {
+        Cycle when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    Cycle now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+}  // namespace maple::sim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Minimal gem5-style logging/termination helpers.
+ *
+ * panic()  - internal simulator invariant violated (a bug): aborts.
+ * fatal()  - unrecoverable *user* error (bad config/arguments): exits(1).
+ * warn()   - suspicious but survivable condition.
+ * inform() - status messages.
+ */
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace maple::sim {
+
+namespace detail {
+
+template <typename... Args>
+std::string
+formatString(const char *fmt, Args &&...args)
+{
+    if constexpr (sizeof...(Args) == 0) {
+        return std::string(fmt);
+    } else {
+        int n = std::snprintf(nullptr, 0, fmt, args...);
+        if (n <= 0)
+            return std::string(fmt);
+        std::string out(static_cast<size_t>(n), '\0');
+        std::snprintf(out.data(), out.size() + 1, fmt, args...);
+        return out;
+    }
+}
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+}  // namespace detail
+
+#define MAPLE_PANIC(...) \
+    ::maple::sim::detail::panicImpl(__FILE__, __LINE__, \
+        ::maple::sim::detail::formatString(__VA_ARGS__))
+
+#define MAPLE_FATAL(...) \
+    ::maple::sim::detail::fatalImpl(__FILE__, __LINE__, \
+        ::maple::sim::detail::formatString(__VA_ARGS__))
+
+#define MAPLE_WARN(...) \
+    ::maple::sim::detail::warnImpl(::maple::sim::detail::formatString(__VA_ARGS__))
+
+#define MAPLE_INFORM(...) \
+    ::maple::sim::detail::informImpl(::maple::sim::detail::formatString(__VA_ARGS__))
+
+/** Assert a simulator invariant; panics (never compiled out) on failure. */
+#define MAPLE_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            MAPLE_PANIC("assertion failed: %s %s", #cond, \
+                ::maple::sim::detail::formatString("" __VA_ARGS__).c_str()); \
+        } \
+    } while (0)
+
+}  // namespace maple::sim

@@ -1,0 +1,33 @@
+#include "sim/stats.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace maple::sim {
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream os;
+    for (const auto &[k, c] : counters_)
+        os << name_ << "." << k << " = " << c.value() << "\n";
+    for (const auto &[k, a] : averages_) {
+        os << name_ << "." << k << " = " << a.mean() << " (n=" << a.count()
+           << ")\n";
+    }
+    return os.str();
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    MAPLE_ASSERT(!xs.empty(), "geomean of empty set");
+    double acc = 0.0;
+    for (double x : xs) {
+        MAPLE_ASSERT(x > 0.0, "geomean requires positive values");
+        acc += std::log(x);
+    }
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+}  // namespace maple::sim

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Lightweight statistics: named counters, averages and histograms that
+ * hardware models register into a StatGroup and the harness can dump.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/log.hpp"
+
+namespace maple::sim {
+
+/** Monotonic event counter. */
+class Counter {
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running average of sampled values (e.g. load latency). */
+class Average {
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+    }
+
+    double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+    std::uint64_t count() const { return count_; }
+
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        count_ = 0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/** Fixed-bucket histogram (linear buckets, last bucket is overflow). */
+class Histogram {
+  public:
+    Histogram(double bucket_width = 1.0, size_t buckets = 64)
+        : width_(bucket_width), counts_(buckets, 0)
+    {
+        MAPLE_ASSERT(bucket_width > 0 && buckets > 0);
+    }
+
+    void
+    sample(double v)
+    {
+        size_t idx = v < 0 ? 0 : static_cast<size_t>(v / width_);
+        idx = std::min(idx, counts_.size() - 1);
+        ++counts_[idx];
+        ++total_;
+        max_ = std::max(max_, v);
+    }
+
+    std::uint64_t total() const { return total_; }
+    double maxSample() const { return max_; }
+    const std::vector<std::uint64_t> &buckets() const { return counts_; }
+
+    double
+    percentile(double p) const
+    {
+        if (total_ == 0)
+            return 0.0;
+        std::uint64_t target = static_cast<std::uint64_t>(p * static_cast<double>(total_));
+        std::uint64_t seen = 0;
+        for (size_t i = 0; i < counts_.size(); ++i) {
+            seen += counts_[i];
+            if (seen > target)
+                return static_cast<double>(i) * width_;
+        }
+        return static_cast<double>(counts_.size() - 1) * width_;
+    }
+
+  private:
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    double max_ = 0.0;
+};
+
+/** Hierarchical, name-addressed registry of stats for dumping. */
+class StatGroup {
+  public:
+    explicit StatGroup(std::string name = "") : name_(std::move(name)) {}
+
+    Counter &counter(const std::string &name) { return counters_[name]; }
+    Average &average(const std::string &name) { return averages_[name]; }
+
+    const std::map<std::string, Counter> &counters() const { return counters_; }
+    const std::map<std::string, Average> &averages() const { return averages_; }
+    const std::string &name() const { return name_; }
+
+    std::uint64_t
+    counterValue(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second.value();
+    }
+
+    void
+    reset()
+    {
+        for (auto &[k, c] : counters_)
+            c.reset();
+        for (auto &[k, a] : averages_)
+            a.reset();
+    }
+
+    std::string dump() const;
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Average> averages_;
+};
+
+/** Geometric mean helper used by the figure harness. */
+double geomean(const std::vector<double> &xs);
+
+}  // namespace maple::sim

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace maple::sim {
+
+/** Simulated time, measured in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** A (virtual or physical) memory address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** Sentinel for "no cycle" / "never". */
+inline constexpr Cycle kCycleMax = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for an invalid address. */
+inline constexpr Addr kBadAddr = std::numeric_limits<Addr>::max();
+
+/** Identifier of a hardware tile on the mesh (core, MAPLE, memory...). */
+using TileId = std::uint32_t;
+
+/** Identifier of a simulated software thread. */
+using ThreadId = std::uint32_t;
+
+inline constexpr TileId kBadTile = 0xffffffffu;
+
+}  // namespace maple::sim

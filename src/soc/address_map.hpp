@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Physical address map of the SoC: DRAM plus page-granular MMIO device
+ * windows. Cores route every translated access through this map; anything
+ * that hits a device window bypasses the caches (uncacheable) and becomes a
+ * NoC request to the owning tile -- this is exactly how off-the-shelf cores
+ * talk to MAPLE (plain loads/stores, no new instructions).
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "mem/physical_memory.hpp"
+#include "sim/coro.hpp"
+#include "sim/log.hpp"
+#include "sim/types.hpp"
+
+namespace maple::soc {
+
+/** A device reachable through memory-mapped IO. */
+class MmioDevice {
+  public:
+    virtual ~MmioDevice() = default;
+
+    /**
+     * Handle an MMIO load. @p paddr is the full physical address (the device
+     * derives its register/opcode from the page offset). The task completes
+     * when the device responds -- e.g. a MAPLE CONSUME only completes once
+     * data is available in the queue.
+     */
+    virtual sim::Task<std::uint64_t> mmioLoad(sim::Addr paddr, unsigned size,
+                                              sim::ThreadId thread) = 0;
+
+    /** Handle an MMIO store; completes when the device acknowledges it. */
+    virtual sim::Task<void> mmioStore(sim::Addr paddr, std::uint64_t data,
+                                      unsigned size, sim::ThreadId thread) = 0;
+};
+
+class AddressMap {
+  public:
+    struct Window {
+        sim::Addr base;
+        sim::Addr size;
+        MmioDevice *device;
+        sim::TileId tile;
+    };
+
+    /** Register @p device at [base, base+size); must not overlap others. */
+    void
+    addDevice(sim::Addr base, sim::Addr size, MmioDevice *device, sim::TileId tile)
+    {
+        MAPLE_ASSERT(size > 0 && device != nullptr);
+        MAPLE_ASSERT((base & mem::kPageMask) == 0 && (size & mem::kPageMask) == 0,
+                     "MMIO windows are page granular");
+        auto next = windows_.lower_bound(base);
+        if (next != windows_.end())
+            MAPLE_ASSERT(base + size <= next->first, "overlapping MMIO windows");
+        if (next != windows_.begin()) {
+            auto prev = std::prev(next);
+            MAPLE_ASSERT(prev->first + prev->second.size <= base,
+                         "overlapping MMIO windows");
+        }
+        windows_[base] = Window{base, size, device, tile};
+    }
+
+    /** Find the device window containing @p paddr, if any. */
+    const Window *
+    find(sim::Addr paddr) const
+    {
+        auto it = windows_.upper_bound(paddr);
+        if (it == windows_.begin())
+            return nullptr;
+        --it;
+        const Window &w = it->second;
+        return paddr < w.base + w.size ? &w : nullptr;
+    }
+
+    bool isMmio(sim::Addr paddr) const { return find(paddr) != nullptr; }
+
+  private:
+    std::map<sim::Addr, Window> windows_;
+};
+
+}  // namespace maple::soc

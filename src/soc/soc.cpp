@@ -1,0 +1,155 @@
+#include "soc/soc.hpp"
+
+#include <cmath>
+
+#include "sim/log.hpp"
+
+namespace maple::soc {
+
+SocConfig
+SocConfig::fpga()
+{
+    SocConfig cfg;
+    cfg.name = "openpiton+maple (fpga)";
+    cfg.num_cores = 2;
+    cfg.num_maples = 1;
+    cfg.mesh_width = 2;
+    cfg.mesh_height = 2;
+    cfg.dram_bytes = 1ull << 30;  // 1GB DDR3
+    // Ariane's L1D is near-blocking: ~2 outstanding misses. This is why
+    // software prefetching into the L1 cannot create MLP on this core.
+    cfg.l1 = mem::CacheParams{"l1", 8 * 1024, 4, 2, 2};
+    cfg.llc = mem::CacheParams{"llc", 64 * 1024, 8, 26, 32};
+    cfg.dram = mem::DramParams{300, 1, 1};
+    return cfg;
+}
+
+SocConfig
+SocConfig::simulated(unsigned cores)
+{
+    SocConfig cfg = fpga();
+    cfg.name = "mosaic-like simulated system";
+    cfg.num_cores = cores;
+    cfg.dram_bytes = 1ull << 32;  // 4GB
+    cfg.dram = mem::DramParams{300, 1, 2};  // ~68GB/s aggregate
+    // Auto mesh: cores + maples + mem tile.
+    unsigned tiles = cores + cfg.num_maples + 1;
+    cfg.mesh_width = 0;
+    cfg.mesh_height = 0;
+    (void)tiles;
+    return cfg;
+}
+
+Soc::Soc(SocConfig cfg) : cfg_(std::move(cfg))
+{
+    // Resolve mesh geometry: enough tiles for cores + MAPLEs + memory tile.
+    unsigned tiles_needed = cfg_.num_cores + cfg_.num_maples + 1;
+    if (cfg_.mesh_width == 0 || cfg_.mesh_height == 0) {
+        unsigned w = 1;
+        while (w * w < tiles_needed)
+            ++w;
+        cfg_.mesh_width = w;
+        cfg_.mesh_height = (tiles_needed + w - 1) / w;
+    }
+    MAPLE_ASSERT(cfg_.mesh_width * cfg_.mesh_height >= tiles_needed,
+                 "mesh too small: %ux%u for %u tiles", cfg_.mesh_width,
+                 cfg_.mesh_height, tiles_needed);
+    cfg_.mesh.width = cfg_.mesh_width;
+    cfg_.mesh.height = cfg_.mesh_height;
+
+    pm_ = std::make_unique<mem::PhysicalMemory>(cfg_.dram_bytes);
+    kernel_ = std::make_unique<os::Kernel>(eq_, *pm_, cfg_.kernel);
+    mesh_ = std::make_unique<noc::Mesh>(eq_, cfg_.mesh);
+    dram_ = std::make_unique<mem::Dram>(eq_, cfg_.dram);
+    llc_ = std::make_unique<mem::Cache>(eq_, cfg_.llc, *dram_);
+    llc_front_ = std::make_unique<LlcFrontEnd>(*llc_);
+
+    // Cores and their private plumbing.
+    for (unsigned i = 0; i < cfg_.num_cores; ++i) {
+        sim::TileId tile = coreTile(i);
+        llc_ports_.push_back(
+            std::make_unique<noc::RemotePort>(*mesh_, tile, memTile(), *llc_front_));
+        mem::CacheParams l1p = cfg_.l1;
+        l1p.name = "l1." + std::to_string(i);
+        l1s_.push_back(std::make_unique<mem::Cache>(eq_, l1p, *llc_ports_.back()));
+        atomic_ports_.push_back(
+            std::make_unique<noc::RemotePort>(*mesh_, tile, memTile(), *llc_front_));
+
+        cpu::CoreParams cp = cfg_.core_proto;
+        cp.name = "core." + std::to_string(i);
+        cp.tile = tile;
+        cp.thread = i;
+        cpu::CoreWiring wiring;
+        wiring.pm = pm_.get();
+        wiring.l1 = l1s_.back().get();
+        wiring.l1_cache = l1s_.back().get();
+        wiring.walk_port = l1s_.back().get();  // PTW walks through the L1
+        wiring.atomic_port = atomic_ports_.back().get();
+        wiring.amap = &amap_;
+        wiring.mesh = mesh_.get();
+        cores_.push_back(std::make_unique<cpu::Core>(eq_, cp, wiring));
+    }
+
+    // MAPLE tiles: MMIO pages live just above DRAM in the physical map.
+    for (unsigned i = 0; i < cfg_.num_maples; ++i) {
+        sim::TileId tile = mapleTile(i);
+        maple_dram_ports_.push_back(
+            std::make_unique<noc::RemotePort>(*mesh_, tile, memTile(), *dram_));
+        maple_llc_ports_.push_back(
+            std::make_unique<noc::RemotePort>(*mesh_, tile, memTile(), *llc_front_));
+        maple_walk_ports_.push_back(
+            std::make_unique<noc::RemotePort>(*mesh_, tile, memTile(), *llc_front_));
+
+        ::maple::core::MapleParams mp = cfg_.maple_proto;
+        mp.name = "maple." + std::to_string(i);
+        mp.tile = tile;
+        mp.mmio_base = cfg_.dram_bytes + sim::Addr(i) * mem::kPageSize;
+        ::maple::core::MapleWiring wiring;
+        wiring.pm = pm_.get();
+        wiring.dram_port = maple_dram_ports_.back().get();
+        wiring.llc_port = maple_llc_ports_.back().get();
+        wiring.llc_cache = llc_.get();
+        wiring.walk_port = maple_walk_ports_.back().get();
+        maples_.push_back(
+            std::make_unique<::maple::core::Maple>(eq_, mp, wiring));
+        amap_.addDevice(mp.mmio_base, mem::kPageSize, maples_.back().get(), tile);
+    }
+}
+
+noc::RemotePort &
+Soc::addLlcPort(sim::TileId tile)
+{
+    extra_ports_.push_back(
+        std::make_unique<noc::RemotePort>(*mesh_, tile, memTile(), *llc_front_));
+    return *extra_ports_.back();
+}
+
+os::Process &
+Soc::createProcess(const std::string &name)
+{
+    os::Process &proc = kernel_->createProcess(name);
+    for (auto &core : cores_)
+        proc.attachMmu(&core->mmu());
+    return proc;
+}
+
+sim::Cycle
+Soc::run(std::vector<sim::Join> joins, sim::Cycle max_cycles)
+{
+    sim::Cycle start = eq_.now();
+    bool drained = eq_.run(max_cycles);
+    for (const sim::Join &j : joins) {
+        if (j.done())
+            j.get();  // rethrows workload exceptions
+    }
+    if (!drained) {
+        MAPLE_FATAL("simulation did not quiesce within %llu cycles",
+                    (unsigned long long)(max_cycles - start));
+    }
+    for (const sim::Join &j : joins)
+        MAPLE_ASSERT(j.done(), "event queue drained but a task never finished "
+                               "(deadlock in simulated software?)");
+    return eq_.now() - start;
+}
+
+}  // namespace maple::soc

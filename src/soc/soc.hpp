@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Full-SoC assembly: tiles on a 2D mesh, per-core L1s, a shared LLC + DRAM
+ * memory tile, any number of MAPLE tiles, the micro-OS, and the physical
+ * address map. This is the simulation analogue of the OpenPiton+Ariane FPGA
+ * prototype (Table 2) and of the MosaicSim configuration (Table 3).
+ *
+ * Tile placement: cores occupy tiles [0, num_cores), MAPLE instances the next
+ * num_maples tiles, and the memory controller/LLC home the last tile.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/maple.hpp"
+#include "cpu/core.hpp"
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+#include "mem/physical_memory.hpp"
+#include "noc/mesh.hpp"
+#include "os/kernel.hpp"
+#include "sim/coro.hpp"
+#include "sim/event_queue.hpp"
+#include "soc/address_map.hpp"
+
+namespace maple::soc {
+
+/**
+ * Thin interposer in front of the shared LLC. All tiles reach the LLC
+ * through this stage, so memory-side hardware (e.g. the DROPLET-style
+ * indirect prefetcher baseline) can observe traffic without rewiring ports.
+ */
+class LlcFrontEnd : public mem::TimedMem {
+  public:
+    using Observer =
+        std::function<void(sim::Addr paddr, std::uint32_t size, mem::AccessKind kind)>;
+
+    explicit LlcFrontEnd(mem::TimedMem &llc) : llc_(llc) {}
+
+    void setObserver(Observer o) { observer_ = std::move(o); }
+
+    /**
+     * Interpose memory-side hardware (e.g. the DROPLET prefetch buffer) in
+     * front of the LLC: when set, all traffic routes through @p t, which is
+     * expected to forward to the LLC itself. Pass nullptr to remove.
+     */
+    void setInterposer(mem::TimedMem *t) { interposer_ = t; }
+
+    sim::Task<void>
+    access(sim::Addr paddr, std::uint32_t size, mem::AccessKind kind) override
+    {
+        if (interposer_)
+            co_await interposer_->access(paddr, size, kind);
+        else
+            co_await llc_.access(paddr, size, kind);
+        if (observer_)
+            observer_(paddr, size, kind);
+    }
+
+  private:
+    mem::TimedMem &llc_;
+    Observer observer_;
+    mem::TimedMem *interposer_ = nullptr;
+};
+
+struct SocConfig {
+    std::string name = "soc";
+    unsigned num_cores = 2;
+    unsigned num_maples = 1;
+    unsigned mesh_width = 2;   ///< 0 = auto square-ish layout
+    unsigned mesh_height = 2;
+    sim::Addr dram_bytes = 1ull << 30;
+
+    mem::CacheParams l1{"l1", 8 * 1024, 4, /*hit=*/2, /*mshrs=*/8};
+    mem::CacheParams llc{"llc", 64 * 1024, 8, /*hit=*/26, /*mshrs=*/32};
+    mem::DramParams dram{};          // 300-cycle latency
+    noc::MeshParams mesh{};          // filled from mesh_width/height
+    cpu::CoreParams core_proto{};    // per-core parameters
+    ::maple::core::MapleParams maple_proto{};
+    os::KernelParams kernel{};
+
+    /** Table 2: the FPGA-emulated OpenPiton+Ariane SoC (2 cores, 1 MAPLE). */
+    static SocConfig fpga();
+
+    /** Table 3: the simulator configuration used against prior work. */
+    static SocConfig simulated(unsigned cores = 2);
+};
+
+class Soc {
+  public:
+    explicit Soc(SocConfig cfg = SocConfig::fpga());
+
+    sim::EventQueue &eq() { return eq_; }
+    os::Kernel &kernel() { return *kernel_; }
+    mem::PhysicalMemory &physMem() { return *pm_; }
+    noc::Mesh &mesh() { return *mesh_; }
+    mem::Cache &llc() { return *llc_; }
+    mem::Dram &dram() { return *dram_; }
+    AddressMap &addressMap() { return amap_; }
+    const SocConfig &config() const { return cfg_; }
+
+    LlcFrontEnd &llcFront() { return *llc_front_; }
+
+    unsigned numCores() const { return static_cast<unsigned>(cores_.size()); }
+    cpu::Core &core(unsigned i) { return *cores_.at(i); }
+    mem::Cache &l1(unsigned i) { return *l1s_.at(i); }
+
+    unsigned numMaples() const { return static_cast<unsigned>(maples_.size()); }
+    ::maple::core::Maple &maple(unsigned i = 0) { return *maples_.at(i); }
+
+    sim::TileId coreTile(unsigned i) const { return i; }
+    sim::TileId mapleTile(unsigned i = 0) const { return cfg_.num_cores + i; }
+    sim::TileId memTile() const { return mesh_->numTiles() - 1; }
+
+    os::Process &createProcess(const std::string &name);
+
+    /**
+     * Create an extra LLC-reaching port from @p tile (owned by the Soc).
+     * Used by memory-side baseline hardware, e.g. DeSC's supply buffer.
+     */
+    noc::RemotePort &addLlcPort(sim::TileId tile);
+
+    /**
+     * Run the event queue until it drains (or @p max_cycles), then surface
+     * any exception stored in the given joins. Returns total cycles elapsed.
+     */
+    sim::Cycle run(std::vector<sim::Join> joins, sim::Cycle max_cycles = sim::kCycleMax);
+
+  private:
+    SocConfig cfg_;
+    sim::EventQueue eq_;
+    std::unique_ptr<mem::PhysicalMemory> pm_;
+    std::unique_ptr<os::Kernel> kernel_;
+    std::unique_ptr<noc::Mesh> mesh_;
+    std::unique_ptr<mem::Dram> dram_;
+    std::unique_ptr<mem::Cache> llc_;
+    std::unique_ptr<LlcFrontEnd> llc_front_;
+    AddressMap amap_;
+
+    // Per-core plumbing (order matters: ports before cores).
+    std::vector<std::unique_ptr<noc::RemotePort>> llc_ports_;   // L1 -> LLC
+    std::vector<std::unique_ptr<mem::Cache>> l1s_;
+    std::vector<std::unique_ptr<noc::RemotePort>> atomic_ports_;
+    std::vector<std::unique_ptr<cpu::Core>> cores_;
+
+    // Per-MAPLE plumbing.
+    std::vector<std::unique_ptr<noc::RemotePort>> maple_dram_ports_;
+    std::vector<std::unique_ptr<noc::RemotePort>> maple_llc_ports_;
+    std::vector<std::unique_ptr<noc::RemotePort>> maple_walk_ports_;
+    std::vector<std::unique_ptr<::maple::core::Maple>> maples_;
+    std::vector<std::unique_ptr<noc::RemotePort>> extra_ports_;
+};
+
+}  // namespace maple::soc

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Datasets for the data-analytics workloads (Section 4.1).
+ *
+ * The paper evaluates on SuiteSparse matrices, SNAP graphs (Wikipedia,
+ * YouTube, LiveJournal) and synthetic riscv-tests matrices. Those files are
+ * not redistributable offline, so we generate synthetic equivalents with the
+ * properties that matter to latency-tolerance techniques: power-law degree
+ * distributions (R-MAT/Kronecker) driving irregular indirect accesses, and
+ * uniform sparse matrices for the linear-algebra kernels.
+ *
+ * Host-side structures are built once, then uploaded into simulated memory
+ * via SimArray so cores/MAPLE access them with real translations and timing.
+ */
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "os/kernel.hpp"
+#include "sim/random.hpp"
+#include "sim/types.hpp"
+
+namespace maple::app {
+
+/** A typed array living in a simulated process's virtual memory. */
+template <typename T>
+class SimArray {
+  public:
+    SimArray() = default;
+
+    SimArray(os::Process &proc, size_t n, const char *tag)
+        : proc_(&proc), n_(n), base_(proc.alloc(n * sizeof(T), tag))
+    {
+    }
+
+    sim::Addr addr(size_t i = 0) const { return base_ + i * sizeof(T); }
+    size_t size() const { return n_; }
+    bool valid() const { return proc_ != nullptr; }
+
+    void
+    upload(std::span<const T> host)
+    {
+        MAPLE_ASSERT(host.size() == n_, "upload size mismatch");
+        proc_->writeBytes(base_, host.data(), host.size_bytes());
+    }
+
+    T read(size_t i) const { return proc_->template readScalar<T>(addr(i)); }
+    void write(size_t i, T v) { proc_->template writeScalar<T>(addr(i), v); }
+
+    /** Download the whole array back to the host (validation). */
+    std::vector<T>
+    download() const
+    {
+        std::vector<T> out(n_);
+        proc_->readBytes(base_, out.data(), out.size() * sizeof(T));
+        return out;
+    }
+
+  private:
+    os::Process *proc_ = nullptr;
+    size_t n_ = 0;
+    sim::Addr base_ = sim::kBadAddr;
+};
+
+/** Host-side CSR sparse matrix (also used as a graph adjacency structure). */
+struct SparseMatrix {
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;
+    std::vector<std::uint32_t> row_ptr;  ///< rows + 1 entries
+    std::vector<std::uint32_t> col_idx;  ///< nnz entries
+    std::vector<float> vals;             ///< nnz entries
+
+    size_t nnz() const { return col_idx.size(); }
+
+    /** Structural sanity: monotone row_ptr, in-range sorted columns. */
+    bool wellFormed() const;
+};
+
+/** Uniform random sparse matrix with ~nnz_per_row entries per row. */
+SparseMatrix makeUniformSparse(std::uint32_t rows, std::uint32_t cols,
+                               std::uint32_t nnz_per_row, std::uint64_t seed);
+
+/**
+ * Power-law-skewed sparse matrix: column c is drawn as floor(cols * u^skew),
+ * concentrating nonzeros in low columns the way real-world matrices
+ * (SuiteSparse) concentrate structure -- this gives the IMAs the partial
+ * cache locality the paper's datasets exhibit. skew = 1 is uniform.
+ */
+SparseMatrix makeSkewedSparse(std::uint32_t rows, std::uint32_t cols,
+                              std::uint32_t nnz_per_row, std::uint64_t seed,
+                              double skew = 3.0);
+
+/**
+ * R-MAT / Kronecker power-law graph with 2^scale vertices and roughly
+ * edge_factor * 2^scale edges (duplicates removed, sorted adjacency).
+ * Standard (a,b,c) = (0.57, 0.19, 0.19).
+ */
+SparseMatrix makeRmat(unsigned scale, unsigned edge_factor, std::uint64_t seed,
+                      double a = 0.57, double b = 0.19, double c = 0.19);
+
+/** Dense random vector in [0, 1). */
+std::vector<float> makeDenseVector(size_t n, std::uint64_t seed);
+
+/** CSR matrix uploaded into simulated memory. */
+struct SimCsr {
+    SimArray<std::uint32_t> row_ptr;
+    SimArray<std::uint32_t> col_idx;
+    SimArray<float> vals;  ///< not allocated when with_vals = false
+
+    static SimCsr upload(os::Process &proc, const SparseMatrix &m,
+                         bool with_vals = true);
+};
+
+}  // namespace maple::app

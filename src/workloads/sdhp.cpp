@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Sparse-Dense Hadamard Product: out[j] = svals[j] * dense[r * C + col[j]]
+ * for every nonzero j of sparse row r.
+ *
+ * The dense matrix is sampled at the sparse matrix's nonzero positions, so
+ * the dense accesses are irregular (the IMA) while svals/col_idx/out stream
+ * sequentially. Unlike SPMV there is no reduction -- each element produces
+ * one store -- which makes the kernel even more memory-bound.
+ */
+#include <optional>
+
+#include "baselines/desc.hpp"
+#include "baselines/droplet.hpp"
+#include "baselines/sw_queue.hpp"
+#include "workloads/workload.hpp"
+
+namespace maple::app {
+
+namespace {
+
+struct SdhpSim {
+    SimCsr m;
+    SimArray<float> dense;  ///< rows x cols, row-major
+    SimArray<float> out;    ///< nnz results
+    std::uint32_t rows = 0, cols = 0;
+};
+
+sim::Addr
+denseAddr(const SdhpSim &s, std::uint64_t r, std::uint32_t c)
+{
+    return s.dense.addr(r * s.cols + c);
+}
+
+sim::Task<void>
+doallWorker(cpu::Core &core, SdhpSim &s, Chunk rows)
+{
+    auto jb = static_cast<std::uint32_t>(
+        co_await core.load(s.m.row_ptr.addr(rows.begin), 4));
+    for (std::uint64_t r = rows.begin; r < rows.end; ++r) {
+        auto je = static_cast<std::uint32_t>(
+            co_await core.load(s.m.row_ptr.addr(r + 1), 4));
+        for (std::uint32_t j = jb; j < je; ++j) {
+            auto c = static_cast<std::uint32_t>(
+                co_await core.load(s.m.col_idx.addr(j), 4));
+            float v = f32FromBits(co_await core.load(s.m.vals.addr(j), 4));
+            float d = f32FromBits(co_await core.load(denseAddr(s, r, c), 4));
+            co_await core.compute(1);
+            co_await core.store(s.out.addr(j), bitsFromF32(v * d), 4);
+        }
+        jb = je;
+    }
+}
+
+sim::Task<void>
+swPrefetchWorker(cpu::Core &core, SdhpSim &s, Chunk rows, unsigned dist)
+{
+    auto jb = static_cast<std::uint32_t>(
+        co_await core.load(s.m.row_ptr.addr(rows.begin), 4));
+    for (std::uint64_t r = rows.begin; r < rows.end; ++r) {
+        auto je = static_cast<std::uint32_t>(
+            co_await core.load(s.m.row_ptr.addr(r + 1), 4));
+        for (std::uint32_t j = jb; j < je; ++j) {
+            if (j + dist < je) {  // same-row prefetch: the row base differs
+                auto cd = static_cast<std::uint32_t>(
+                    co_await core.load(s.m.col_idx.addr(j + dist), 4));
+                co_await core.compute(4);
+                co_await core.prefetchL1(denseAddr(s, r, cd));
+            }
+            auto c = static_cast<std::uint32_t>(
+                co_await core.load(s.m.col_idx.addr(j), 4));
+            float v = f32FromBits(co_await core.load(s.m.vals.addr(j), 4));
+            float d = f32FromBits(co_await core.load(denseAddr(s, r, c), 4));
+            co_await core.compute(1);
+            co_await core.store(s.out.addr(j), bitsFromF32(v * d), 4);
+        }
+        jb = je;
+    }
+}
+
+sim::Task<void>
+limaWorker(cpu::Core &core, SdhpSim &s, core::MapleApi &api, unsigned q)
+{
+    // One LIMA per row (the row selects the dense-matrix base), launched one
+    // row ahead of consumption so fetches overlap the current row's work.
+    const std::uint32_t rows = s.rows;
+    auto pb = static_cast<std::uint32_t>(co_await core.load(s.m.row_ptr.addr(0), 4));
+    std::uint32_t pe0 = static_cast<std::uint32_t>(
+        co_await core.load(s.m.row_ptr.addr(1), 4));
+    core::LimaRequest req;
+    req.b_base = s.m.col_idx.addr(0);
+    req.a_base = denseAddr(s, 0, 0);
+    req.start = pb;
+    req.end = pe0;
+    req.target_queue = q;
+    co_await api.lima(core, req);
+
+    PairedConsumer cons{api, q, s.m.col_idx.size(), false, 0};
+    auto jb = pb;
+    std::uint32_t next_b = pe0;
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        if (r + 1 < rows) {
+            auto ne = static_cast<std::uint32_t>(
+                co_await core.load(s.m.row_ptr.addr(r + 2), 4));
+            req.a_base = denseAddr(s, r + 1, 0);
+            req.start = next_b;
+            req.end = ne;
+            co_await api.lima(core, req);
+            next_b = ne;
+        }
+        auto je = static_cast<std::uint32_t>(
+            co_await core.load(s.m.row_ptr.addr(r + 1), 4));
+        for (std::uint32_t j = jb; j < je; ++j) {
+            float v = f32FromBits(co_await core.load(s.m.vals.addr(j), 4));
+            float d = f32FromBits(co_await cons.next(core));
+            co_await core.compute(1);
+            co_await core.store(s.out.addr(j), bitsFromF32(v * d), 4);
+        }
+        jb = je;
+    }
+}
+
+sim::Task<void>
+mapleAccess(cpu::Core &core, SdhpSim &s, core::MapleApi &api, unsigned q, Chunk rows)
+{
+    auto jb = static_cast<std::uint32_t>(
+        co_await core.load(s.m.row_ptr.addr(rows.begin), 4));
+    for (std::uint64_t r = rows.begin; r < rows.end; ++r) {
+        auto je = static_cast<std::uint32_t>(
+            co_await core.load(s.m.row_ptr.addr(r + 1), 4));
+        for (std::uint32_t j = jb; j < je; ++j) {
+            auto c = static_cast<std::uint32_t>(
+                co_await core.load(s.m.col_idx.addr(j), 4));
+            co_await core.compute(1);
+            co_await api.producePtr(core, q, denseAddr(s, r, c));
+        }
+        jb = je;
+    }
+}
+
+sim::Task<void>
+mapleExecute(cpu::Core &core, SdhpSim &s, core::MapleApi &api, unsigned q, Chunk rows)
+{
+    auto jb = static_cast<std::uint32_t>(
+        co_await core.load(s.m.row_ptr.addr(rows.begin), 4));
+    for (std::uint64_t r = rows.begin; r < rows.end; ++r) {
+        auto je = static_cast<std::uint32_t>(
+            co_await core.load(s.m.row_ptr.addr(r + 1), 4));
+        for (std::uint32_t j = jb; j < je; ++j) {
+            float v = f32FromBits(co_await core.load(s.m.vals.addr(j), 4));
+            float d = f32FromBits(co_await api.consume(core, q));
+            co_await core.compute(1);
+            co_await core.store(s.out.addr(j), bitsFromF32(v * d), 4);
+        }
+        jb = je;
+    }
+}
+
+sim::Task<void>
+swqAccess(cpu::Core &core, SdhpSim &s, baselines::SwQueue &swq, Chunk rows)
+{
+    auto jb = static_cast<std::uint32_t>(
+        co_await core.load(s.m.row_ptr.addr(rows.begin), 4));
+    for (std::uint64_t r = rows.begin; r < rows.end; ++r) {
+        auto je = static_cast<std::uint32_t>(
+            co_await core.load(s.m.row_ptr.addr(r + 1), 4));
+        for (std::uint32_t j = jb; j < je; ++j) {
+            auto c = static_cast<std::uint32_t>(
+                co_await core.load(s.m.col_idx.addr(j), 4));
+            std::uint64_t d = co_await core.load(denseAddr(s, r, c), 4);
+            co_await swq.produce(core, d);
+        }
+        jb = je;
+    }
+}
+
+sim::Task<void>
+swqExecute(cpu::Core &core, SdhpSim &s, baselines::SwQueue &swq, Chunk rows)
+{
+    auto jb = static_cast<std::uint32_t>(
+        co_await core.load(s.m.row_ptr.addr(rows.begin), 4));
+    for (std::uint64_t r = rows.begin; r < rows.end; ++r) {
+        auto je = static_cast<std::uint32_t>(
+            co_await core.load(s.m.row_ptr.addr(r + 1), 4));
+        for (std::uint32_t j = jb; j < je; ++j) {
+            float v = f32FromBits(co_await core.load(s.m.vals.addr(j), 4));
+            float d = f32FromBits(co_await swq.consume(core));
+            co_await core.compute(1);
+            co_await core.store(s.out.addr(j), bitsFromF32(v * d), 4);
+        }
+        jb = je;
+    }
+}
+
+sim::Task<void>
+descSupply(sim::EventQueue &eq, cpu::Core &core, SdhpSim &s,
+           baselines::DescQueue &dq, Chunk rows, const bool *exec_done)
+{
+    auto jb = static_cast<std::uint32_t>(
+        co_await core.load(s.m.row_ptr.addr(rows.begin), 4));
+    for (std::uint64_t r = rows.begin; r < rows.end; ++r) {
+        auto je = static_cast<std::uint32_t>(
+            co_await core.load(s.m.row_ptr.addr(r + 1), 4));
+        co_await dq.produceValue(core, (std::uint64_t(je - jb) << 32) | jb);
+        for (std::uint32_t j = jb; j < je; ++j) {
+            auto c = static_cast<std::uint32_t>(
+                co_await core.load(s.m.col_idx.addr(j), 4));
+            co_await core.compute(1);
+            co_await dq.produceLoad(core, s.m.vals.addr(j), 4);
+            co_await dq.produceLoad(core, denseAddr(s, r, c), 4);
+        }
+        while (co_await dq.drainOneStore(core)) {
+        }
+        jb = je;
+    }
+    while (!*exec_done || !dq.storeQueueEmpty()) {
+        if (!co_await dq.drainOneStore(core))
+            co_await sim::delay(eq, 20);
+    }
+}
+
+sim::Task<void>
+descCompute(cpu::Core &core, SdhpSim &s, baselines::DescQueue &dq, Chunk rows,
+            bool *exec_done)
+{
+    for (std::uint64_t r = rows.begin; r < rows.end; ++r) {
+        std::uint64_t hdr = co_await dq.consume(core);
+        auto n = static_cast<std::uint32_t>(hdr >> 32);
+        auto jb = static_cast<std::uint32_t>(hdr & 0xffffffffu);
+        for (std::uint32_t k = 0; k < n; ++k) {
+            float v = f32FromBits(co_await dq.consume(core));
+            float d = f32FromBits(co_await dq.consume(core));
+            co_await core.compute(1);
+            co_await dq.produceStore(core, s.out.addr(jb + k), bitsFromF32(v * d));
+        }
+    }
+    *exec_done = true;
+}
+
+class Sdhp final : public Workload {
+  public:
+    Sdhp(std::uint32_t rows, std::uint32_t cols, std::uint32_t nnz_per_row,
+         std::uint64_t seed)
+        : m_(makeSkewedSparse(rows, cols, nnz_per_row, seed, 5.0)),
+          dense_(makeDenseVector(std::uint64_t(rows) * cols, seed ^ 0xfeed))
+    {
+        golden_.resize(m_.nnz());
+        for (std::uint32_t r = 0; r < rows; ++r)
+            for (std::uint32_t j = m_.row_ptr[r]; j < m_.row_ptr[r + 1]; ++j)
+                golden_[j] = m_.vals[j] * dense_[std::uint64_t(r) * cols + m_.col_idx[j]];
+    }
+
+    std::string name() const override { return "sdhp"; }
+    RunResult run(const RunConfig &cfg) override;
+
+  private:
+    SparseMatrix m_;
+    std::vector<float> dense_;
+    std::vector<float> golden_;
+};
+
+RunResult
+Sdhp::run(const RunConfig &cfg)
+{
+    RunResult res;
+    res.workload = name();
+    res.technique = techniqueName(cfg.tech);
+
+    unsigned threads = cfg.tech == Technique::NoPrefetch ||
+                               cfg.tech == Technique::SwPrefetch ||
+                               cfg.tech == Technique::LimaPrefetch
+                           ? 1
+                           : cfg.threads;
+
+    soc::SocConfig scfg = cfg.soc;
+    scfg.num_cores = std::max(scfg.num_cores, threads);
+    soc::Soc soc(scfg);
+    os::Process &proc = soc.createProcess("sdhp");
+
+    SdhpSim s;
+    s.m = SimCsr::upload(proc, m_, true);
+    s.dense = SimArray<float>(proc, dense_.size(), "dense");
+    s.dense.upload(dense_);
+    s.out = SimArray<float>(proc, m_.nnz(), "out");
+    s.rows = m_.rows;
+    s.cols = m_.cols;
+
+    std::optional<core::MapleApi> api;
+    std::optional<baselines::DropletPrefetcher> droplet;
+    std::vector<std::unique_ptr<baselines::SwQueue>> swqs;
+    std::vector<std::unique_ptr<baselines::DescQueue>> descs;
+    std::unique_ptr<bool[]> exec_done;
+
+    const bool decoupled = cfg.tech == Technique::MapleDecouple ||
+                           cfg.tech == Technique::SwDecouple ||
+                           cfg.tech == Technique::Desc;
+    unsigned pairs = decoupled ? std::max(1u, threads / 2) : 0;
+
+    if (cfg.tech == Technique::MapleDecouple || cfg.tech == Technique::LimaPrefetch) {
+        api.emplace(core::MapleApi::attach(proc, soc.maple()));
+        unsigned queues = cfg.tech == Technique::LimaPrefetch ? 1 : pairs;
+        auto setup = [](core::MapleApi &a, cpu::Core &c, unsigned nq,
+                        unsigned entries) -> sim::Task<void> {
+            co_await a.init(c, nq, entries, 4);
+            for (unsigned q = 0; q < nq; ++q) {
+                bool ok = co_await a.open(c, q);
+                MAPLE_ASSERT(ok, "failed to open MAPLE queue %u", q);
+            }
+        };
+        soc.run({sim::spawn(setup(*api, soc.core(0), queues, cfg.queue_entries))},
+                cfg.max_cycles);
+    } else if (cfg.tech == Technique::SwDecouple) {
+        for (unsigned p = 0; p < pairs; ++p)
+            swqs.push_back(std::make_unique<baselines::SwQueue>(proc, 1024));
+    } else if (cfg.tech == Technique::Desc) {
+        exec_done = std::make_unique<bool[]>(pairs);
+        for (unsigned p = 0; p < pairs; ++p)
+            descs.push_back(std::make_unique<baselines::DescQueue>(
+                soc.eq(), soc.physMem(), soc.addLlcPort(soc.coreTile(2 * p))));
+    } else if (cfg.tech == Technique::Droplet) {
+        // DROPLET registers one (index, data) physical pair; the Hadamard
+        // product's data base moves with the sparse row, which region-based
+        // registration cannot express -- the prefetcher covers row 0's slice
+        // only (a real limitation of region-bound indirect prefetchers).
+        droplet.emplace(soc);
+        droplet->bind(proc, s.m.col_idx.addr(0), s.m.col_idx.size(), 4,
+                      s.dense.addr(0), 4);
+    }
+
+    std::vector<sim::Join> joins;
+    switch (cfg.tech) {
+      case Technique::Doall:
+      case Technique::NoPrefetch:
+      case Technique::Droplet:
+        for (unsigned t = 0; t < threads; ++t)
+            joins.push_back(sim::spawn(
+                doallWorker(soc.core(t), s, chunkOf(m_.rows, t, threads))));
+        break;
+      case Technique::SwPrefetch:
+        joins.push_back(sim::spawn(swPrefetchWorker(
+            soc.core(0), s, Chunk{0, m_.rows}, cfg.prefetch_distance)));
+        break;
+      case Technique::LimaPrefetch:
+        joins.push_back(sim::spawn(limaWorker(soc.core(0), s, *api, 0)));
+        break;
+      case Technique::MapleDecouple:
+        for (unsigned p = 0; p < pairs; ++p) {
+            Chunk rows = chunkOf(m_.rows, p, pairs);
+            joins.push_back(sim::spawn(mapleAccess(soc.core(2 * p), s, *api, p, rows)));
+            joins.push_back(sim::spawn(mapleExecute(soc.core(2 * p + 1), s, *api, p, rows)));
+        }
+        break;
+      case Technique::SwDecouple:
+        for (unsigned p = 0; p < pairs; ++p) {
+            Chunk rows = chunkOf(m_.rows, p, pairs);
+            joins.push_back(sim::spawn(swqAccess(soc.core(2 * p), s, *swqs[p], rows)));
+            joins.push_back(sim::spawn(swqExecute(soc.core(2 * p + 1), s, *swqs[p], rows)));
+        }
+        break;
+      case Technique::Desc:
+        for (unsigned p = 0; p < pairs; ++p) {
+            Chunk rows = chunkOf(m_.rows, p, pairs);
+            joins.push_back(sim::spawn(descSupply(soc.eq(), soc.core(2 * p), s,
+                                                  *descs[p], rows, &exec_done[p])));
+            joins.push_back(sim::spawn(descCompute(soc.core(2 * p + 1), s,
+                                                   *descs[p], rows, &exec_done[p])));
+        }
+        break;
+    }
+
+    res.cycles = soc.run(std::move(joins), cfg.max_cycles);
+
+    std::vector<float> out = s.out.download();
+    res.valid = true;
+    for (size_t j = 0; j < golden_.size(); ++j) {
+        res.checksum += bitsFromF32(out[j]);
+        if (bitsFromF32(out[j]) != bitsFromF32(golden_[j]))
+            res.valid = false;
+    }
+    collectCoreStats(soc, res);
+    return res;
+}
+
+}  // namespace
+
+std::unique_ptr<Workload>
+makeSdhp(std::uint32_t rows, std::uint32_t cols, std::uint32_t nnz_per_row,
+         std::uint64_t seed)
+{
+    return std::make_unique<Sdhp>(rows, cols, nnz_per_row, seed);
+}
+
+}  // namespace maple::app

@@ -1,0 +1,61 @@
+#include "workloads/workload.hpp"
+
+namespace maple::app {
+
+const char *
+techniqueName(Technique t)
+{
+    switch (t) {
+      case Technique::Doall: return "doall";
+      case Technique::SwDecouple: return "sw-decouple";
+      case Technique::MapleDecouple: return "maple-decouple";
+      case Technique::NoPrefetch: return "no-prefetch";
+      case Technique::SwPrefetch: return "sw-prefetch";
+      case Technique::LimaPrefetch: return "maple-lima";
+      case Technique::Desc: return "desc";
+      case Technique::Droplet: return "droplet";
+    }
+    return "?";
+}
+
+Chunk
+chunkOf(std::uint64_t total, unsigned t, unsigned n)
+{
+    MAPLE_ASSERT(n > 0 && t < n);
+    std::uint64_t per = total / n;
+    std::uint64_t rem = total % n;
+    std::uint64_t begin = t * per + std::min<std::uint64_t>(t, rem);
+    std::uint64_t len = per + (t < rem ? 1 : 0);
+    return Chunk{begin, begin + len};
+}
+
+void
+collectCoreStats(soc::Soc &soc, RunResult &r)
+{
+    double latency_weighted = 0.0;
+    std::uint64_t total_loads = 0;
+    for (unsigned i = 0; i < soc.numCores(); ++i) {
+        cpu::Core &c = soc.core(i);
+        r.instructions += c.instructions();
+        r.loads += c.loads();
+        r.stores += c.stores();
+        std::uint64_t l = c.loads();
+        latency_weighted += c.meanLoadLatency() * static_cast<double>(l);
+        total_loads += l;
+    }
+    r.mean_load_latency =
+        total_loads ? latency_weighted / static_cast<double>(total_loads) : 0.0;
+}
+
+std::vector<std::unique_ptr<Workload>>
+allWorkloads()
+{
+    std::vector<std::unique_ptr<Workload>> ws;
+    ws.push_back(makeSdhp());
+    ws.push_back(makeSpmm());
+    ws.push_back(makeSpmv());
+    ws.push_back(makeBfs());
+    return ws;
+}
+
+}  // namespace maple::app

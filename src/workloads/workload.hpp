@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Common framework for the four paper workloads (SPMV, SDHP, SPMM, BFS).
+ *
+ * A Workload owns a host-side dataset plus a host-computed golden result.
+ * run() builds a fresh SoC, uploads the dataset into a simulated process,
+ * executes the requested technique as coroutine "threads" on the simulated
+ * cores, and returns cycle counts, instruction/load counters and a checksum
+ * validated against the golden result -- so every performance number the
+ * benches print comes from a functionally-correct execution.
+ */
+#pragma once
+
+#include <bit>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/maple_runtime.hpp"
+#include "soc/soc.hpp"
+#include "workloads/data.hpp"
+
+namespace maple::app {
+
+/** Latency-tolerance technique under evaluation. */
+enum class Technique {
+    Doall,          ///< plain thread parallelism (baseline of Figs 8/12/13)
+    SwDecouple,     ///< shared-memory access/execute decoupling
+    MapleDecouple,  ///< access/execute decoupling through MAPLE
+    NoPrefetch,     ///< single-thread baseline of Fig 9
+    SwPrefetch,     ///< software prefetch instructions into the L1
+    LimaPrefetch,   ///< MAPLE LIMA non-speculative prefetch into queues
+    Desc,           ///< DeSC-style decoupled supply-compute (Fig 12)
+    Droplet,        ///< DROPLET-style indirect HW prefetcher (Fig 12)
+};
+
+const char *techniqueName(Technique t);
+
+struct RunConfig {
+    Technique tech = Technique::Doall;
+    unsigned threads = 2;          ///< total simulated software threads
+    unsigned queue_entries = 32;   ///< MAPLE queue depth (decoupling)
+    unsigned prefetch_distance = 8;
+    soc::SocConfig soc = soc::SocConfig::fpga();
+    sim::Cycle max_cycles = 2'000'000'000ull;
+};
+
+struct RunResult {
+    std::string workload;
+    std::string technique;
+    sim::Cycle cycles = 0;
+    std::uint64_t checksum = 0;
+    bool valid = false;            ///< checksum matched the golden result
+    bool fell_back_to_doall = false;
+    std::uint64_t instructions = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    double mean_load_latency = 0.0;
+};
+
+class Workload {
+  public:
+    virtual ~Workload() = default;
+    virtual std::string name() const = 0;
+    virtual RunResult run(const RunConfig &cfg) = 0;
+};
+
+/// @name Workload factories (paper Section 4.1). Small/default sizes are
+/// tuned so a full figure sweep runs in seconds while arrays still exceed
+/// the 64KB LLC (the regime where latency tolerance matters).
+/// @{
+std::unique_ptr<Workload> makeSpmv(std::uint32_t rows = 4096,
+                                   std::uint32_t cols = 65536,
+                                   std::uint32_t nnz_per_row = 8,
+                                   std::uint64_t seed = 1);
+std::unique_ptr<Workload> makeSdhp(std::uint32_t rows = 2048,
+                                   std::uint32_t cols = 1024,
+                                   std::uint32_t nnz_per_row = 16,
+                                   std::uint64_t seed = 2);
+std::unique_ptr<Workload> makeSpmm(std::uint32_t dim = 256,
+                                   std::uint32_t nnz_per_row = 8,
+                                   std::uint64_t seed = 3);
+std::unique_ptr<Workload> makeBfs(unsigned scale = 15, unsigned edge_factor = 8,
+                                  std::uint64_t seed = 4);
+/// @}
+
+/** All four, in the order the paper's figures list them. */
+std::vector<std::unique_ptr<Workload>> allWorkloads();
+
+/// @name Helpers shared by the workload implementations
+/// @{
+
+inline float f32FromBits(std::uint64_t v) { return std::bit_cast<float>(static_cast<std::uint32_t>(v)); }
+inline std::uint32_t bitsFromF32(float f) { return std::bit_cast<std::uint32_t>(f); }
+
+/** Contiguous [begin, end) chunk of @p total for worker @p t of @p n. */
+struct Chunk {
+    std::uint64_t begin, end;
+};
+Chunk chunkOf(std::uint64_t total, unsigned t, unsigned n);
+
+/** Sum per-core stats into @p r after a run. */
+void collectCoreStats(soc::Soc &soc, RunResult &r);
+
+/**
+ * Consumes a stream of 4-byte queue entries using ConsumePair (one 8-byte
+ * load pops two entries -- the Figure 10 load-count reduction), falling back
+ * to single consumes for a trailing odd element.
+ */
+struct PairedConsumer {
+    core::MapleApi &api;
+    unsigned q;
+    std::uint64_t remaining;  ///< total elements left in the whole stream
+    bool have_left = false;
+    std::uint32_t leftover = 0;
+
+    sim::Task<std::uint32_t>
+    next(cpu::Core &core)
+    {
+        MAPLE_ASSERT(remaining > 0, "consumed past the end of the stream");
+        if (have_left) {
+            have_left = false;
+            --remaining;
+            co_return leftover;
+        }
+        if (remaining >= 2) {
+            std::uint64_t pair = co_await api.consumePair(core, q);
+            leftover = static_cast<std::uint32_t>(pair >> 32);
+            have_left = true;
+            --remaining;
+            co_return static_cast<std::uint32_t>(pair & 0xffffffffu);
+        }
+        --remaining;
+        co_return static_cast<std::uint32_t>(co_await api.consume(core, q));
+    }
+};
+
+/// @}
+
+}  // namespace maple::app

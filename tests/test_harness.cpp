@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the experiment harness: grid bookkeeping, checksum enforcement
+ * (a technique that corrupts results must abort the bench, never print a
+ * number), and the table printers.
+ */
+#include <gtest/gtest.h>
+
+#include "harness/figures.hpp"
+
+using namespace maple;
+using namespace maple::harness;
+
+namespace {
+
+/** Minimal fake workload with controllable validity. */
+class FakeWorkload final : public app::Workload {
+  public:
+    FakeWorkload(std::string name, bool valid) : name_(std::move(name)), valid_(valid) {}
+
+    std::string name() const override { return name_; }
+
+    app::RunResult
+    run(const app::RunConfig &cfg) override
+    {
+        app::RunResult r;
+        r.workload = name_;
+        r.technique = app::techniqueName(cfg.tech);
+        // Deterministic but technique-dependent "performance".
+        r.cycles = 1000 + 100 * static_cast<unsigned>(cfg.tech);
+        r.valid = valid_;
+        r.loads = 42;
+        return r;
+    }
+
+  private:
+    std::string name_;
+    bool valid_;
+};
+
+}  // namespace
+
+TEST(Harness, GridStoresAndRetrievesCells)
+{
+    Grid g;
+    app::RunResult r;
+    r.workload = "w";
+    r.technique = app::techniqueName(app::Technique::Doall);
+    r.cycles = 123;
+    g.put(r);
+    EXPECT_EQ(g.at("w", app::Technique::Doall).cycles, 123u);
+    EXPECT_THROW(g.at("w", app::Technique::Desc), std::logic_error);
+    EXPECT_THROW(g.at("nope", app::Technique::Doall), std::logic_error);
+}
+
+TEST(Harness, RunGridCoversTheFullCross)
+{
+    std::vector<std::unique_ptr<app::Workload>> ws;
+    ws.push_back(std::make_unique<FakeWorkload>("alpha", true));
+    ws.push_back(std::make_unique<FakeWorkload>("beta", true));
+    app::RunConfig base;
+    std::vector<app::Technique> techs = {app::Technique::Doall,
+                                         app::Technique::MapleDecouple};
+    Grid g = runGrid(ws, techs, base);
+    for (const char *w : {"alpha", "beta"})
+        for (app::Technique t : techs)
+            EXPECT_GT(g.at(w, t).cycles, 0u);
+}
+
+TEST(Harness, RunGridTweakAdjustsPerTechnique)
+{
+    std::vector<std::unique_ptr<app::Workload>> ws;
+    ws.push_back(std::make_unique<FakeWorkload>("alpha", true));
+    unsigned seen_threads = 0;
+    Grid g = runGrid(
+        ws, {app::Technique::Doall}, app::RunConfig{},
+        [&](app::RunConfig &cfg, app::Technique) { seen_threads = cfg.threads = 7; });
+    EXPECT_EQ(seen_threads, 7u);
+}
+
+TEST(Harness, InvalidResultAbortsTheBench)
+{
+    std::vector<std::unique_ptr<app::Workload>> ws;
+    ws.push_back(std::make_unique<FakeWorkload>("broken", false));
+    EXPECT_THROW(runGrid(ws, {app::Technique::Doall}, app::RunConfig{}),
+                 std::runtime_error)
+        << "a checksum mismatch must never be reported as a performance number";
+}
+
+TEST(Harness, SpeedupTablePrintsWithoutCrashing)
+{
+    std::vector<std::unique_ptr<app::Workload>> ws;
+    ws.push_back(std::make_unique<FakeWorkload>("alpha", true));
+    std::vector<app::Technique> techs = {app::Technique::Doall,
+                                         app::Technique::MapleDecouple};
+    Grid g = runGrid(ws, techs, app::RunConfig{});
+    printSpeedupTable("unit-test table", g, workloadNames(ws),
+                      {app::Technique::MapleDecouple}, app::Technique::Doall);
+    printMetricTable("unit-test metric", g, workloadNames(ws), techs,
+                     [](const app::RunResult &r) { return double(r.loads); },
+                     "x");
+    SUCCEED();
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the read-modify-write extension (Section 3 names atomic RMW as a
+ * natural extension of MAPLE's programming model): offloaded fetch-and-add
+ * with old values delivered through the queues in program order.
+ */
+#include <gtest/gtest.h>
+
+#include "core/maple_runtime.hpp"
+#include "soc/soc.hpp"
+
+using namespace maple;
+using core::MapleApi;
+
+namespace {
+
+struct AmoFixture {
+    soc::Soc soc{soc::SocConfig::fpga()};
+    os::Process &proc{soc.createProcess("amo")};
+    MapleApi api{MapleApi::attach(proc, soc.maple())};
+};
+
+}  // namespace
+
+TEST(MapleAmo, FetchAndAddReturnsOldValuesInOrder)
+{
+    AmoFixture f;
+    sim::Addr counter = f.proc.alloc(64, "counter");
+    f.proc.writeScalar<std::uint32_t>(counter, 100);
+
+    std::vector<std::uint64_t> olds;
+    auto t = [&](cpu::Core &c) -> sim::Task<void> {
+        co_await f.api.init(c, 1, 16, 4);
+        bool ok = co_await f.api.open(c, 0);
+        EXPECT_TRUE(ok);
+        co_await f.api.setAmoAddend(c, 0, 3);
+        for (int i = 0; i < 10; ++i)
+            co_await f.api.produceAmoAdd(c, 0, counter);
+        for (int i = 0; i < 10; ++i)
+            olds.push_back(co_await f.api.consume(c, 0));
+    };
+    f.soc.run({sim::spawn(t(f.soc.core(0)))}, 10'000'000);
+
+    ASSERT_EQ(olds.size(), 10u);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(olds[i], 100u + 3 * i) << "old values out of program order";
+    EXPECT_EQ(f.proc.readScalar<std::uint32_t>(counter), 130u);
+}
+
+TEST(MapleAmo, HistogramBuildMatchesGolden)
+{
+    AmoFixture f;
+    constexpr int kKeys = 64, kSamples = 400;
+    sim::Addr hist = f.proc.alloc(kKeys * 4, "hist");
+    sim::Addr keys = f.proc.alloc(kSamples * 4, "keys");
+    std::vector<std::uint32_t> golden(kKeys, 0);
+    for (int i = 0; i < kSamples; ++i) {
+        std::uint32_t k = (i * 2654435761u) % kKeys;
+        f.proc.writeScalar<std::uint32_t>(keys + 4 * i, k);
+        ++golden[k];
+    }
+
+    // Access streams keys and offloads the histogram increments to MAPLE;
+    // consumed old values are discarded (fire-and-forget pattern needs the
+    // consume to reclaim the slot).
+    auto t = [&](cpu::Core &c) -> sim::Task<void> {
+        co_await f.api.init(c, 1, 32, 4);
+        bool ok = co_await f.api.open(c, 0);
+        EXPECT_TRUE(ok);
+        co_await f.api.setAmoAddend(c, 0, 1);
+        int outstanding = 0;
+        for (int i = 0; i < kSamples; ++i) {
+            std::uint64_t k = co_await c.load(keys + 4 * i, 4);
+            co_await f.api.produceAmoAdd(c, 0, hist + 4 * k);
+            if (++outstanding == 16) {
+                for (int d = 0; d < 16; ++d)
+                    (void)co_await f.api.consume(c, 0);
+                outstanding = 0;
+            }
+        }
+        for (int d = 0; d < outstanding; ++d)
+            (void)co_await f.api.consume(c, 0);
+    };
+    f.soc.run({sim::spawn(t(f.soc.core(0)))}, 50'000'000);
+
+    for (int k = 0; k < kKeys; ++k)
+        ASSERT_EQ(f.proc.readScalar<std::uint32_t>(hist + 4 * k), golden[k])
+            << "histogram bucket " << k;
+}
+
+TEST(MapleAmo, ConcurrentOffloadedAtomicsNeverLoseUpdates)
+{
+    AmoFixture f;
+    sim::Addr counter = f.proc.alloc(64, "counter");
+
+    auto worker = [&](cpu::Core &c, unsigned q) -> sim::Task<void> {
+        bool ok = co_await f.api.open(c, q);
+        EXPECT_TRUE(ok);
+        co_await f.api.setAmoAddend(c, q, 1);
+        for (int i = 0; i < 50; ++i) {
+            co_await f.api.produceAmoAdd(c, q, counter);
+            (void)co_await f.api.consume(c, q);
+        }
+    };
+    auto setup = [&](cpu::Core &c) -> sim::Task<void> {
+        co_await f.api.init(c, 2, 16, 4);
+    };
+    f.soc.run({sim::spawn(setup(f.soc.core(0)))}, 1'000'000);
+    f.soc.run({sim::spawn(worker(f.soc.core(0), 0)),
+               sim::spawn(worker(f.soc.core(1), 1))},
+              50'000'000);
+    EXPECT_EQ(f.proc.readScalar<std::uint32_t>(counter), 100u);
+}
+
+TEST(MapleAmo, MixesWithDataAndPointerProducesInOneQueue)
+{
+    AmoFixture f;
+    sim::Addr mem = f.proc.alloc(256, "mem");
+    f.proc.writeScalar<std::uint32_t>(mem, 7);        // pointer target
+    f.proc.writeScalar<std::uint32_t>(mem + 64, 50);  // amo target
+
+    std::vector<std::uint64_t> got;
+    auto t = [&](cpu::Core &c) -> sim::Task<void> {
+        co_await f.api.init(c, 1, 8, 4);
+        bool ok = co_await f.api.open(c, 0);
+        EXPECT_TRUE(ok);
+        co_await f.api.setAmoAddend(c, 0, 5);
+        co_await f.api.produce(c, 0, 1);             // data
+        co_await f.api.producePtr(c, 0, mem);        // pointer -> 7
+        co_await f.api.produceAmoAdd(c, 0, mem + 64);// amo -> old 50
+        co_await f.api.produce(c, 0, 2);             // data
+        for (int i = 0; i < 4; ++i)
+            got.push_back(co_await f.api.consume(c, 0));
+    };
+    f.soc.run({sim::spawn(t(f.soc.core(0)))}, 10'000'000);
+
+    ASSERT_EQ(got.size(), 4u);
+    EXPECT_EQ(got[0], 1u);
+    EXPECT_EQ(got[1], 7u);
+    EXPECT_EQ(got[2], 50u);
+    EXPECT_EQ(got[3], 2u);
+    EXPECT_EQ(f.proc.readScalar<std::uint32_t>(mem + 64), 55u);
+}

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for the micro-OS: frame allocation, process address spaces,
+ * guard pages, demand paging, MMIO mapping and TLB-shootdown broadcast.
+ */
+#include <gtest/gtest.h>
+
+#include "os/kernel.hpp"
+#include "mem/timed_mem.hpp"
+
+using namespace maple;
+using namespace maple::os;
+
+namespace {
+
+struct OsFixture {
+    sim::EventQueue eq;
+    mem::PhysicalMemory pm{1 << 24};
+    Kernel kernel{eq, pm};
+    Process &proc{kernel.createProcess("p0")};
+};
+
+}  // namespace
+
+TEST(FrameAllocator, AllocatesDistinctAlignedFrames)
+{
+    FrameAllocator fa(0, 1 << 16);
+    std::set<sim::Addr> frames;
+    for (int i = 0; i < 16; ++i) {
+        sim::Addr f = fa.alloc();
+        EXPECT_EQ(f & mem::kPageMask, 0u);
+        EXPECT_TRUE(frames.insert(f).second) << "duplicate frame";
+    }
+    EXPECT_THROW(fa.alloc(), std::logic_error) << "exhaustion must be fatal";
+}
+
+TEST(Process, AllocMapsZeroedWritableMemory)
+{
+    OsFixture f;
+    sim::Addr a = f.proc.alloc(10000, "x");
+    EXPECT_EQ(f.proc.readScalar<std::uint64_t>(a + 9992), 0u);
+    f.proc.writeScalar<std::uint32_t>(a + 100, 42);
+    EXPECT_EQ(f.proc.readScalar<std::uint32_t>(a + 100), 42u);
+    auto pa = f.proc.pageTable().translate(a, mem::Perms{true});
+    EXPECT_TRUE(pa.has_value());
+}
+
+TEST(Process, RegionsAreSeparatedByGuardPages)
+{
+    OsFixture f;
+    sim::Addr a = f.proc.alloc(mem::kPageSize, "a");
+    sim::Addr b = f.proc.alloc(mem::kPageSize, "b");
+    ASSERT_LT(a, b);
+    // There is at least one unmapped page between the regions.
+    bool gap = false;
+    for (sim::Addr va = a + mem::kPageSize; va < b; va += mem::kPageSize)
+        gap |= !f.proc.pageTable().walk(va).has_value();
+    EXPECT_TRUE(gap);
+    EXPECT_FALSE(f.proc.owns(a + mem::kPageSize)) << "guard page owned";
+}
+
+TEST(Process, LazyRegionFaultsThenDemandMaps)
+{
+    OsFixture f;
+    sim::Addr a = f.proc.allocLazy(4 * mem::kPageSize, "lazy");
+    EXPECT_TRUE(f.proc.owns(a));
+    EXPECT_FALSE(f.proc.pageTable().walk(a).has_value());
+    EXPECT_TRUE(f.proc.demandMap(a + mem::kPageSize));
+    EXPECT_TRUE(f.proc.pageTable().walk(a + mem::kPageSize).has_value());
+    EXPECT_FALSE(f.proc.demandMap(0xdead'0000)) << "foreign address mapped";
+}
+
+TEST(Process, CrossPageFunctionalReadWrite)
+{
+    OsFixture f;
+    sim::Addr a = f.proc.alloc(3 * mem::kPageSize, "big");
+    std::vector<std::uint8_t> data(2 * mem::kPageSize + 100);
+    for (size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i);
+    f.proc.writeBytes(a + 50, data.data(), data.size());
+    std::vector<std::uint8_t> back(data.size());
+    f.proc.readBytes(a + 50, back.data(), back.size());
+    EXPECT_EQ(data, back);
+}
+
+TEST(Process, MapMmioCreatesUserMapping)
+{
+    OsFixture f;
+    sim::Addr mmio_pa = 0x40'0000;  // pretend device page
+    sim::Addr va = f.proc.mapMmio(mmio_pa);
+    auto pa = f.proc.pageTable().translate(va + 0x18, mem::Perms{true});
+    ASSERT_TRUE(pa.has_value());
+    EXPECT_EQ(*pa, mmio_pa + 0x18);
+}
+
+TEST(Process, UnmapBroadcastsShootdownToAllAttachedMmus)
+{
+    OsFixture f;
+    mem::FixedLatencyMem port(f.eq, 1);
+    mem::Mmu mmu_a(f.eq, f.pm, port, 8);
+    mem::Mmu mmu_b(f.eq, f.pm, port, 8);
+    f.proc.attachMmu(&mmu_a);
+    f.proc.attachMmu(&mmu_b);
+
+    sim::Addr a = f.proc.alloc(mem::kPageSize, "x");
+    // Warm both TLBs.
+    auto warm = [&](mem::Mmu &m) {
+        auto t = [&]() -> sim::Task<void> {
+            mem::Translation tr = co_await m.translate(a, false);
+            EXPECT_FALSE(tr.fault);
+        };
+        sim::Join j = sim::spawn(t());
+        f.eq.run();
+        j.get();
+    };
+    warm(mmu_a);
+    warm(mmu_b);
+    EXPECT_TRUE(mmu_a.tlb().lookup(a).has_value());
+    EXPECT_TRUE(mmu_b.tlb().lookup(a).has_value());
+
+    f.proc.unmapPage(a);
+    EXPECT_FALSE(mmu_a.tlb().lookup(a).has_value());
+    EXPECT_FALSE(mmu_b.tlb().lookup(a).has_value());
+}
+
+TEST(Kernel, FaultHandlerChargesLatencyAndMaps)
+{
+    OsFixture f;
+    sim::Addr a = f.proc.allocLazy(mem::kPageSize, "lazy");
+    auto handler = f.kernel.makeFaultHandler(f.proc);
+    bool resolved = false;
+    sim::Cycle start = f.eq.now();
+    auto t = [&]() -> sim::Task<void> { resolved = co_await handler(a, true); };
+    sim::Join j = sim::spawn(t());
+    f.eq.run();
+    j.get();
+    EXPECT_TRUE(resolved);
+    EXPECT_EQ(f.eq.now() - start, f.kernel.params().fault_latency);
+    EXPECT_EQ(f.kernel.faultsServiced(), 1u);
+    EXPECT_TRUE(f.proc.pageTable().walk(a).has_value());
+}
+
+TEST(Kernel, ProcessesHaveDisjointAddressSpaces)
+{
+    OsFixture f;
+    Process &p2 = f.kernel.createProcess("p1");
+    sim::Addr a1 = f.proc.alloc(mem::kPageSize, "x");
+    sim::Addr a2 = p2.alloc(mem::kPageSize, "x");
+    // Same virtual layout...
+    EXPECT_EQ(a1, a2);
+    // ...but different physical frames.
+    auto pa1 = f.proc.pageTable().translate(a1, mem::Perms{});
+    auto pa2 = p2.pageTable().translate(a2, mem::Perms{});
+    ASSERT_TRUE(pa1 && pa2);
+    EXPECT_NE(*pa1, *pa2);
+    f.proc.writeScalar<std::uint64_t>(a1, 111);
+    p2.writeScalar<std::uint64_t>(a2, 222);
+    EXPECT_EQ(f.proc.readScalar<std::uint64_t>(a1), 111u);
+    EXPECT_EQ(p2.readScalar<std::uint64_t>(a2), 222u);
+}

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue ordering, coroutine
+ * tasks, futures, delays, barriers, stats.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/coro.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+#include "sim/sync.hpp"
+
+using namespace maple::sim;
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] { order.push_back(2); });
+    eq.schedule(5, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(3); });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 20u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(7, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.scheduleIn(4, [&] { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 5u);
+}
+
+TEST(EventQueue, SchedulingIntoThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [&] {
+        EXPECT_THROW(eq.schedule(5, [] {}), std::logic_error);
+    });
+    eq.run();
+}
+
+TEST(EventQueue, RunRespectsMaxCycles)
+{
+    EventQueue eq;
+    bool fired = false;
+    eq.schedule(100, [&] { fired = true; });
+    EXPECT_FALSE(eq.run(50));
+    EXPECT_FALSE(fired);
+    EXPECT_TRUE(eq.run());
+    EXPECT_TRUE(fired);
+}
+
+namespace {
+
+Task<int>
+addLater(EventQueue &eq, int a, int b)
+{
+    co_await delay(eq, 10);
+    co_return a + b;
+}
+
+Task<void>
+outer(EventQueue &eq, int *result)
+{
+    int x = co_await addLater(eq, 2, 3);
+    int y = co_await addLater(eq, x, 10);
+    *result = y;
+}
+
+}  // namespace
+
+TEST(Coro, NestedTasksPropagateValues)
+{
+    EventQueue eq;
+    int result = 0;
+    Join j = spawn(outer(eq, &result));
+    eq.run();
+    ASSERT_TRUE(j.done());
+    j.get();
+    EXPECT_EQ(result, 15);
+    EXPECT_EQ(eq.now(), 20u);
+}
+
+TEST(Coro, ExceptionsSurfaceThroughJoin)
+{
+    EventQueue eq;
+    auto thrower = [](EventQueue &q) -> Task<void> {
+        co_await delay(q, 1);
+        throw std::runtime_error("boom");
+    };
+    Join j = spawn(thrower(eq));
+    eq.run();
+    ASSERT_TRUE(j.done());
+    EXPECT_THROW(j.get(), std::runtime_error);
+}
+
+TEST(Coro, FutureFulfilledBeforeAwait)
+{
+    EventQueue eq;
+    Future<int> f;
+    f.set(42);
+    int got = 0;
+    auto waiter = [&]() -> Task<void> { got = co_await f; };
+    Join j = spawn(waiter());
+    eq.run();
+    j.get();
+    EXPECT_EQ(got, 42);
+}
+
+TEST(Coro, FutureResumesMultipleWaitersFifo)
+{
+    EventQueue eq;
+    Future<int> f;
+    std::vector<int> order;
+    auto waiter = [&](int id) -> Task<void> {
+        int v = co_await f;
+        order.push_back(id * 100 + v);
+    };
+    Join j1 = spawn(waiter(1));
+    Join j2 = spawn(waiter(2));
+    Join j3 = spawn(waiter(3));
+    eq.schedule(5, [&] { f.set(7); });
+    eq.run();
+    j1.get();
+    j2.get();
+    j3.get();
+    EXPECT_EQ(order, (std::vector<int>{107, 207, 307}));
+}
+
+TEST(Coro, FutureDoubleSetPanics)
+{
+    Future<int> f;
+    f.set(1);
+    EXPECT_THROW(f.set(2), std::logic_error);
+}
+
+TEST(Coro, ZeroDelayDoesNotSuspend)
+{
+    EventQueue eq;
+    bool done = false;
+    auto t = [&]() -> Task<void> {
+        co_await delay(eq, 0);
+        done = true;
+    };
+    spawn(t());
+    // No events needed: the task completed synchronously at spawn.
+    EXPECT_TRUE(done);
+}
+
+TEST(Barrier, ReleasesAllPartiesTogether)
+{
+    EventQueue eq;
+    Barrier bar(3);
+    std::vector<Cycle> release_times;
+    auto party = [&](Cycle arrive_at) -> Task<void> {
+        co_await delay(eq, arrive_at);
+        co_await bar.wait();
+        release_times.push_back(eq.now());
+    };
+    std::vector<Join> joins;
+    joins.push_back(spawn(party(5)));
+    joins.push_back(spawn(party(17)));
+    joins.push_back(spawn(party(11)));
+    eq.run();
+    for (auto &j : joins)
+        j.get();
+    ASSERT_EQ(release_times.size(), 3u);
+    for (Cycle t : release_times)
+        EXPECT_EQ(t, 17u);  // all release when the last party arrives
+}
+
+TEST(Barrier, IsReusableAcrossGenerations)
+{
+    EventQueue eq;
+    Barrier bar(2);
+    int rounds_a = 0, rounds_b = 0;
+    auto party = [&](int *rounds, Cycle step) -> Task<void> {
+        for (int r = 0; r < 5; ++r) {
+            co_await delay(eq, step);
+            co_await bar.wait();
+            ++*rounds;
+        }
+    };
+    Join a = spawn(party(&rounds_a, 3));
+    Join b = spawn(party(&rounds_b, 9));
+    eq.run();
+    a.get();
+    b.get();
+    EXPECT_EQ(rounds_a, 5);
+    EXPECT_EQ(rounds_b, 5);
+}
+
+TEST(Stats, GeomeanMatchesHandComputation)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_NEAR(geomean({1.5, 2.0, 3.0}), std::cbrt(9.0), 1e-12);
+    EXPECT_THROW(geomean({}), std::logic_error);
+    EXPECT_THROW(geomean({1.0, -2.0}), std::logic_error);
+}
+
+TEST(Stats, HistogramPercentiles)
+{
+    Histogram h(1.0, 16);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i % 10);
+    EXPECT_EQ(h.total(), 100u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.05), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.95), 9.0);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123), c(124);
+    bool all_equal = true, any_diff_seed_diff = false;
+    for (int i = 0; i < 1000; ++i) {
+        auto va = a.next(), vb = b.next(), vc = c.next();
+        all_equal &= (va == vb);
+        any_diff_seed_diff |= (va != vc);
+    }
+    EXPECT_TRUE(all_equal);
+    EXPECT_TRUE(any_diff_seed_diff);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(r.below(37), 37u);
+}
+
+TEST(Rng, UniformCoversUnitInterval)
+{
+    Rng r(99);
+    double mn = 1.0, mx = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        mn = std::min(mn, u);
+        mx = std::max(mx, u);
+    }
+    EXPECT_LT(mn, 0.01);
+    EXPECT_GT(mx, 0.99);
+}

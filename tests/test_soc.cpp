@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the SoC assembly: address map, configuration resolution, tile
+ * placement, the LLC front-end interposer and the run() error paths.
+ */
+#include <gtest/gtest.h>
+
+#include "core/maple_runtime.hpp"
+#include "soc/soc.hpp"
+
+using namespace maple;
+using namespace maple::soc;
+
+TEST(AddressMap, FindsOwningWindow)
+{
+    AddressMap amap;
+    struct Dummy : MmioDevice {
+        sim::Task<std::uint64_t> mmioLoad(sim::Addr, unsigned, sim::ThreadId) override
+        {
+            co_return 0;
+        }
+        sim::Task<void> mmioStore(sim::Addr, std::uint64_t, unsigned, sim::ThreadId) override
+        {
+            co_return;
+        }
+    } dev;
+    amap.addDevice(0x10000, 0x1000, &dev, 3);
+    EXPECT_TRUE(amap.isMmio(0x10000));
+    EXPECT_TRUE(amap.isMmio(0x10fff));
+    EXPECT_FALSE(amap.isMmio(0x11000));
+    EXPECT_FALSE(amap.isMmio(0xffff));
+    const auto *w = amap.find(0x10800);
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(w->tile, 3u);
+    EXPECT_EQ(w->device, &dev);
+}
+
+TEST(AddressMap, RejectsOverlappingWindows)
+{
+    AddressMap amap;
+    struct Dummy : MmioDevice {
+        sim::Task<std::uint64_t> mmioLoad(sim::Addr, unsigned, sim::ThreadId) override
+        {
+            co_return 0;
+        }
+        sim::Task<void> mmioStore(sim::Addr, std::uint64_t, unsigned, sim::ThreadId) override
+        {
+            co_return;
+        }
+    } dev;
+    amap.addDevice(0x10000, 0x2000, &dev, 0);
+    EXPECT_THROW(amap.addDevice(0x11000, 0x1000, &dev, 0), std::logic_error);
+    EXPECT_THROW(amap.addDevice(0x0f000, 0x2000, &dev, 0), std::logic_error);
+}
+
+TEST(Soc, FpgaConfigMatchesTable2)
+{
+    Soc soc(SocConfig::fpga());
+    EXPECT_EQ(soc.numCores(), 2u);
+    EXPECT_EQ(soc.numMaples(), 1u);
+    EXPECT_EQ(soc.config().l1.size_bytes, 8u * 1024);
+    EXPECT_EQ(soc.config().llc.size_bytes, 64u * 1024);
+    EXPECT_EQ(soc.config().dram.latency, 300u);
+    EXPECT_EQ(soc.maple().params().scratchpad_bytes, 1024u);
+    EXPECT_EQ(soc.maple().params().tlb_entries, 16u);
+}
+
+TEST(Soc, AutoMeshFitsAllTiles)
+{
+    SocConfig cfg = SocConfig::fpga();
+    cfg.num_cores = 8;
+    cfg.num_maples = 2;
+    cfg.mesh_width = 0;
+    cfg.mesh_height = 0;
+    Soc soc(cfg);
+    EXPECT_GE(soc.mesh().numTiles(), 11u);
+    // Tile ids are distinct and within the mesh.
+    std::set<sim::TileId> tiles;
+    for (unsigned i = 0; i < 8; ++i)
+        tiles.insert(soc.coreTile(i));
+    tiles.insert(soc.mapleTile(0));
+    tiles.insert(soc.mapleTile(1));
+    tiles.insert(soc.memTile());
+    EXPECT_EQ(tiles.size(), 11u);
+    for (sim::TileId t : tiles)
+        EXPECT_LT(t, soc.mesh().numTiles());
+}
+
+TEST(Soc, TooSmallExplicitMeshPanics)
+{
+    SocConfig cfg = SocConfig::fpga();
+    cfg.num_cores = 6;  // 6 + 1 maple + 1 mem > 2x2
+    EXPECT_THROW(Soc{cfg}, std::logic_error);
+}
+
+TEST(Soc, MapleMmioWindowLiesAboveDram)
+{
+    Soc soc(SocConfig::fpga());
+    EXPECT_GE(soc.maple().params().mmio_base, soc.config().dram_bytes);
+    EXPECT_TRUE(soc.addressMap().isMmio(soc.maple().params().mmio_base));
+    EXPECT_FALSE(soc.addressMap().isMmio(soc.config().dram_bytes - 8));
+}
+
+TEST(Soc, MultipleMaplesGetDistinctPagesAndTiles)
+{
+    SocConfig cfg = SocConfig::fpga();
+    cfg.num_maples = 2;
+    cfg.mesh_width = 0;
+    cfg.mesh_height = 0;
+    Soc soc(cfg);
+    EXPECT_NE(soc.maple(0).params().mmio_base, soc.maple(1).params().mmio_base);
+    EXPECT_NE(soc.mapleTile(0), soc.mapleTile(1));
+
+    // Both instances are independently usable from one process.
+    os::Process &proc = soc.createProcess("multi");
+    core::MapleApi api0 = core::MapleApi::attach(proc, soc.maple(0));
+    core::MapleApi api1 = core::MapleApi::attach(proc, soc.maple(1));
+    EXPECT_NE(api0.base(), api1.base());
+
+    auto t = [&](cpu::Core &c) -> sim::Task<void> {
+        co_await api0.init(c, 1, 8, 8);
+        co_await api1.init(c, 1, 8, 8);
+        bool ok0 = co_await api0.open(c, 0);
+        bool ok1 = co_await api1.open(c, 0);
+        EXPECT_TRUE(ok0);
+        EXPECT_TRUE(ok1);
+        co_await api0.produce(c, 0, 11);
+        co_await api1.produce(c, 0, 22);
+        EXPECT_EQ(co_await api0.consume(c, 0), 11u);
+        EXPECT_EQ(co_await api1.consume(c, 0), 22u);
+    };
+    soc.run({sim::spawn(t(soc.core(0)))}, 1'000'000);
+}
+
+TEST(Soc, RunSurfacesWorkloadExceptions)
+{
+    Soc soc(SocConfig::fpga());
+    auto boom = [](sim::EventQueue &eq) -> sim::Task<void> {
+        co_await sim::delay(eq, 10);
+        throw std::runtime_error("workload bug");
+    };
+    EXPECT_THROW(soc.run({sim::spawn(boom(soc.eq()))}), std::runtime_error);
+}
+
+TEST(Soc, RunDetectsNonQuiescence)
+{
+    Soc soc(SocConfig::fpga());
+    auto forever = [](sim::EventQueue &eq) -> sim::Task<void> {
+        for (;;)
+            co_await sim::delay(eq, 100);
+    };
+    EXPECT_THROW(soc.run({sim::spawn(forever(soc.eq()))}, 10'000),
+                 std::runtime_error);
+}
+
+TEST(LlcFrontEnd, ObserverSeesAllAccesses)
+{
+    Soc soc(SocConfig::fpga());
+    os::Process &proc = soc.createProcess("obs");
+    sim::Addr buf = proc.alloc(4096, "buf");
+    int reads = 0, writes = 0;
+    soc.llcFront().setObserver(
+        [&](sim::Addr, std::uint32_t, mem::AccessKind k) {
+            reads += k == mem::AccessKind::Read;
+            writes += k == mem::AccessKind::Write;
+        });
+    auto t = [&](cpu::Core &c) -> sim::Task<void> {
+        (void)co_await c.load(buf, 8);          // L1 miss -> LLC read
+        co_await c.store(buf + 2048, 1, 8);     // miss -> LLC read (fill)
+        co_await c.storeFence();
+    };
+    soc.run({sim::spawn(t(soc.core(0)))}, 1'000'000);
+    EXPECT_GE(reads, 2);  // includes page-table walker traffic
+    soc.llcFront().setObserver({});
+}

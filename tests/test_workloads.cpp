@@ -1,0 +1,217 @@
+/**
+ * @file
+ * End-to-end workload tests: every (workload x technique) combination must
+ * produce a bitwise-correct result, and the headline performance orderings
+ * from the paper must hold on small inputs.
+ */
+#include <gtest/gtest.h>
+
+#include "workloads/workload.hpp"
+
+using namespace maple;
+using app::RunConfig;
+using app::RunResult;
+using app::Technique;
+
+namespace {
+
+RunResult
+runSmall(app::Workload &w, Technique t, unsigned threads = 2)
+{
+    RunConfig cfg;
+    cfg.tech = t;
+    cfg.threads = threads;
+    return w.run(cfg);
+}
+
+constexpr Technique kAllTechniques[] = {
+    Technique::Doall,        Technique::SwDecouple, Technique::MapleDecouple,
+    Technique::NoPrefetch,   Technique::SwPrefetch, Technique::LimaPrefetch,
+    Technique::Desc,         Technique::Droplet,
+};
+
+}  // namespace
+
+class SpmvAllTechniques : public ::testing::TestWithParam<Technique> {};
+
+TEST_P(SpmvAllTechniques, ProducesCorrectResult)
+{
+    auto w = app::makeSpmv(256, 8192, 8, 42);
+    RunResult r = runSmall(*w, GetParam());
+    EXPECT_TRUE(r.valid) << "wrong result for " << r.technique;
+    EXPECT_GT(r.cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SpmvAllTechniques, ::testing::ValuesIn(kAllTechniques),
+    [](const ::testing::TestParamInfo<Technique> &info) {
+        std::string s = app::techniqueName(info.param);
+        for (char &c : s)
+            if (c == '-')
+                c = '_';
+        return s;
+    });
+
+TEST(SpmvOrdering, MapleDecoupleBeatsSwDecouple)
+{
+    auto w = app::makeSpmv(512, 16384, 8, 7);
+    RunResult maple = runSmall(*w, Technique::MapleDecouple);
+    RunResult sw = runSmall(*w, Technique::SwDecouple);
+    ASSERT_TRUE(maple.valid);
+    ASSERT_TRUE(sw.valid);
+    EXPECT_LT(maple.cycles, sw.cycles);
+}
+
+TEST(SpmvOrdering, LimaBeatsSwPrefetchAndNoPrefetch)
+{
+    auto w = app::makeSpmv(512, 16384, 8, 7);
+    RunResult lima = runSmall(*w, Technique::LimaPrefetch, 1);
+    RunResult swp = runSmall(*w, Technique::SwPrefetch, 1);
+    RunResult none = runSmall(*w, Technique::NoPrefetch, 1);
+    ASSERT_TRUE(lima.valid);
+    ASSERT_TRUE(swp.valid);
+    ASSERT_TRUE(none.valid);
+    EXPECT_LT(lima.cycles, swp.cycles);
+    EXPECT_LT(lima.cycles, none.cycles);
+}
+
+TEST(SpmvOrdering, SwPrefetchRoughlyDoublesLoads)
+{
+    auto w = app::makeSpmv(512, 16384, 8, 7);
+    RunResult swp = runSmall(*w, Technique::SwPrefetch, 1);
+    RunResult none = runSmall(*w, Technique::NoPrefetch, 1);
+    double ratio = double(swp.loads) / double(none.loads);
+    EXPECT_GT(ratio, 1.5);
+    EXPECT_LT(ratio, 2.5);
+}
+
+TEST(SpmvOrdering, LimaReducesLoadsBelowBaseline)
+{
+    auto w = app::makeSpmv(512, 16384, 8, 7);
+    RunResult lima = runSmall(*w, Technique::LimaPrefetch, 1);
+    RunResult none = runSmall(*w, Technique::NoPrefetch, 1);
+    EXPECT_LT(lima.loads, none.loads);
+}
+
+// ---------------------------------------------------------------------------
+// Every workload x every technique must produce bitwise-correct results.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+enum class Wl { Sdhp, Spmm, Bfs };
+
+std::unique_ptr<app::Workload>
+makeSmall(Wl w)
+{
+    switch (w) {
+      case Wl::Sdhp: return app::makeSdhp(256, 512, 8, 21);
+      case Wl::Spmm: return app::makeSpmm(96, 4, 22);
+      case Wl::Bfs: return app::makeBfs(10, 8, 23);
+    }
+    return nullptr;
+}
+
+}  // namespace
+
+class AllWorkloadsAllTechniques
+    : public ::testing::TestWithParam<std::tuple<Wl, Technique>> {};
+
+TEST_P(AllWorkloadsAllTechniques, ProducesCorrectResult)
+{
+    auto [wl, tech] = GetParam();
+    auto w = makeSmall(wl);
+    RunResult r = runSmall(*w, tech);
+    EXPECT_TRUE(r.valid) << r.workload << " wrong under " << r.technique;
+    EXPECT_GT(r.cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllWorkloadsAllTechniques,
+    ::testing::Combine(::testing::Values(Wl::Sdhp, Wl::Spmm, Wl::Bfs),
+                       ::testing::ValuesIn(kAllTechniques)),
+    [](const ::testing::TestParamInfo<std::tuple<Wl, Technique>> &info) {
+        const char *wl = std::get<0>(info.param) == Wl::Sdhp   ? "sdhp"
+                         : std::get<0>(info.param) == Wl::Spmm ? "spmm"
+                                                               : "bfs";
+        std::string t = app::techniqueName(std::get<1>(info.param));
+        for (char &c : t)
+            if (c == '-')
+                c = '_';
+        return std::string(wl) + "_" + t;
+    });
+
+TEST(WorkloadThreads, ResultsCorrectAcrossThreadCounts)
+{
+    auto bfs = app::makeBfs(10, 8, 31);
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        RunConfig cfg;
+        cfg.tech = Technique::Doall;
+        cfg.threads = threads;
+        cfg.soc.num_cores = threads;
+        cfg.soc.mesh_width = 0;
+        cfg.soc.mesh_height = 0;
+        RunResult r = bfs->run(cfg);
+        EXPECT_TRUE(r.valid) << "bfs wrong with " << threads << " threads";
+    }
+}
+
+TEST(WorkloadThreads, MapleDecoupleCorrectWithFourPairs)
+{
+    auto spmv = app::makeSpmv(512, 8192, 8, 33);
+    RunConfig cfg;
+    cfg.tech = Technique::MapleDecouple;
+    cfg.threads = 8;  // 4 Access/Execute pairs sharing one MAPLE
+    cfg.soc.num_cores = 8;
+    cfg.soc.mesh_width = 0;
+    cfg.soc.mesh_height = 0;
+    RunResult r = spmv->run(cfg);
+    EXPECT_TRUE(r.valid);
+}
+
+TEST(WorkloadInvariants, SpmmDecouplingFallsBackToDoall)
+{
+    auto spmm = app::makeSpmm(96, 4, 41);
+    RunResult doall = runSmall(*spmm, Technique::Doall);
+    RunResult maple = runSmall(*spmm, Technique::MapleDecouple);
+    RunResult desc = runSmall(*spmm, Technique::Desc);
+    EXPECT_FALSE(doall.fell_back_to_doall);
+    EXPECT_TRUE(maple.fell_back_to_doall);
+    EXPECT_TRUE(desc.fell_back_to_doall);
+    // Fallback means literally the same execution.
+    EXPECT_EQ(maple.cycles, doall.cycles);
+}
+
+TEST(WorkloadInvariants, DeterministicCycleCounts)
+{
+    auto w = app::makeSpmv(256, 8192, 8, 55);
+    RunResult a = runSmall(*w, Technique::MapleDecouple);
+    RunResult b = runSmall(*w, Technique::MapleDecouple);
+    EXPECT_EQ(a.cycles, b.cycles) << "simulation must be deterministic";
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.checksum, b.checksum);
+}
+
+TEST(WorkloadInvariants, QueueSizeMonotonicity)
+{
+    auto w = app::makeSpmv(512, 16384, 8, 66);
+    sim::Cycle prev = sim::kCycleMax;
+    for (unsigned entries : {4u, 16u, 64u}) {
+        RunConfig cfg;
+        cfg.tech = Technique::MapleDecouple;
+        cfg.queue_entries = entries;
+        RunResult r = w->run(cfg);
+        ASSERT_TRUE(r.valid);
+        EXPECT_LE(r.cycles, prev + prev / 10)
+            << "larger queues should not make things much worse";
+        prev = r.cycles;
+    }
+}
+
+TEST(WorkloadInvariants, BfsHandlesSingleVertexComponent)
+{
+    // A scale-2 graph with few edges: degenerate frontiers must terminate.
+    auto w = app::makeBfs(2, 1, 3);
+    RunResult r = runSmall(*w, Technique::Doall);
+    EXPECT_TRUE(r.valid);
+}

@@ -12,9 +12,11 @@
  *   5. PRODUCE_PTR / CONSUME-- the decoupled access/execute loop
  */
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "core/maple_runtime.hpp"
+#include "harness/figures.hpp"
 #include "soc/soc.hpp"
 
 using namespace maple;
@@ -59,8 +61,17 @@ executeThread(cpu::Core &core, core::MapleApi &api, sim::Addr out)
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --trace=out.json [--trace-csv=out.csv --trace-interval=N] captures a
+    // Perfetto-loadable trace. Only the decoupled run below is traced: grab
+    // the knobs here and keep the baseline SoC from seeing MAPLE_TRACE.
+    harness::applyTraceFlags(argc, argv);
+    trace::TraceConfig tracecfg;
+    tracecfg.mergeEnv();
+    unsetenv("MAPLE_TRACE");
+    unsetenv("MAPLE_TRACE_CSV");
+
     std::printf("MAPLE quickstart: decoupling a gather of %u elements\n\n", kN);
 
     // --- Run 1: one in-order core, no MAPLE -------------------------------
@@ -83,7 +94,9 @@ main()
     // --- Run 2: Access + Execute threads through MAPLE --------------------
     sim::Cycle maple_cycles;
     {
-        soc::Soc soc(soc::SocConfig::fpga());
+        soc::SocConfig cfg = soc::SocConfig::fpga();
+        cfg.trace = tracecfg;
+        soc::Soc soc(cfg);
         os::Process &proc = soc.createProcess("quickstart");
         sim::Addr a = proc.alloc(kN * 4, "A");
         sim::Addr b = proc.alloc(kN * 4, "B");

@@ -24,6 +24,18 @@ Maple::Maple(sim::EventQueue &eq, MapleParams params, MapleWiring wiring)
         params_.max_queues, params_.scratchpad_bytes / (params_.max_queues * 4), 4));
 }
 
+trace::TraceManager *
+Maple::tracer()
+{
+    trace::TraceManager *t = trace::active(eq_);
+    if (t && tr_produce_ == trace::TraceManager::kNone) {
+        tr_produce_ = t->laneGroup(params_.name + ".produce");
+        tr_consume_ = t->laneGroup(params_.name + ".consume");
+        tr_config_ = t->laneGroup(params_.name + ".config");
+    }
+    return t;
+}
+
 MapleQueue &
 Maple::queue(unsigned idx)
 {
@@ -137,6 +149,8 @@ Maple::mmioStore(sim::Addr paddr, std::uint64_t data, unsigned size, sim::Thread
 sim::Task<void>
 Maple::produceData(unsigned q, std::uint64_t data)
 {
+    trace::LaneSpan span(tracer(), tr_produce_, "produce_data",
+                         trace::Category::Maple);
     co_await pipeEnter(produce_free_);
     bumpCounter(Counter::ProducedData);
     if (params_.shared_pipeline_hazard)
@@ -152,13 +166,22 @@ Maple::produceData(unsigned q, std::uint64_t data)
 sim::Task<void>
 Maple::producePtr(unsigned q, sim::Addr vaddr)
 {
+    trace::LaneSpan span(tracer(), tr_produce_, "produce_ptr",
+                         trace::Category::Maple);
     co_await pipeEnter(produce_free_);
     bumpCounter(Counter::ProducedPtrs);
 
     // Produce buffer: bounded number of produces between decode and issue.
+    sim::Cycle buf_wait_start = eq_.now();
     while (produce_inflight_ >= params_.produce_buffer) {
         sim::Signal wait = produce_buffer_wait_;
         co_await wait;
+    }
+    if (eq_.now() != buf_wait_start) {
+        if (auto *t = tracer()) {
+            t->attributeStall(trace::StallCause::ProduceBuffer,
+                              eq_.now() - buf_wait_start);
+        }
     }
     ++produce_inflight_;
     if (params_.shared_pipeline_hazard)
@@ -180,7 +203,15 @@ Maple::pointerProduceInner(unsigned q, sim::Addr vaddr)
     unsigned generation = queue_generation_[q];
 
     // Translate in MAPLE's own MMU (may walk page tables / fault to driver).
+    // A TLB hit completes in zero cycles, so any elapsed time is walk/fault.
+    sim::Cycle xlate_start = eq_.now();
     mem::Translation tr = co_await mmu_.translate(vaddr, /*write=*/false);
+    if (eq_.now() != xlate_start) {
+        if (auto *t = tracer()) {
+            t->attributeStall(trace::StallCause::TlbMiss,
+                              eq_.now() - xlate_start);
+        }
+    }
     if (tr.fault) {
         MAPLE_WARN("%s: unresolved fault for va 0x%llx; poisoning slot",
                    params_.name.c_str(), (unsigned long long)vaddr);
@@ -204,8 +235,13 @@ Maple::pointerlessEnqueueWait(unsigned q)
         sim::Signal wait = queue.spaceSignal();
         co_await wait;
     }
-    if (eq_.now() != wait_start)
+    if (eq_.now() != wait_start) {
         bumpCounter(Counter::FullStallCycles, eq_.now() - wait_start);
+        if (auto *t = tracer()) {
+            t->attributeStall(trace::StallCause::QueueFull,
+                              eq_.now() - wait_start);
+        }
+    }
 }
 
 sim::Task<void>
@@ -215,7 +251,11 @@ Maple::fetchIntoSlot(unsigned q, unsigned generation, unsigned slot,
     bumpCounter(Counter::MemRequests);
     mem::TimedMem *port = params_.fetch_via_llc && w_.llc_port ? w_.llc_port
                                                                : w_.dram_port;
+    sim::Cycle fetch_start = eq_.now();
     co_await port->access(paddr, bytes, mem::AccessKind::Read);
+    if (auto *t = tracer()) {
+        t->attributeStall(trace::StallCause::Dram, eq_.now() - fetch_start);
+    }
     if (generation != queue_generation_[q])
         co_return;  // queue was closed/reconfigured while the fetch flew
     std::uint64_t value = 0;
@@ -226,12 +266,21 @@ Maple::fetchIntoSlot(unsigned q, unsigned generation, unsigned slot,
 sim::Task<void>
 Maple::produceAmoAdd(unsigned q, sim::Addr vaddr)
 {
+    trace::LaneSpan span(tracer(), tr_produce_, "produce_amo",
+                         trace::Category::Maple);
     co_await pipeEnter(produce_free_);
     bumpCounter(Counter::ProducedPtrs);
 
+    sim::Cycle buf_wait_start = eq_.now();
     while (produce_inflight_ >= params_.produce_buffer) {
         sim::Signal wait = produce_buffer_wait_;
         co_await wait;
+    }
+    if (eq_.now() != buf_wait_start) {
+        if (auto *t = tracer()) {
+            t->attributeStall(trace::StallCause::ProduceBuffer,
+                              eq_.now() - buf_wait_start);
+        }
     }
     ++produce_inflight_;
     co_await pointerlessEnqueueWait(q);
@@ -243,7 +292,14 @@ Maple::produceAmoAdd(unsigned q, sim::Addr vaddr)
     // arbitrary order), but RMWs must linearize in program order or the
     // old-value FIFO contract breaks.
     std::uint64_t ticket = amo_seq_alloc_[q]++;
+    sim::Cycle xlate_start = eq_.now();
     mem::Translation tr = co_await mmu_.translate(vaddr, /*write=*/true);
+    if (eq_.now() != xlate_start) {
+        if (auto *t = tracer()) {
+            t->attributeStall(trace::StallCause::TlbMiss,
+                              eq_.now() - xlate_start);
+        }
+    }
     while (amo_seq_commit_[q] != ticket) {
         sim::Signal wait = amo_commit_wait_;
         co_await wait;
@@ -276,7 +332,11 @@ Maple::amoIntoSlot(unsigned q, unsigned generation, unsigned slot,
     bumpCounter(Counter::MemRequests);
     // Atomics are coherent: charge an LLC round trip for the RMW.
     mem::TimedMem *port = w_.llc_port ? w_.llc_port : w_.dram_port;
+    sim::Cycle rmw_start = eq_.now();
     co_await port->access(paddr, bytes, mem::AccessKind::Write);
+    if (auto *t = tracer()) {
+        t->attributeStall(trace::StallCause::Dram, eq_.now() - rmw_start);
+    }
     if (generation != queue_generation_[q])
         co_return;
     queues_[q].fillSlot(slot, old_value);
@@ -289,6 +349,9 @@ Maple::amoIntoSlot(unsigned q, unsigned generation, unsigned slot,
 sim::Task<std::uint64_t>
 Maple::consume(unsigned q, bool pair)
 {
+    trace::LaneSpan span(tracer(), tr_consume_,
+                         pair ? "consume_pair" : "consume",
+                         trace::Category::Maple);
     // Ablation: with a single shared pipeline, consumes serialize behind
     // produces -- including produces parked on a full queue (deadlock).
     co_await pipeEnter(params_.shared_pipeline_hazard ? produce_free_
@@ -308,14 +371,20 @@ Maple::consume(unsigned q, bool pair)
         sim::Signal wait = queue.dataSignal();
         co_await wait;
     }
-    if (eq_.now() != wait_start)
+    if (eq_.now() != wait_start) {
         bumpCounter(Counter::EmptyStallCycles, eq_.now() - wait_start);
+        if (auto *t = tracer()) {
+            t->attributeStall(trace::StallCause::QueueEmpty,
+                              eq_.now() - wait_start);
+        }
+    }
 
     std::uint64_t value = queue.pop();
     if (pair)
         value |= queue.pop() << 32;
     bumpCounter(Counter::Consumed, needed);
     stats_.average("occupancy_at_consume").sample(queue.occupancy());
+    stats_.histogram("consume_occupancy").sample(queue.occupancy());
     if (params_.shared_pipeline_hazard)
         releasePipeHead();
     co_return value;
@@ -328,6 +397,8 @@ Maple::consume(unsigned q, bool pair)
 sim::Task<std::uint64_t>
 Maple::configLoad(unsigned q, LoadOp op, unsigned raw_op)
 {
+    trace::LaneSpan span(tracer(), tr_config_, "config_load",
+                         trace::Category::Maple);
     co_await pipeEnter(config_free_);
     if (raw_op >= static_cast<unsigned>(LoadOp::CounterBase)) {
         unsigned idx = raw_op - static_cast<unsigned>(LoadOp::CounterBase);
@@ -354,6 +425,8 @@ Maple::configLoad(unsigned q, LoadOp op, unsigned raw_op)
 sim::Task<void>
 Maple::configStore(unsigned q, StoreOp op, std::uint64_t data)
 {
+    trace::LaneSpan span(tracer(), tr_config_, "config_store",
+                         trace::Category::Maple);
     co_await pipeEnter(config_free_);
     switch (op) {
       case StoreOp::Close:

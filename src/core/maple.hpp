@@ -37,6 +37,7 @@
 #include "sim/coro.hpp"
 #include "sim/stats.hpp"
 #include "soc/address_map.hpp"
+#include "trace/trace.hpp"
 
 namespace maple::core {
 
@@ -86,6 +87,10 @@ class Maple : public soc::MmioDevice {
 
     MapleQueue &queue(unsigned idx);
     const MapleParams &params() const { return params_; }
+
+    /** Pointer-produces currently between decode and issue (telemetry). */
+    unsigned produceInflight() const { return produce_inflight_; }
+
     std::uint64_t counter(Counter c) const
     {
         return counters_[static_cast<size_t>(c)].value();
@@ -148,6 +153,12 @@ class Maple : public soc::MmioDevice {
         counters_[static_cast<size_t>(c)].inc(n);
     }
 
+    /**
+     * Active tracer or nullptr; lazily creates the per-pipeline lane groups
+     * on first use so construction order doesn't matter.
+     */
+    trace::TraceManager *tracer();
+
     sim::EventQueue &eq_;
     MapleParams params_;
     MapleWiring w_;
@@ -188,6 +199,12 @@ class Maple : public soc::MmioDevice {
 
     sim::Addr last_fault_vaddr_ = 0;
     std::array<sim::Counter, static_cast<size_t>(Counter::kCount)> counters_;
+
+    // Tracing lane groups, one per pipeline (Figure 6); kNone until a tracer
+    // is seen.
+    trace::TraceManager::LaneGroupId tr_produce_ = trace::TraceManager::kNone;
+    trace::TraceManager::LaneGroupId tr_consume_ = trace::TraceManager::kNone;
+    trace::TraceManager::LaneGroupId tr_config_ = trace::TraceManager::kNone;
 };
 
 }  // namespace maple::core

@@ -10,6 +10,7 @@
  */
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -33,6 +34,7 @@ class MapleQueue {
         data_.assign(capacity, 0);
         valid_.assign(capacity, false);
         head_ = tail_ = reserved_ = 0;
+        peak_occupancy_ = 0;
         open_ = false;
         configured_ = true;
         wakeSpace();
@@ -48,6 +50,7 @@ class MapleQueue {
         data_.clear();
         valid_.clear();
         head_ = tail_ = reserved_ = 0;
+        peak_occupancy_ = 0;
         wakeSpace();
         wakeData();
     }
@@ -57,6 +60,9 @@ class MapleQueue {
     unsigned capacity() const { return capacity_; }
     unsigned entryBytes() const { return entry_bytes_; }
     unsigned occupancy() const { return reserved_; }
+
+    /** High-water mark of occupancy since configure() (telemetry). */
+    unsigned peakOccupancy() const { return peak_occupancy_; }
     bool full() const { return reserved_ == capacity_; }
     bool empty() const { return reserved_ == 0; }
 
@@ -92,6 +98,7 @@ class MapleQueue {
         unsigned slot = tail_;
         tail_ = (tail_ + 1) % capacity_;
         ++reserved_;
+        peak_occupancy_ = std::max(peak_occupancy_, reserved_);
         return slot;
     }
 
@@ -163,6 +170,7 @@ class MapleQueue {
     unsigned head_ = 0;
     unsigned tail_ = 0;
     unsigned reserved_ = 0;
+    unsigned peak_occupancy_ = 0;
     sim::Signal space_;
     sim::Signal data_sig_;
 };

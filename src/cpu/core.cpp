@@ -13,6 +13,15 @@ Core::Core(sim::EventQueue &eq, CoreParams params, CoreWiring wiring)
                  "core wiring incomplete");
 }
 
+trace::TraceManager *
+Core::tracer()
+{
+    trace::TraceManager *t = trace::active(eq_);
+    if (t && tr_track_ == trace::TraceManager::kNone)
+        tr_track_ = t->track(params_.name);
+    return t;
+}
+
 sim::Task<void>
 Core::issue(std::uint64_t insts)
 {
@@ -33,20 +42,31 @@ Core::load(sim::Addr vaddr, unsigned size)
     co_await issue();
     stats_.counter("loads").inc();
     sim::Cycle start = eq_.now();
+    trace::TraceManager *tm = tracer();
+    if (tm)
+        tm->begin(tr_track_, "load", trace::Category::Core);
 
     mem::Translation tr = co_await mmu_.translate(vaddr, false);
     if (tr.fault)
         MAPLE_FATAL("%s: load fault at va 0x%llx", params_.name.c_str(),
                     (unsigned long long)vaddr);
+    // A TLB hit translates in zero cycles, so elapsed time means a walk ran.
+    if (tm && eq_.now() > start)
+        tm->complete(tr_track_, "tlb_walk", trace::Category::Mem, start);
 
     std::uint64_t value;
     if (const auto *win = w_.amap->find(tr.paddr)) {
+        sim::Cycle mmio_start = eq_.now();
         value = co_await mmioLoad(*win, tr.paddr, size);
+        if (tm)
+            tm->complete(tr_track_, "mmio_load", trace::Category::Core, mmio_start);
     } else {
         co_await w_.l1->access(tr.paddr, size, mem::AccessKind::Read);
         value = 0;
         w_.pm->read(tr.paddr, &value, size);
     }
+    if (tm)
+        tm->end(tr_track_);
     load_latency_.sample(static_cast<double>(eq_.now() - start));
     co_return value;
 }
@@ -142,6 +162,9 @@ Core::loadShared(sim::Addr vaddr, unsigned size)
     stats_.counter("loads").inc();
     stats_.counter("shared_loads").inc();
     sim::Cycle start = eq_.now();
+    trace::TraceManager *tm = tracer();
+    if (tm)
+        tm->begin(tr_track_, "load_shared", trace::Category::Core);
     mem::Translation tr = co_await mmu_.translate(vaddr, false);
     if (tr.fault)
         MAPLE_FATAL("%s: shared load fault at va 0x%llx", params_.name.c_str(),
@@ -149,6 +172,8 @@ Core::loadShared(sim::Addr vaddr, unsigned size)
     co_await w_.atomic_port->access(tr.paddr, size, mem::AccessKind::Read);
     std::uint64_t value = 0;
     w_.pm->read(tr.paddr, &value, size);
+    if (tm)
+        tm->end(tr_track_);
     load_latency_.sample(static_cast<double>(eq_.now() - start));
     co_return value;
 }

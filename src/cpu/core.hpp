@@ -22,6 +22,7 @@
 #include "sim/coro.hpp"
 #include "sim/stats.hpp"
 #include "soc/address_map.hpp"
+#include "trace/trace.hpp"
 
 namespace maple::cpu {
 
@@ -122,6 +123,14 @@ class Core {
     sim::Task<void> drainStore(sim::Addr paddr, std::uint64_t value, unsigned size);
     sim::Task<void> issue(std::uint64_t insts = 1);
 
+    /**
+     * Active tracer or nullptr; lazily creates the core's fixed track. The
+     * core is in-order with blocking loads, so one program-visible op is in
+     * flight at a time and spans on the track nest by construction
+     * (background store-buffer drains are deliberately not traced).
+     */
+    trace::TraceManager *tracer();
+
     sim::EventQueue &eq_;
     CoreParams params_;
     CoreWiring w_;
@@ -130,6 +139,7 @@ class Core {
     sim::Average load_latency_;
     unsigned store_buffer_used_ = 0;
     sim::Signal store_buffer_wait_;
+    trace::TraceManager::TrackId tr_track_ = trace::TraceManager::kNone;
 };
 
 }  // namespace maple::cpu

@@ -76,4 +76,17 @@ void printMetricTable(
 std::vector<std::string>
 workloadNames(const std::vector<std::unique_ptr<app::Workload>> &ws);
 
+/**
+ * Translate tracing command-line flags into the MAPLE_TRACE* environment
+ * knobs read by soc::Soc, and strip them from argv so the caller's own flag
+ * parsing never sees them. Recognized (both --flag=value and --flag value):
+ *
+ *   --trace=<file.json>      enable tracing, write Chrome trace JSON
+ *   --trace-csv=<file.csv>   also write the time-series CSV
+ *   --trace-interval=<N>     probe sampling cadence in cycles
+ *
+ * Multi-SoC binaries get one trace file per SoC (".1", ".2"... suffixes).
+ */
+void applyTraceFlags(int &argc, char **argv);
+
 }  // namespace maple::harness

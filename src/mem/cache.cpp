@@ -16,6 +16,15 @@ Cache::Cache(sim::EventQueue &eq, CacheParams params, TimedMem &downstream)
     sets_.assign(num_sets_, std::vector<Way>(params_.assoc));
 }
 
+trace::TraceManager *
+Cache::tracer()
+{
+    trace::TraceManager *t = trace::active(eq_);
+    if (t && tr_miss_ == trace::TraceManager::kNone)
+        tr_miss_ = t->laneGroup(params_.name + ".miss");
+    return t;
+}
+
 size_t
 Cache::setIndex(sim::Addr line) const
 {
@@ -122,6 +131,8 @@ Cache::accessLine(sim::Addr line, AccessKind kind)
 sim::Task<void>
 Cache::handleMiss(sim::Addr line, AccessKind kind, bool &dropped)
 {
+    trace::LaneSpan span(tracer(), tr_miss_, "miss", trace::Category::Cache);
+
     // Merge into an in-flight fill for the same line.
     if (auto it = mshrs_.find(line); it != mshrs_.end()) {
         stats_.counter("mshr_merges").inc();

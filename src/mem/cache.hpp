@@ -17,6 +17,7 @@
 #include "mem/physical_memory.hpp"
 #include "mem/timed_mem.hpp"
 #include "sim/stats.hpp"
+#include "trace/trace.hpp"
 
 namespace maple::mem {
 
@@ -51,6 +52,9 @@ class Cache : public TimedMem {
     std::uint64_t demandHits() const { return stats_.counterValue("demand_hits"); }
     std::uint64_t demandMisses() const { return stats_.counterValue("demand_misses"); }
 
+    /** MSHRs currently tracking an in-flight fill (telemetry probe). */
+    std::size_t mshrsInUse() const { return mshrs_.size(); }
+
   private:
     struct Way {
         sim::Addr tag = 0;
@@ -64,6 +68,9 @@ class Cache : public TimedMem {
 
     /** Resolve a miss on @p line; merges into an existing MSHR if any. */
     sim::Task<void> handleMiss(sim::Addr line, AccessKind kind, bool &dropped);
+
+    /** Active tracer or nullptr; lazily creates the miss lane group. */
+    trace::TraceManager *tracer();
 
     size_t setIndex(sim::Addr line) const;
     Way *lookup(sim::Addr line);
@@ -81,6 +88,7 @@ class Cache : public TimedMem {
     std::unordered_map<sim::Addr, sim::Signal> mshrs_;
     sim::Signal mshr_wait_;
     sim::StatGroup stats_;
+    trace::TraceManager::LaneGroupId tr_miss_ = trace::TraceManager::kNone;
 };
 
 }  // namespace maple::mem

@@ -18,6 +18,7 @@
 #include "sim/log.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
+#include "trace/trace.hpp"
 
 namespace maple::noc {
 
@@ -39,7 +40,8 @@ class Mesh {
   public:
     Mesh(sim::EventQueue &eq, MeshParams params)
         : eq_(eq), params_(params),
-          link_free_(static_cast<size_t>(params.width) * params.height * 4, 0)
+          link_free_(static_cast<size_t>(params.width) * params.height * 4, 0),
+          link_flits_(link_free_.size(), 0)
     {
         MAPLE_ASSERT(params.width > 0 && params.height > 0);
     }
@@ -76,6 +78,7 @@ class Mesh {
         flits_.inc(flits);
         sim::Cycle start = eq_.now();
         sim::Cycle t = start;
+        sim::Cycle queued = 0;
 
         // XY route: resolve X first, then Y; reserve each directed link.
         unsigned x = xOf(src), y = yOf(src);
@@ -90,14 +93,21 @@ class Mesh {
                 dir = y < ty ? kSouth : kNorth;
                 ny = y < ty ? y + 1 : y - 1;
             }
-            sim::Cycle &free = link_free_[linkIndex(tileAt(x, y), dir)];
+            size_t link = linkIndex(tileAt(x, y), dir);
+            sim::Cycle &free = link_free_[link];
             sim::Cycle depart = std::max(t, free);
+            queued += depart - t;
             free = depart + flits;  // serialization: one flit per cycle
+            link_flits_[link] += flits;
             t = depart + params_.hop_latency;
             x = nx;
             y = ny;
         }
         latency_.sample(static_cast<double>(t - start));
+        if (queued > 0) {
+            if (trace::TraceManager *tr = trace::active(eq_))
+                tr->attributeStall(trace::StallCause::NocBackpressure, queued);
+        }
         if (t > start)
             co_await sim::delay(eq_, t - start);
     }
@@ -106,6 +116,12 @@ class Mesh {
     std::uint64_t packets() const { return packets_.value(); }
     std::uint64_t flitsSent() const { return flits_.value(); }
     double meanLatency() const { return latency_.mean(); }
+
+    /** Directed links in the mesh (4 per tile: E, W, N, S). */
+    size_t numLinks() const { return link_flits_.size(); }
+
+    /** Cumulative flits that traversed directed link @p link (telemetry). */
+    std::uint64_t linkFlits(size_t link) const { return link_flits_[link]; }
 
   private:
     static constexpr unsigned kEast = 0, kWest = 1, kNorth = 2, kSouth = 3;
@@ -119,6 +135,7 @@ class Mesh {
     sim::EventQueue &eq_;
     MeshParams params_;
     std::vector<sim::Cycle> link_free_;
+    std::vector<std::uint64_t> link_flits_;
     sim::Counter packets_, flits_;
     sim::Average latency_;
 };

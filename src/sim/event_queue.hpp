@@ -16,11 +16,18 @@
 #include "sim/log.hpp"
 #include "sim/types.hpp"
 
+namespace maple::trace {
+class TraceManager;
+}
+
 namespace maple::sim {
 
 class EventQueue {
   public:
     using Callback = std::function<void()>;
+
+    /** Hook invoked as time advances (set by trace::TraceManager). */
+    using TraceHook = void (*)(trace::TraceManager *, Cycle now);
 
     /** Schedule @p cb at absolute cycle @p when (must be >= now()). */
     void
@@ -47,6 +54,28 @@ class EventQueue {
     std::uint64_t executed() const { return executed_; }
 
     /**
+     * Attach/detach the tracing subsystem. The tracer only observes: it is
+     * invoked between the time advance and the event callback, never
+     * schedules events, and therefore cannot perturb the simulation.
+     */
+    void
+    attachTracer(trace::TraceManager *t, TraceHook hook)
+    {
+        tracer_ = t;
+        trace_hook_ = t ? hook : nullptr;
+    }
+
+    void
+    detachTracer()
+    {
+        tracer_ = nullptr;
+        trace_hook_ = nullptr;
+    }
+
+    /** The attached tracer, or nullptr (the tracing-off fast path). */
+    trace::TraceManager *tracer() const { return tracer_; }
+
+    /**
      * Pop and execute the next event, advancing time.
      * @return false when the queue was empty.
      */
@@ -61,6 +90,11 @@ class EventQueue {
         MAPLE_ASSERT(ev.when >= now_);
         now_ = ev.when;
         ++executed_;
+        // Sample probes before the callback runs: between events the machine
+        // state is constant, so probes read the exact state at each sampling
+        // point inside the gap just crossed.
+        if (trace_hook_)
+            trace_hook_(tracer_, now_);
         ev.cb();
         return true;
     }
@@ -101,6 +135,8 @@ class EventQueue {
     Cycle now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;
+    trace::TraceManager *tracer_ = nullptr;
+    TraceHook trace_hook_ = nullptr;
 };
 
 }  // namespace maple::sim

@@ -13,7 +13,12 @@ StatGroup::dump() const
         os << name_ << "." << k << " = " << c.value() << "\n";
     for (const auto &[k, a] : averages_) {
         os << name_ << "." << k << " = " << a.mean() << " (n=" << a.count()
-           << ")\n";
+           << ", min=" << a.min() << ", max=" << a.max() << ")\n";
+    }
+    for (const auto &[k, h] : histograms_) {
+        os << name_ << "." << k << " = p50:" << h.percentile(0.50)
+           << " p95:" << h.percentile(0.95) << " p99:" << h.percentile(0.99)
+           << " (n=" << h.total() << ", max=" << h.maxSample() << ")\n";
     }
     return os.str();
 }

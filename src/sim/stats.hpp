@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -26,7 +27,7 @@ class Counter {
     std::uint64_t value_ = 0;
 };
 
-/** Running average of sampled values (e.g. load latency). */
+/** Running average of sampled values (e.g. load latency), with min/max. */
 class Average {
   public:
     void
@@ -34,21 +35,29 @@ class Average {
     {
         sum_ += v;
         ++count_;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
     }
 
     double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
     std::uint64_t count() const { return count_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
 
     void
     reset()
     {
         sum_ = 0.0;
         count_ = 0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
     }
 
   private:
     double sum_ = 0.0;
     std::uint64_t count_ = 0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
 };
 
 /** Fixed-bucket histogram (linear buckets, last bucket is overflow). */
@@ -74,19 +83,39 @@ class Histogram {
     double maxSample() const { return max_; }
     const std::vector<std::uint64_t> &buckets() const { return counts_; }
 
+    /**
+     * Estimated p-quantile (p in [0, 1]), interpolating linearly within the
+     * covering bucket -- a bucket holding ranks [seen, seen+c) maps the
+     * target rank onto a fraction of the bucket's width rather than snapping
+     * to its lower edge.
+     */
     double
     percentile(double p) const
     {
         if (total_ == 0)
             return 0.0;
-        std::uint64_t target = static_cast<std::uint64_t>(p * static_cast<double>(total_));
+        double target = p * static_cast<double>(total_);
         std::uint64_t seen = 0;
         for (size_t i = 0; i < counts_.size(); ++i) {
-            seen += counts_[i];
-            if (seen > target)
-                return static_cast<double>(i) * width_;
+            std::uint64_t c = counts_[i];
+            if (c == 0)
+                continue;
+            if (static_cast<double>(seen) + static_cast<double>(c) > target) {
+                double frac = (target - static_cast<double>(seen)) /
+                              static_cast<double>(c);
+                return (static_cast<double>(i) + frac) * width_;
+            }
+            seen += c;
         }
-        return static_cast<double>(counts_.size() - 1) * width_;
+        return max_;  // p == 1.0 (or rounding): the largest observed sample
+    }
+
+    void
+    reset()
+    {
+        counts_.assign(counts_.size(), 0);
+        total_ = 0;
+        max_ = 0.0;
     }
 
   private:
@@ -104,8 +133,22 @@ class StatGroup {
     Counter &counter(const std::string &name) { return counters_[name]; }
     Average &average(const std::string &name) { return averages_[name]; }
 
+    /**
+     * Registered histogram; geometry arguments apply only on first use
+     * (later calls return the existing histogram unchanged).
+     */
+    Histogram &
+    histogram(const std::string &name, double bucket_width = 1.0,
+              size_t buckets = 64)
+    {
+        auto [it, inserted] =
+            histograms_.try_emplace(name, bucket_width, buckets);
+        return it->second;
+    }
+
     const std::map<std::string, Counter> &counters() const { return counters_; }
     const std::map<std::string, Average> &averages() const { return averages_; }
+    const std::map<std::string, Histogram> &histograms() const { return histograms_; }
     const std::string &name() const { return name_; }
 
     std::uint64_t
@@ -122,6 +165,8 @@ class StatGroup {
             c.reset();
         for (auto &[k, a] : averages_)
             a.reset();
+        for (auto &[k, h] : histograms_)
+            h.reset();
     }
 
     std::string dump() const;
@@ -130,6 +175,7 @@ class StatGroup {
     std::string name_;
     std::map<std::string, Counter> counters_;
     std::map<std::string, Average> averages_;
+    std::map<std::string, Histogram> histograms_;
 };
 
 /** Geometric mean helper used by the figure harness. */

@@ -57,6 +57,12 @@ Soc::Soc(SocConfig cfg) : cfg_(std::move(cfg))
     cfg_.mesh.width = cfg_.mesh_width;
     cfg_.mesh.height = cfg_.mesh_height;
 
+    // Environment knobs (MAPLE_TRACE=...) turn tracing on for any binary
+    // that assembles a Soc, without per-binary flag plumbing.
+    cfg_.trace.mergeEnv();
+    if (cfg_.trace.enabled)
+        tracer_ = std::make_unique<trace::TraceManager>(eq_, cfg_.trace);
+
     pm_ = std::make_unique<mem::PhysicalMemory>(cfg_.dram_bytes);
     kernel_ = std::make_unique<os::Kernel>(eq_, *pm_, cfg_.kernel);
     mesh_ = std::make_unique<noc::Mesh>(eq_, cfg_.mesh);
@@ -114,6 +120,39 @@ Soc::Soc(SocConfig cfg) : cfg_(std::move(cfg))
             std::make_unique<::maple::core::Maple>(eq_, mp, wiring));
         amap_.addDevice(mp.mmio_base, mem::kPageSize, maples_.back().get(), tile);
     }
+
+    if (tracer_)
+        registerProbes();
+}
+
+void
+Soc::registerProbes()
+{
+    tracer_->addProbe("llc.mshrs",
+                      [c = llc_.get()] { return double(c->mshrsInUse()); });
+    for (unsigned i = 0; i < numCores(); ++i) {
+        tracer_->addProbe(cfg_.l1.name + "." + std::to_string(i) + ".mshrs",
+                          [c = l1s_[i].get()] { return double(c->mshrsInUse()); });
+    }
+    tracer_->addProbe("noc.flits",
+                      [m = mesh_.get()] { return double(m->flitsSent()); });
+    for (unsigned i = 0; i < numMaples(); ++i) {
+        ::maple::core::Maple *m = maples_[i].get();
+        std::string base = "maple." + std::to_string(i);
+        tracer_->addProbe(base + ".produce_buffer",
+                          [m] { return double(m->produceInflight()); });
+        for (unsigned q = 0; q < m->params().max_queues; ++q) {
+            tracer_->addProbe(base + ".q" + std::to_string(q) + ".occupancy",
+                              [m, q] { return double(m->queue(q).occupancy()); });
+        }
+    }
+}
+
+Soc::~Soc()
+{
+    // Flush trace files while every probed component is still alive.
+    if (tracer_)
+        tracer_->write();
 }
 
 noc::RemotePort &

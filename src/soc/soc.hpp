@@ -24,6 +24,7 @@
 #include "sim/coro.hpp"
 #include "sim/event_queue.hpp"
 #include "soc/address_map.hpp"
+#include "trace/trace.hpp"
 
 namespace maple::soc {
 
@@ -80,6 +81,7 @@ struct SocConfig {
     cpu::CoreParams core_proto{};    // per-core parameters
     ::maple::core::MapleParams maple_proto{};
     os::KernelParams kernel{};
+    trace::TraceConfig trace{};      // off unless set or MAPLE_TRACE is present
 
     /** Table 2: the FPGA-emulated OpenPiton+Ariane SoC (2 cores, 1 MAPLE). */
     static SocConfig fpga();
@@ -91,6 +93,7 @@ struct SocConfig {
 class Soc {
   public:
     explicit Soc(SocConfig cfg = SocConfig::fpga());
+    ~Soc();
 
     sim::EventQueue &eq() { return eq_; }
     os::Kernel &kernel() { return *kernel_; }
@@ -102,6 +105,9 @@ class Soc {
     const SocConfig &config() const { return cfg_; }
 
     LlcFrontEnd &llcFront() { return *llc_front_; }
+
+    /** The SoC's tracer, or nullptr when tracing is disabled. */
+    trace::TraceManager *tracer() { return tracer_.get(); }
 
     unsigned numCores() const { return static_cast<unsigned>(cores_.size()); }
     cpu::Core &core(unsigned i) { return *cores_.at(i); }
@@ -129,8 +135,15 @@ class Soc {
     sim::Cycle run(std::vector<sim::Join> joins, sim::Cycle max_cycles = sim::kCycleMax);
 
   private:
+    /** Register the telemetry probes once all components exist. */
+    void registerProbes();
+
     SocConfig cfg_;
     sim::EventQueue eq_;
+    // Declared right after eq_ (destroyed before it) so the tracer detaches
+    // from a still-live EventQueue; probe lambdas only run while components
+    // (declared below, destroyed first) are alive, i.e. while eq_ runs.
+    std::unique_ptr<trace::TraceManager> tracer_;
     std::unique_ptr<mem::PhysicalMemory> pm_;
     std::unique_ptr<os::Kernel> kernel_;
     std::unique_ptr<noc::Mesh> mesh_;

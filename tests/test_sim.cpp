@@ -219,14 +219,51 @@ TEST(Stats, GeomeanMatchesHandComputation)
     EXPECT_THROW(geomean({1.0, -2.0}), std::logic_error);
 }
 
-TEST(Stats, HistogramPercentiles)
+TEST(Stats, HistogramPercentilesInterpolateWithinBucket)
 {
     Histogram h(1.0, 16);
     for (int i = 0; i < 100; ++i)
         h.sample(i % 10);
     EXPECT_EQ(h.total(), 100u);
-    EXPECT_DOUBLE_EQ(h.percentile(0.05), 0.0);
-    EXPECT_DOUBLE_EQ(h.percentile(0.95), 9.0);
+    // 10 samples per bucket: rank 5 lands halfway into bucket 0, rank 95
+    // halfway into bucket 9 -- not at the buckets' lower edges.
+    EXPECT_DOUBLE_EQ(h.percentile(0.05), 0.5);
+    EXPECT_DOUBLE_EQ(h.percentile(0.95), 9.5);
+    EXPECT_DOUBLE_EQ(h.percentile(0.50), 5.0);
+    // p == 1.0 reports the largest observed sample.
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 9.0);
+}
+
+TEST(Stats, AverageTracksMinAndMax)
+{
+    Average a;
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+    a.sample(5.0);
+    a.sample(-2.0);
+    a.sample(11.0);
+    EXPECT_DOUBLE_EQ(a.min(), -2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 11.0);
+    a.reset();
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(Stats, StatGroupDumpsHistogramPercentiles)
+{
+    StatGroup g("grp");
+    Histogram &h = g.histogram("lat", 2.0, 32);
+    for (int i = 0; i < 10; ++i)
+        h.sample(2.0 * i);
+    // Same name returns the same histogram; geometry args are ignored.
+    EXPECT_EQ(&g.histogram("lat", 99.0, 1), &h);
+    std::string dump = g.dump();
+    EXPECT_NE(dump.find("grp.lat"), std::string::npos);
+    EXPECT_NE(dump.find("p50:"), std::string::npos);
+    EXPECT_NE(dump.find("p95:"), std::string::npos);
+    EXPECT_NE(dump.find("p99:"), std::string::npos);
+    g.reset();
+    EXPECT_EQ(g.histogram("lat").total(), 0u);
 }
 
 TEST(Rng, DeterministicAcrossInstances)

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Host-performance benchmark of the simulation kernel itself: how many
+ * events per host-second the engine sustains. Three tiers of realism:
+ *
+ *   1. pure_event      — self-rescheduling callback chains, nothing but the
+ *                        scheduler in the loop (kernel ceiling).
+ *   2. coro_delay      — coroutine delay() ping loops: the zero-allocation
+ *                        coroutine-resume event path every model rides.
+ *   3. noc_saturation  — an 8x8 mesh full of competing transits: link
+ *                        reservation, stats and coroutines together.
+ *   4. maple_spmv      — a full bench_fig08-style MAPLE-decoupled SPMV run
+ *                        (cores, caches, TLBs, MAPLE pipeline, NoC, DRAM).
+ *
+ * Prints a table and writes BENCH_host_perf.json (override with
+ * --out=<path>); --quick shrinks iteration counts to CI-smoke size. CI runs
+ * `bench_host_perf --quick` on every push and fails on gross regression
+ * against the checked-in baseline.
+ */
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "harness/host_perf.hpp"
+#include "noc/mesh.hpp"
+#include "sim/coro.hpp"
+#include "sim/event_queue.hpp"
+#include "workloads/workload.hpp"
+
+using namespace maple;
+
+namespace {
+
+/** Self-rescheduling callback storm: the scheduler and nothing else. */
+harness::PerfSample
+pureEvent(std::uint64_t total_events)
+{
+    sim::EventQueue eq;
+    std::uint64_t fired = 0;
+    constexpr int kChains = 64;
+    std::vector<std::function<void()>> chains(kChains);
+    for (int i = 0; i < kChains; ++i) {
+        chains[i] = [&eq, &fired, &chains, total_events, i] {
+            if (++fired < total_events)
+                eq.scheduleIn(1 + (fired % 7), chains[i]);
+        };
+    }
+    harness::WallTimer t;
+    for (int i = 0; i < kChains; ++i)
+        eq.scheduleIn(1 + i % 7, chains[i]);
+    eq.run();
+    return {"pure_event", eq.executed(), eq.now(), t.seconds()};
+}
+
+/** Coroutine delay() ping loops: the pooled coroutine-resume path. */
+harness::PerfSample
+coroDelay(int rounds)
+{
+    constexpr int kTasks = 64;
+    sim::EventQueue eq;
+    auto ping = [&eq, rounds]() -> sim::Task<void> {
+        for (int r = 0; r < rounds; ++r)
+            co_await sim::delay(eq, 1 + (r % 5));
+    };
+    std::vector<sim::Join> joins;
+    joins.reserve(kTasks);
+    harness::WallTimer t;
+    for (int i = 0; i < kTasks; ++i)
+        joins.push_back(sim::spawn(ping()));
+    eq.run();
+    harness::PerfSample s{"coro_delay", eq.executed(), eq.now(), t.seconds()};
+    for (auto &j : joins)
+        j.get();
+    return s;
+}
+
+/** All-to-all traffic on an 8x8 mesh: contention, stats, coroutines. */
+harness::PerfSample
+nocSaturation(int transits_per_flow)
+{
+    sim::EventQueue eq;
+    noc::MeshParams mp;
+    mp.width = 8;
+    mp.height = 8;
+    noc::Mesh mesh(eq, mp);
+    constexpr int kFlows = 128;
+    auto flow = [&](unsigned f) -> sim::Task<void> {
+        const unsigned tiles = mesh.numTiles();
+        for (int i = 0; i < transits_per_flow; ++i) {
+            sim::TileId src = (f * 7 + i) % tiles;
+            sim::TileId dst = (f * 13 + i * 5 + 1) % tiles;
+            if (src == dst)
+                dst = (dst + 1) % tiles;
+            co_await mesh.transit(src, dst, noc::flitsFor(16));
+        }
+    };
+    std::vector<sim::Join> joins;
+    joins.reserve(kFlows);
+    harness::WallTimer t;
+    for (unsigned f = 0; f < kFlows; ++f)
+        joins.push_back(sim::spawn(flow(f)));
+    eq.run();
+    harness::PerfSample s{"noc_saturation", eq.executed(), eq.now(),
+                          t.seconds()};
+    for (auto &j : joins)
+        j.get();
+    return s;
+}
+
+/** Full-system anchor: MAPLE-decoupled SPMV on the FPGA SoC config. */
+harness::PerfSample
+mapleSpmv(bool quick)
+{
+    auto w = quick ? app::makeSpmv(1024, 16384, 8) : app::makeSpmv();
+    app::RunConfig cfg;
+    cfg.tech = app::Technique::MapleDecouple;
+    cfg.threads = 2;
+    cfg.soc = soc::SocConfig::fpga();
+    harness::WallTimer t;
+    app::RunResult r = w->run(cfg);
+    double secs = t.seconds();
+    MAPLE_ASSERT(r.valid, "maple_spmv checksum mismatch");
+    return {"maple_spmv", r.sim_events, r.cycles, secs};
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    harness::HostPerfOptions opts = harness::applyHostPerfFlags(argc, argv);
+    const std::uint64_t pure_events = opts.quick ? 2'000'000 : 20'000'000;
+    const int coro_rounds = opts.quick ? 20'000 : 200'000;
+    const int noc_transits = opts.quick ? 2'000 : 20'000;
+
+    harness::HostPerfReport report;
+    report.add(pureEvent(pure_events));
+    report.add(coroDelay(coro_rounds));
+    report.add(nocSaturation(noc_transits));
+    report.add(mapleSpmv(opts.quick));
+    report.print();
+    report.writeJson(opts.out_path, "bench_host_perf", opts.quick);
+    return 0;
+}

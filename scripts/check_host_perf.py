@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Compare a bench_host_perf run against the checked-in baseline.
+
+Usage: check_host_perf.py <baseline.json> <current.json> [max_regression]
+
+Fails (exit 1) if any benchmark's events/second dropped by more than
+max_regression (default 5x). The generous threshold tolerates host and CI
+noise: this is a smoke test against gross kernel regressions, not a
+microbenchmark gate.
+"""
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return {b["name"]: b["events_per_sec"]
+                for b in json.load(f)["benchmarks"]}
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    baseline = load(sys.argv[1])
+    current = load(sys.argv[2])
+    max_regression = float(sys.argv[3]) if len(sys.argv) > 3 else 5.0
+
+    failures = []
+    for name, base_eps in sorted(baseline.items()):
+        eps = current.get(name)
+        if eps is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        ratio = base_eps / eps if eps > 0 else float("inf")
+        status = "FAIL" if ratio > max_regression else "ok"
+        print(f"{status:4} {name:24} {eps / 1e6:8.2f}M ev/s  "
+              f"(baseline {base_eps / 1e6:8.2f}M, {ratio:.2f}x slower)")
+        if ratio > max_regression:
+            failures.append(
+                f"{name}: {eps:.0f} ev/s vs baseline {base_eps:.0f} "
+                f"({ratio:.1f}x slower, limit {max_regression:.1f}x)")
+    if failures:
+        sys.exit("host-perf regression:\n" + "\n".join(failures))
+    print("host-perf smoke ok")
+
+
+if __name__ == "__main__":
+    main()

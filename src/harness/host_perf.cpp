@@ -1,0 +1,80 @@
+#include "harness/host_perf.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "sim/log.hpp"
+
+namespace maple::harness {
+
+void
+HostPerfReport::print() const
+{
+    std::printf("\n%-24s %14s %14s %10s %12s\n", "benchmark", "events",
+                "sim cycles", "host s", "Mev/s");
+    for (const PerfSample &s : samples_) {
+        std::printf("%-24s %14llu %14llu %10.3f %12.2f\n", s.name.c_str(),
+                    (unsigned long long)s.events,
+                    (unsigned long long)s.sim_cycles, s.host_seconds,
+                    s.eventsPerSec() / 1e6);
+    }
+}
+
+void
+HostPerfReport::writeJson(const std::string &path,
+                          const std::string &bench_name, bool quick) const
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        MAPLE_FATAL("cannot write %s", path.c_str());
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"quick\": %s,\n"
+                    "  \"benchmarks\": [\n",
+                 bench_name.c_str(), quick ? "true" : "false");
+    for (size_t i = 0; i < samples_.size(); ++i) {
+        const PerfSample &s = samples_[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"events\": %llu, "
+                     "\"sim_cycles\": %llu, \"host_seconds\": %.6f, "
+                     "\"events_per_sec\": %.1f}%s\n",
+                     s.name.c_str(), (unsigned long long)s.events,
+                     (unsigned long long)s.sim_cycles, s.host_seconds,
+                     s.eventsPerSec(), i + 1 < samples_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s (%zu benchmarks)\n", path.c_str(),
+                 samples_.size());
+}
+
+HostPerfOptions
+applyHostPerfFlags(int &argc, char **argv)
+{
+    HostPerfOptions opts;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--quick") == 0) {
+            opts.quick = true;
+            continue;
+        }
+        if (std::strncmp(arg, "--out", 5) == 0) {
+            const char *value = nullptr;
+            if (arg[5] == '=')
+                value = arg + 6;
+            else if (arg[5] == '\0' && i + 1 < argc)
+                value = argv[++i];
+            if (!value || !*value) {
+                std::fprintf(stderr, "--out requires a value\n");
+                std::exit(2);
+            }
+            opts.out_path = value;
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    return opts;
+}
+
+}  // namespace maple::harness

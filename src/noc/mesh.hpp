@@ -38,6 +38,8 @@ flitsFor(unsigned payload_bytes, unsigned flit_bytes = 16)
 
 class Mesh {
   public:
+    // Link-reservation state is sized to its final extent here; transit()
+    // never grows it, so the hot path cannot reallocate.
     Mesh(sim::EventQueue &eq, MeshParams params)
         : eq_(eq), params_(params),
           link_free_(static_cast<size_t>(params.width) * params.height * 4, 0),

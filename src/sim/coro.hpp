@@ -240,7 +240,11 @@ spawn(Task<void> task)
     return join;
 }
 
-/** Awaitable that suspends the coroutine for @p cycles simulated cycles. */
+/**
+ * Awaitable that suspends the coroutine for @p cycles simulated cycles.
+ * Rides the EventQueue's pooled coroutine-resume path: suspending allocates
+ * nothing, so delay() is free to sit on every hop of every hot loop.
+ */
 inline auto
 delay(EventQueue &eq, Cycle cycles)
 {
@@ -253,7 +257,7 @@ delay(EventQueue &eq, Cycle cycles)
         void
         await_suspend(std::coroutine_handle<> h) const
         {
-            eq.scheduleIn(cycles, [h] { h.resume(); });
+            eq.scheduleResumeIn(cycles, h);
         }
 
         void await_resume() const noexcept {}

@@ -63,6 +63,18 @@ Soc::Soc(SocConfig cfg) : cfg_(std::move(cfg))
     if (cfg_.trace.enabled)
         tracer_ = std::make_unique<trace::TraceManager>(eq_, cfg_.trace);
 
+    // Pre-size the per-core/per-MAPLE plumbing so wiring never reallocates
+    // (components hand out raw pointers to earlier entries while later ones
+    // are still being pushed).
+    llc_ports_.reserve(cfg_.num_cores);
+    l1s_.reserve(cfg_.num_cores);
+    atomic_ports_.reserve(cfg_.num_cores);
+    cores_.reserve(cfg_.num_cores);
+    maple_dram_ports_.reserve(cfg_.num_maples);
+    maple_llc_ports_.reserve(cfg_.num_maples);
+    maple_walk_ports_.reserve(cfg_.num_maples);
+    maples_.reserve(cfg_.num_maples);
+
     pm_ = std::make_unique<mem::PhysicalMemory>(cfg_.dram_bytes);
     kernel_ = std::make_unique<os::Kernel>(eq_, *pm_, cfg_.kernel);
     mesh_ = std::make_unique<noc::Mesh>(eq_, cfg_.mesh);

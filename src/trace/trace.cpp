@@ -1,5 +1,6 @@
 #include "trace/trace.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <map>
@@ -64,6 +65,12 @@ TraceManager::TraceManager(sim::EventQueue &eq, TraceConfig cfg)
 {
     MAPLE_ASSERT(cfg_.sample_interval > 0, "sample interval must be nonzero");
     next_sample_ = eq_.now() + cfg_.sample_interval;
+    // Pre-size the hot recording containers so span/sample recording does
+    // not reallocate mid-run and perturb host-perf measurements.
+    events_.reserve(std::min<std::size_t>(cfg_.max_events, 1u << 16));
+    tracks_.reserve(64);
+    probes_.reserve(32);
+    sample_times_.reserve(4096);
     eq_.attachTracer(this, &TraceManager::onAdvance);
 }
 
@@ -173,6 +180,7 @@ TraceManager::addProbe(const std::string &name, std::function<double()> probe)
     MAPLE_ASSERT(sample_times_.empty(),
                  "probes must be registered before sampling starts");
     probes_.push_back(Probe{name, std::move(probe), {}});
+    probes_.back().values.reserve(4096);
 }
 
 void

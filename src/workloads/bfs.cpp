@@ -113,12 +113,18 @@ struct LoadFetch {
     }
 };
 
-/** One worker thread of the level-synchronous loop. */
+/**
+ * One worker thread of the level-synchronous loop.
+ *
+ * @p make_fetch and @p prologue are taken by value: callers pass temporaries
+ * and this coroutine outlives the spawning full-expression, so reference
+ * parameters would dangle at the first resume.
+ */
 template <typename MakeFetch, typename PerChunkPrologue>
 sim::Task<void>
 bfsWorker(cpu::Core &core, BfsSim &s, LevelState &ls, sim::Barrier &bar,
-          unsigned t, unsigned threads, MakeFetch &&make_fetch,
-          PerChunkPrologue &&prologue, unsigned sw_prefetch_dist = 0)
+          unsigned t, unsigned threads, MakeFetch make_fetch,
+          PerChunkPrologue prologue, unsigned sw_prefetch_dist = 0)
 {
     while (ls.count > 0) {
         Chunk chunk = chunkOf(ls.count, t, threads);

@@ -45,6 +45,7 @@ collectCoreStats(soc::Soc &soc, RunResult &r)
     }
     r.mean_load_latency =
         total_loads ? latency_weighted / static_cast<double>(total_loads) : 0.0;
+    r.sim_events = soc.eq().executed();
 }
 
 std::vector<std::unique_ptr<Workload>>

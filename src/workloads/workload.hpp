@@ -56,6 +56,7 @@ struct RunResult {
     std::uint64_t loads = 0;
     std::uint64_t stores = 0;
     double mean_load_latency = 0.0;
+    std::uint64_t sim_events = 0;  ///< kernel events executed (host-perf)
 };
 
 class Workload {

@@ -68,13 +68,13 @@ TEST(Mesh, ContentionSerializesSharedLinks)
     // Many multi-flit packets over the same horizontal path: the shared
     // links serialize them, so average latency exceeds the bare hop count.
     int finished = 0;
-    for (int i = 0; i < 16; ++i) {
-        auto t = [&]() -> sim::Task<void> {
-            co_await mesh.transit(0, 3, 8);
-            ++finished;
-        };
+    // The closure must outlive eq.run(): the coroutine frame references it.
+    auto t = [&]() -> sim::Task<void> {
+        co_await mesh.transit(0, 3, 8);
+        ++finished;
+    };
+    for (int i = 0; i < 16; ++i)
         sim::spawn(t());
-    }
     eq.run();
     EXPECT_EQ(finished, 16);
     EXPECT_GT(mesh.meanLatency(), 3.0) << "no serialization modeled";

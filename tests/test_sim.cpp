@@ -71,6 +71,226 @@ TEST(EventQueue, RunRespectsMaxCycles)
     EXPECT_TRUE(fired);
 }
 
+TEST(EventQueue, EarlyStopAdvancesTimeToMaxCycles)
+{
+    // Pinned semantics: run(t) that stops early leaves now() == t, so
+    // back-to-back run(t1), run(t2) calls observe continuous time. Draining
+    // leaves now() at the last executed event; an empty run is a no-op.
+    EventQueue eq;
+    EXPECT_TRUE(eq.run(10));
+    EXPECT_EQ(eq.now(), 0u);  // nothing to do: time does not move
+    eq.schedule(100, [] {});
+    EXPECT_FALSE(eq.run(50));
+    EXPECT_EQ(eq.now(), 50u);
+    EXPECT_FALSE(eq.run(70));
+    EXPECT_EQ(eq.now(), 70u);
+    EXPECT_TRUE(eq.run(100));
+    EXPECT_EQ(eq.now(), 100u);  // drained: rests at the last event
+    EXPECT_TRUE(eq.run(500));
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueue, FarFutureEventsOverflowTheWheel)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    const Cycle h = EventQueue::kWheelHorizon;
+    eq.schedule(3 * h + 5, [&] { order.push_back(4); });
+    eq.schedule(h + 1, [&] { order.push_back(2); });
+    eq.schedule(5, [&] { order.push_back(1); });
+    eq.schedule(2 * h, [&] { order.push_back(3); });
+    EXPECT_GE(eq.overflowPending(), 3u);
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+    EXPECT_EQ(eq.now(), 3 * h + 5);
+}
+
+TEST(EventQueue, OverflowAndDirectSameCycleKeepFifo)
+{
+    // An event parked in the overflow heap was scheduled strictly earlier
+    // than any direct wheel event for the same cycle, so it must run first
+    // once its cycle enters the wheel window.
+    EventQueue eq;
+    const Cycle h = EventQueue::kWheelHorizon;
+    const Cycle target = 2 * h;
+    std::vector<int> order;
+    eq.schedule(target, [&] { order.push_back(1); });  // beyond horizon
+    eq.schedule(target, [&] { order.push_back(2); });
+    // Walk time to within the horizon of `target`, then schedule directly.
+    eq.schedule(target - h / 2, [&] {
+        eq.schedule(target, [&] { order.push_back(3); });
+    });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, WheelBucketsAreReusedAcrossWindows)
+{
+    // Cycles c and c + horizon share a bucket index; the second only enters
+    // the wheel after the first drained, and both run in time order.
+    EventQueue eq;
+    const Cycle h = EventQueue::kWheelHorizon;
+    std::vector<Cycle> fired;
+    for (Cycle c : {Cycle(7), 7 + h, 7 + 2 * h, 7 + h / 2})
+        eq.schedule(c, [&fired, &eq] { fired.push_back(eq.now()); });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(fired, (std::vector<Cycle>{7, 7 + h / 2, 7 + h, 7 + 2 * h}));
+}
+
+TEST(EventQueue, SchedulingDuringDispatchIsSafe)
+{
+    // Regression for the old kernel's const_cast move-out of heap_.top():
+    // callbacks that schedule into the queue mid-dispatch (including enough
+    // events to grow the node pool) must not invalidate the event being run.
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        for (int i = 0; i < 1000; ++i)
+            eq.scheduleIn(1 + (i % 3), [&fired] { ++fired; });
+        eq.scheduleIn(2 * EventQueue::kWheelHorizon, [&fired] { ++fired; });
+    });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(fired, 1002);
+    EXPECT_EQ(eq.executed(), 1002u);
+}
+
+TEST(EventQueue, ExecutedAndPendingStayConsistent)
+{
+    EventQueue eq;
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.executed(), 0u);
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(i + 1, [] {});
+    eq.schedule(5 * EventQueue::kWheelHorizon, [] {});
+    EXPECT_EQ(eq.pending(), 11u);
+    EXPECT_TRUE(eq.runOne());
+    EXPECT_EQ(eq.executed(), 1u);
+    EXPECT_EQ(eq.pending(), 10u);
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(eq.executed(), 11u);
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_FALSE(eq.runOne());
+    EXPECT_EQ(eq.executed(), 11u);
+}
+
+TEST(EventQueue, PoolRecyclesNodesUnderChurn)
+{
+    // A bounded number of in-flight events must not grow the pool without
+    // bound, no matter how many events pass through in total.
+    EventQueue eq;
+    std::uint64_t fired = 0;
+    constexpr std::uint64_t kTotal = 100'000;
+    constexpr int kChains = 32;
+    std::vector<std::function<void()>> chains(kChains);
+    for (int i = 0; i < kChains; ++i) {
+        chains[i] = [&eq, &fired, &chains, i] {
+            if (++fired < kTotal)
+                eq.scheduleIn(1 + (fired % (2 * EventQueue::kWheelHorizon)),
+                              chains[i]);  // spans wheel and overflow deltas
+        };
+    }
+    for (int i = 0; i < kChains; ++i)
+        eq.scheduleIn(1 + i, chains[i]);
+    EXPECT_TRUE(eq.run());
+    // Once `fired` hits kTotal each chain stops; the other chains' in-flight
+    // events still execute, so the total lands in [kTotal, kTotal + kChains).
+    EXPECT_GE(eq.executed(), kTotal);
+    EXPECT_LT(eq.executed(), kTotal + kChains);
+    // At most kChains events were ever pending: one pool chunk suffices.
+    EXPECT_LE(eq.poolAllocated(), 512u);
+    EXPECT_EQ(eq.poolFree(), eq.poolAllocated());  // everything recycled
+}
+
+TEST(EventQueue, MatchesReferenceModelOnRandomStorm)
+{
+    // Determinism oracle: replay an identical random schedule storm through
+    // the wheel kernel and a naive stable-sorted reference; the execution
+    // order (event ids) must match exactly, including same-cycle ties that
+    // straddle the wheel/overflow boundary.
+    struct Ref {
+        struct Ev {
+            Cycle when;
+            std::uint64_t seq;
+            int id;
+        };
+        std::vector<Ev> pending;
+        Cycle now = 0;
+        std::uint64_t seq = 0;
+
+        void
+        schedule(Cycle when, int id)
+        {
+            pending.push_back({when, seq++, id});
+        }
+
+        bool
+        popNext(Ev &out)
+        {
+            if (pending.empty())
+                return false;
+            size_t best = 0;
+            for (size_t i = 1; i < pending.size(); ++i) {
+                const Ev &a = pending[i], &b = pending[best];
+                if (a.when < b.when || (a.when == b.when && a.seq < b.seq))
+                    best = i;
+            }
+            out = pending[best];
+            pending.erase(pending.begin() + best);
+            now = out.when;
+            return true;
+        }
+    };
+
+    // Deterministic stimulus: each executed event decides its children from
+    // an Rng stream keyed by its id, so both executions branch identically.
+    auto childDeltas = [](int id) {
+        Rng rng(0xabcd1234u + static_cast<std::uint64_t>(id));
+        std::vector<Cycle> deltas;
+        if (id < 4000) {
+            unsigned n = static_cast<unsigned>(rng.below(3));
+            for (unsigned i = 0; i < n; ++i)
+                deltas.push_back(rng.below(3 * EventQueue::kWheelHorizon));
+        }
+        return deltas;
+    };
+
+    std::vector<int> real_order;
+    {
+        EventQueue eq;
+        int next_id = 64;
+        std::function<void(int)> body = [&](int id) {
+            real_order.push_back(id);
+            for (Cycle d : childDeltas(id)) {
+                int child = next_id++;
+                eq.scheduleIn(d, [&body, child] { body(child); });
+            }
+        };
+        for (int i = 0; i < 64; ++i)
+            eq.schedule(static_cast<Cycle>(i % 7), [&body, i] { body(i); });
+        EXPECT_TRUE(eq.run());
+    }
+
+    std::vector<int> ref_order;
+    {
+        Ref ref;
+        int next_id = 64;
+        for (int i = 0; i < 64; ++i)
+            ref.schedule(static_cast<Cycle>(i % 7), i);
+        Ref::Ev ev;
+        while (ref.popNext(ev)) {
+            ref_order.push_back(ev.id);
+            for (Cycle d : childDeltas(ev.id))
+                ref.schedule(ref.now + d, next_id++);
+        }
+    }
+
+    ASSERT_EQ(real_order.size(), ref_order.size());
+    EXPECT_EQ(real_order, ref_order);
+}
+
 namespace {
 
 Task<int>

@@ -145,12 +145,16 @@ TEST(Soc, RunSurfacesWorkloadExceptions)
 TEST(Soc, RunDetectsNonQuiescence)
 {
     Soc soc(SocConfig::fpga());
-    auto forever = [](sim::EventQueue &eq) -> sim::Task<void> {
-        for (;;)
+    // Finite but far beyond the cycle bound, so the queue can be drained
+    // after the expected throw and no coroutine frame outlives the test.
+    auto slow = [](sim::EventQueue &eq) -> sim::Task<void> {
+        for (int i = 0; i < 1'000; ++i)
             co_await sim::delay(eq, 100);
     };
-    EXPECT_THROW(soc.run({sim::spawn(forever(soc.eq()))}, 10'000),
-                 std::runtime_error);
+    sim::Join j = sim::spawn(slow(soc.eq()));
+    EXPECT_THROW(soc.run({j}, 10'000), std::runtime_error);
+    soc.eq().run();
+    EXPECT_TRUE(j.done());
 }
 
 TEST(LlcFrontEnd, ObserverSeesAllAccesses)

@@ -67,6 +67,10 @@ main(int argc, char **argv)
     // Perfetto-loadable trace. Only the decoupled run below is traced: grab
     // the knobs here and keep the baseline SoC from seeing MAPLE_TRACE.
     harness::applyTraceFlags(argc, argv);
+    // --fault-*=... / --watchdog* turn on deterministic fault injection and
+    // tune the liveness watchdog (latched into MAPLE_FAULT_*/MAPLE_WATCHDOG*,
+    // which both SoCs below pick up).
+    harness::applyFaultFlags(argc, argv);
     trace::TraceConfig tracecfg;
     tracecfg.mergeEnv();
     unsetenv("MAPLE_TRACE");

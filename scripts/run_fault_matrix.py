@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Fault-injection matrix: run the quickstart under every fault class.
+
+Usage: run_fault_matrix.py [path/to/quickstart] [--timeout SECONDS]
+
+For each fault class (noc, dram, tlb, mmio) and for the all-classes-at-once
+combination, runs the quickstart example with deterministic fault injection
+enabled at an aggressive rate and asserts that the run
+
+  * terminates within the timeout (the liveness watchdog must convert any
+    wedge into a typed error rather than a hang),
+  * exits 0 with a PASS result check (faults are performance bugs, never
+    correctness bugs), and
+  * is bit-identical to a second run with the same seed (stdout compared
+    byte-for-byte; determinism is the whole point of the seeded streams).
+
+Also checks that a faults-disabled run matches a plain run (the injector
+must not perturb the simulation when every rate is zero).
+"""
+import argparse
+import os
+import subprocess
+import sys
+
+# Aggressive-but-survivable rates: every class fires many times during the
+# ~400k-cycle quickstart without starving it past the watchdog stall bound.
+MATRIX = [
+    ("none", {}),
+    ("noc", {"MAPLE_FAULT_NOC": "0.01:64"}),
+    ("dram", {"MAPLE_FAULT_DRAM": "0.05:2000"}),
+    ("tlb", {"MAPLE_FAULT_TLB": "0.05"}),
+    ("mmio", {"MAPLE_FAULT_MMIO": "0.01:200"}),
+    ("all", {
+        "MAPLE_FAULT_NOC": "0.005:64",
+        "MAPLE_FAULT_DRAM": "0.02:2000",
+        "MAPLE_FAULT_TLB": "0.02",
+        "MAPLE_FAULT_MMIO": "0.005:200",
+    }),
+]
+
+
+def run_once(binary, extra_env, timeout):
+    env = dict(os.environ)
+    # Scrub knobs from the ambient environment so rows are self-contained.
+    for k in list(env):
+        if k.startswith("MAPLE_FAULT") or k.startswith("MAPLE_WATCHDOG"):
+            del env[k]
+    env.update(extra_env)
+    return subprocess.run(
+        [binary], env=env, timeout=timeout,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("binary", nargs="?", default="build/examples/quickstart")
+    ap.add_argument("--timeout", type=float, default=120.0)
+    args = ap.parse_args()
+
+    failures = []
+    baseline_stdout = None
+    for name, knobs in MATRIX:
+        env = dict(knobs)
+        if name != "none":
+            env["MAPLE_FAULT_SEED"] = "42"
+        try:
+            first = run_once(args.binary, env, args.timeout)
+            second = run_once(args.binary, env, args.timeout)
+        except subprocess.TimeoutExpired:
+            failures.append(f"{name}: timed out after {args.timeout}s "
+                            "(watchdog failed to fire?)")
+            print(f"FAIL {name:5} timeout")
+            continue
+
+        problems = []
+        if first.returncode != 0:
+            tail = first.stderr.decode(errors="replace").strip().splitlines()
+            problems.append(f"exit {first.returncode}"
+                            + (f" ({tail[-1]})" if tail else ""))
+        if b"result check: PASS" not in first.stdout:
+            problems.append("result check not PASS")
+        if first.stdout != second.stdout:
+            problems.append("same seed, different stdout (non-deterministic)")
+        if name == "none":
+            baseline_stdout = first.stdout
+        elif baseline_stdout is not None and first.stdout == baseline_stdout:
+            # An injection run indistinguishable from the clean run means the
+            # class never actually fired -- the row tested nothing.
+            problems.append("identical to faults-disabled run (no faults fired)")
+
+        status = "FAIL" if problems else "ok"
+        print(f"{status:4} {name:5} " + ("; ".join(problems) or
+              first.stdout.decode(errors="replace").splitlines()[-1].strip()))
+        if problems:
+            failures.append(f"{name}: " + "; ".join(problems))
+
+    if failures:
+        sys.exit("fault matrix failed:\n" + "\n".join(failures))
+    print("fault matrix ok")
+
+
+if __name__ == "__main__":
+    main()

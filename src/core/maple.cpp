@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fault/fault.hpp"
+#include "sim/error.hpp"
 #include "sim/log.hpp"
 
 namespace maple::core {
@@ -16,6 +18,9 @@ Maple::Maple(sim::EventQueue &eq, MapleParams params, MapleWiring wiring)
                  "queue count must fit the MMIO encoding");
     queues_.resize(params_.max_queues);
     queue_generation_.assign(params_.max_queues, 0);
+    queue_status_.assign(params_.max_queues,
+                         static_cast<std::uint8_t>(MapleStatus::Ok));
+    queue_timeout_.assign(params_.max_queues, 0);
     amo_addend_.assign(params_.max_queues, 0);
     amo_seq_alloc_.assign(params_.max_queues, 0);
     amo_seq_commit_.assign(params_.max_queues, 0);
@@ -66,6 +71,7 @@ Maple::pipeEnter(sim::Cycle &next_free)
 sim::Task<void>
 Maple::acquirePipeHead()
 {
+    fault::ParkGuard park(eq_, "pipe_head", params_.name);
     while (pipe_head_held_) {
         sim::Signal wait = pipe_head_wait_;
         co_await wait;
@@ -99,10 +105,50 @@ Maple::applyQueueConfig(std::uint64_t payload)
     }
     for (unsigned i = 0; i < queues_.size(); ++i) {
         ++queue_generation_[i];
+        queue_status_[i] = static_cast<std::uint8_t>(MapleStatus::Ok);
+        queue_timeout_[i] = 0;
         if (i < cfg.count)
             queues_[i].configure(cfg.entries, cfg.entry_bytes);
         else
             queues_[i].reset();
+    }
+}
+
+sim::Task<void>
+Maple::mmioDelay()
+{
+    // Injected delayed MMIO response: the op sits at the device boundary a
+    // few extra cycles before its pipeline sees it. The boundary is an
+    // ordering point -- a delayed op holds back every later arrival, so
+    // posted produce stores never overtake each other and queue FIFO order
+    // is preserved (the fault is latency, never a correctness bug).
+    if (fault::FaultInjector *f = fault::active(eq_)) {
+        sim::Cycle d = f->inject(fault::FaultClass::MmioDelay);
+        if (d)
+            f->chargeCycles(fault::FaultClass::MmioDelay, d);
+        sim::Cycle release = std::max(eq_.now(), mmio_release_) + d;
+        if (release > eq_.now() || mmio_pending_ > 0) {
+            // Suspend even when release == now: earlier ops may still be
+            // parked here with wake events pending later this same cycle,
+            // and sim::delay(0) would never suspend, letting this op barge
+            // past them. A zero-delta resume appends to the current wheel
+            // bucket, so FIFO order across the boundary is preserved.
+            struct BoundaryAwait {
+                sim::EventQueue &eq;
+                sim::Cycle when;
+                bool await_ready() const noexcept { return false; }
+                void
+                await_suspend(std::coroutine_handle<> h) const
+                {
+                    eq.scheduleResumeIn(when - eq.now(), h);
+                }
+                void await_resume() const noexcept {}
+            };
+            mmio_release_ = release;
+            ++mmio_pending_;
+            co_await BoundaryAwait{eq_, release};
+            --mmio_pending_;
+        }
     }
 }
 
@@ -112,13 +158,19 @@ Maple::mmioLoad(sim::Addr paddr, unsigned size, sim::ThreadId)
     (void)size;
     unsigned q = decodeQueue(paddr);
     unsigned raw_op = decodeOp(paddr);
-    MAPLE_ASSERT(q < queues_.size(), "load targets nonexistent queue %u", q);
+    MAPLE_CHECK(q < queues_.size(), sim::MmioDecodeError,
+                "%s: MMIO load 0x%llx targets nonexistent queue %u (device has %u)",
+                params_.name.c_str(), (unsigned long long)paddr, q,
+                (unsigned)queues_.size());
+    co_await mmioDelay();
 
     auto op = static_cast<LoadOp>(raw_op);
     if (op == LoadOp::Consume)
         co_return co_await consume(q, /*pair=*/false);
     if (op == LoadOp::ConsumePair)
         co_return co_await consume(q, /*pair=*/true);
+    if (op == LoadOp::ConsumePoll)
+        co_return co_await consumePoll(q);
     co_return co_await configLoad(q, op, raw_op);
 }
 
@@ -128,7 +180,11 @@ Maple::mmioStore(sim::Addr paddr, std::uint64_t data, unsigned size, sim::Thread
     (void)size;
     unsigned q = decodeQueue(paddr);
     unsigned raw_op = decodeOp(paddr);
-    MAPLE_ASSERT(q < queues_.size(), "store targets nonexistent queue %u", q);
+    MAPLE_CHECK(q < queues_.size(), sim::MmioDecodeError,
+                "%s: MMIO store 0x%llx targets nonexistent queue %u (device has %u)",
+                params_.name.c_str(), (unsigned long long)paddr, q,
+                (unsigned)queues_.size());
+    co_await mmioDelay();
 
     switch (static_cast<StoreOp>(raw_op)) {
       case StoreOp::ProduceData:
@@ -155,10 +211,11 @@ Maple::produceData(unsigned q, std::uint64_t data)
     bumpCounter(Counter::ProducedData);
     if (params_.shared_pipeline_hazard)
         co_await acquirePipeHead();
-    co_await pointerlessEnqueueWait(q);
-    MapleQueue &queue = queues_[q];
-    unsigned slot = queue.reserveSlot();
-    queue.fillSlot(slot, data);
+    if (co_await pointerlessEnqueueWait(q)) {
+        MapleQueue &queue = queues_[q];
+        unsigned slot = queue.reserveSlot();
+        queue.fillSlot(slot, data);
+    }
     if (params_.shared_pipeline_hazard)
         releasePipeHead();
 }
@@ -173,9 +230,12 @@ Maple::producePtr(unsigned q, sim::Addr vaddr)
 
     // Produce buffer: bounded number of produces between decode and issue.
     sim::Cycle buf_wait_start = eq_.now();
-    while (produce_inflight_ >= params_.produce_buffer) {
-        sim::Signal wait = produce_buffer_wait_;
-        co_await wait;
+    {
+        fault::ParkGuard park(eq_, "produce_buffer", params_.name, q);
+        while (produce_inflight_ >= params_.produce_buffer) {
+            sim::Signal wait = produce_buffer_wait_;
+            co_await wait;
+        }
     }
     if (eq_.now() != buf_wait_start) {
         if (auto *t = tracer()) {
@@ -197,17 +257,31 @@ Maple::producePtr(unsigned q, sim::Addr vaddr)
 sim::Task<void>
 Maple::pointerProduceInner(unsigned q, sim::Addr vaddr)
 {
-    co_await pointerlessEnqueueWait(q);
+    if (!co_await pointerlessEnqueueWait(q))
+        co_return;  // timed out: the produce is dropped, status = TimedOut
     MapleQueue &queue = queues_[q];
     unsigned slot = queue.reserveSlot();
     unsigned generation = queue_generation_[q];
 
+    // Injected TLB-miss storm: shoot the translation down first so this
+    // lookup pays a full organic re-walk through the walk port.
+    bool storm = false;
+    if (fault::FaultInjector *f = fault::active(eq_)) {
+        if (f->inject(fault::FaultClass::TlbStorm)) {
+            mmu_.invalidate(vaddr);
+            storm = true;
+        }
+    }
     // Translate in MAPLE's own MMU (may walk page tables / fault to driver).
     // A TLB hit completes in zero cycles, so any elapsed time is walk/fault.
     sim::Cycle xlate_start = eq_.now();
     mem::Translation tr = co_await mmu_.translate(vaddr, /*write=*/false);
     if (eq_.now() != xlate_start) {
-        if (auto *t = tracer()) {
+        if (storm) {
+            if (fault::FaultInjector *f = fault::active(eq_))
+                f->chargeCycles(fault::FaultClass::TlbStorm,
+                                eq_.now() - xlate_start);
+        } else if (auto *t = tracer()) {
             t->attributeStall(trace::StallCause::TlbMiss,
                               eq_.now() - xlate_start);
         }
@@ -225,15 +299,34 @@ Maple::pointerProduceInner(unsigned q, sim::Addr vaddr)
     sim::spawn(fetchIntoSlot(q, generation, slot, tr.paddr, queue.entryBytes()));
 }
 
-sim::Task<void>
+sim::Task<bool>
 Maple::pointerlessEnqueueWait(unsigned q)
 {
     MapleQueue &queue = queues_[q];
-    MAPLE_ASSERT(queue.configured(), "produce to unconfigured queue %u", q);
+    MAPLE_CHECK(queue.configured(), sim::QueueMisuseError,
+                "%s: produce to unconfigured queue %u", params_.name.c_str(), q);
     sim::Cycle wait_start = eq_.now();
-    while (queue.full()) {
-        sim::Signal wait = queue.spaceSignal();
-        co_await wait;
+    const sim::Cycle timeout = queue_timeout_[q];
+    bool timed_out = false;
+    {
+        fault::ParkGuard park(eq_, "produce_full", params_.name, q);
+        if (timeout == 0) {
+            while (queue.full()) {
+                sim::Signal wait = queue.spaceSignal();
+                co_await wait;
+            }
+        } else {
+            // Timed wait: the hardware timeout counter ticks every cycle
+            // until space frees or the bound is hit.
+            const sim::Cycle deadline = wait_start + timeout;
+            while (queue.full()) {
+                if (eq_.now() >= deadline) {
+                    timed_out = true;
+                    break;
+                }
+                co_await sim::delay(eq_, 1);
+            }
+        }
     }
     if (eq_.now() != wait_start) {
         bumpCounter(Counter::FullStallCycles, eq_.now() - wait_start);
@@ -242,6 +335,13 @@ Maple::pointerlessEnqueueWait(unsigned q)
                               eq_.now() - wait_start);
         }
     }
+    if (timed_out) {
+        queue_status_[q] = static_cast<std::uint8_t>(MapleStatus::TimedOut);
+        bumpCounter(Counter::TimedOutOps);
+        co_return false;
+    }
+    queue_status_[q] = static_cast<std::uint8_t>(MapleStatus::Ok);
+    co_return true;
 }
 
 sim::Task<void>
@@ -272,9 +372,12 @@ Maple::produceAmoAdd(unsigned q, sim::Addr vaddr)
     bumpCounter(Counter::ProducedPtrs);
 
     sim::Cycle buf_wait_start = eq_.now();
-    while (produce_inflight_ >= params_.produce_buffer) {
-        sim::Signal wait = produce_buffer_wait_;
-        co_await wait;
+    {
+        fault::ParkGuard park(eq_, "produce_buffer", params_.name, q);
+        while (produce_inflight_ >= params_.produce_buffer) {
+            sim::Signal wait = produce_buffer_wait_;
+            co_await wait;
+        }
     }
     if (eq_.now() != buf_wait_start) {
         if (auto *t = tracer()) {
@@ -283,7 +386,14 @@ Maple::produceAmoAdd(unsigned q, sim::Addr vaddr)
         }
     }
     ++produce_inflight_;
-    co_await pointerlessEnqueueWait(q);
+    if (!co_await pointerlessEnqueueWait(q)) {
+        // Timed out waiting for space: drop the op, but release the buffer
+        // slot so later produces are not starved by a dead one.
+        --produce_inflight_;
+        sim::Signal timeout_wake = std::exchange(produce_buffer_wait_, sim::Signal{});
+        timeout_wake.set(sim::Unit{});
+        co_return;
+    }
     MapleQueue &queue = queues_[q];
     unsigned slot = queue.reserveSlot();
     unsigned generation = queue_generation_[q];
@@ -292,17 +402,31 @@ Maple::produceAmoAdd(unsigned q, sim::Addr vaddr)
     // arbitrary order), but RMWs must linearize in program order or the
     // old-value FIFO contract breaks.
     std::uint64_t ticket = amo_seq_alloc_[q]++;
+    bool storm = false;
+    if (fault::FaultInjector *f = fault::active(eq_)) {
+        if (f->inject(fault::FaultClass::TlbStorm)) {
+            mmu_.invalidate(vaddr);
+            storm = true;
+        }
+    }
     sim::Cycle xlate_start = eq_.now();
     mem::Translation tr = co_await mmu_.translate(vaddr, /*write=*/true);
     if (eq_.now() != xlate_start) {
-        if (auto *t = tracer()) {
+        if (storm) {
+            if (fault::FaultInjector *f = fault::active(eq_))
+                f->chargeCycles(fault::FaultClass::TlbStorm,
+                                eq_.now() - xlate_start);
+        } else if (auto *t = tracer()) {
             t->attributeStall(trace::StallCause::TlbMiss,
                               eq_.now() - xlate_start);
         }
     }
-    while (amo_seq_commit_[q] != ticket) {
-        sim::Signal wait = amo_commit_wait_;
-        co_await wait;
+    {
+        fault::ParkGuard park(eq_, "amo_commit", params_.name, q);
+        while (amo_seq_commit_[q] != ticket) {
+            sim::Signal wait = amo_commit_wait_;
+            co_await wait;
+        }
     }
     if (tr.fault) {
         MAPLE_WARN("%s: unresolved AMO fault at va 0x%llx; poisoning slot",
@@ -359,17 +483,37 @@ Maple::consume(unsigned q, bool pair)
     if (params_.shared_pipeline_hazard)
         co_await acquirePipeHead();
     MapleQueue &queue = queues_[q];
-    MAPLE_ASSERT(queue.configured(), "consume from unconfigured queue %u", q);
+    MAPLE_CHECK(queue.configured(), sim::QueueMisuseError,
+                "%s: consume from unconfigured queue %u", params_.name.c_str(),
+                q);
     if (pair) {
-        MAPLE_ASSERT(queue.entryBytes() == 4,
-                     "ConsumePair needs 4-byte queue entries");
+        MAPLE_CHECK(queue.entryBytes() == 4, sim::QueueMisuseError,
+                    "%s: ConsumePair needs 4-byte queue entries (queue %u has "
+                    "%uB)",
+                    params_.name.c_str(), q, queue.entryBytes());
     }
 
     const unsigned needed = pair ? 2 : 1;
     sim::Cycle wait_start = eq_.now();
-    while (!queue.headValid(needed)) {
-        sim::Signal wait = queue.dataSignal();
-        co_await wait;
+    const sim::Cycle timeout = queue_timeout_[q];
+    bool timed_out = false;
+    {
+        fault::ParkGuard park(eq_, "consume_empty", params_.name, q);
+        if (timeout == 0) {
+            while (!queue.headValid(needed)) {
+                sim::Signal wait = queue.dataSignal();
+                co_await wait;
+            }
+        } else {
+            const sim::Cycle deadline = wait_start + timeout;
+            while (!queue.headValid(needed)) {
+                if (eq_.now() >= deadline) {
+                    timed_out = true;
+                    break;
+                }
+                co_await sim::delay(eq_, 1);
+            }
+        }
     }
     if (eq_.now() != wait_start) {
         bumpCounter(Counter::EmptyStallCycles, eq_.now() - wait_start);
@@ -378,15 +522,45 @@ Maple::consume(unsigned q, bool pair)
                               eq_.now() - wait_start);
         }
     }
+    if (timed_out) {
+        queue_status_[q] = static_cast<std::uint8_t>(MapleStatus::TimedOut);
+        bumpCounter(Counter::TimedOutOps);
+        if (params_.shared_pipeline_hazard)
+            releasePipeHead();
+        co_return 0;  // software reads QueueStatus to distinguish from data
+    }
 
     std::uint64_t value = queue.pop();
     if (pair)
         value |= queue.pop() << 32;
     bumpCounter(Counter::Consumed, needed);
+    queue_status_[q] = static_cast<std::uint8_t>(MapleStatus::Ok);
     stats_.average("occupancy_at_consume").sample(queue.occupancy());
     stats_.histogram("consume_occupancy").sample(queue.occupancy());
     if (params_.shared_pipeline_hazard)
         releasePipeHead();
+    co_return value;
+}
+
+sim::Task<std::uint64_t>
+Maple::consumePoll(unsigned q)
+{
+    trace::LaneSpan span(tracer(), tr_consume_, "consume_poll",
+                         trace::Category::Maple);
+    co_await pipeEnter(params_.shared_pipeline_hazard ? produce_free_
+                                                      : consume_free_);
+    MapleQueue &queue = queues_[q];
+    // Polling an unconfigured queue is not misuse: report Empty so software
+    // spin loops degrade gracefully instead of crashing the device model.
+    if (!queue.configured() || !queue.headValid(1)) {
+        queue_status_[q] = static_cast<std::uint8_t>(MapleStatus::Empty);
+        co_return 0;
+    }
+    std::uint64_t value = queue.pop();
+    bumpCounter(Counter::Consumed);
+    queue_status_[q] = static_cast<std::uint8_t>(MapleStatus::Ok);
+    stats_.average("occupancy_at_consume").sample(queue.occupancy());
+    stats_.histogram("consume_occupancy").sample(queue.occupancy());
     co_return value;
 }
 
@@ -416,6 +590,8 @@ Maple::configLoad(unsigned q, LoadOp op, unsigned raw_op)
       case LoadOp::QueueConfig:
         co_return (std::uint64_t(queues_[q].capacity()) << 8) |
             queues_[q].entryBytes();
+      case LoadOp::QueueStatus:
+        co_return queue_status_[q];
       default:
         MAPLE_WARN("%s: unknown load op %u", params_.name.c_str(), raw_op);
         co_return 0;
@@ -446,9 +622,12 @@ Maple::configStore(unsigned q, StoreOp op, std::uint64_t data)
         lima_range_ = data;
         co_return;
       case StoreOp::LimaLaunch: {
-        while (lima_cmds_.size() >= params_.lima_cmds) {
-            sim::Signal wait = lima_space_wait_;
-            co_await wait;
+        {
+            fault::ParkGuard park(eq_, "lima_space", params_.name);
+            while (lima_cmds_.size() >= params_.lima_cmds) {
+                sim::Signal wait = lima_space_wait_;
+                co_await wait;
+            }
         }
         LimaCmd cmd;
         cmd.a_base = lima_a_base_;
@@ -472,6 +651,9 @@ Maple::configStore(unsigned q, StoreOp op, std::uint64_t data)
         co_return;
       case StoreOp::AmoAddend:
         amo_addend_[q] = data;
+        co_return;
+      case StoreOp::QueueTimeout:
+        queue_timeout_[q] = data;
         co_return;
       default:
         MAPLE_WARN("%s: unknown store op %u", params_.name.c_str(),

@@ -91,6 +91,12 @@ class Maple : public soc::MmioDevice {
     /** Pointer-produces currently between decode and issue (telemetry). */
     unsigned produceInflight() const { return produce_inflight_; }
 
+    /** Status of the last produce/consume-class op on queue @p idx. */
+    MapleStatus queueStatus(unsigned idx) const
+    {
+        return static_cast<MapleStatus>(queue_status_.at(idx));
+    }
+
     std::uint64_t counter(Counter c) const
     {
         return counters_[static_cast<size_t>(c)].value();
@@ -109,6 +115,7 @@ class Maple : public soc::MmioDevice {
     sim::Task<void> produceData(unsigned q, std::uint64_t data);
     sim::Task<void> producePtr(unsigned q, sim::Addr vaddr);
     sim::Task<std::uint64_t> consume(unsigned q, bool pair);
+    sim::Task<std::uint64_t> consumePoll(unsigned q);
     sim::Task<void> configStore(unsigned q, StoreOp op, std::uint64_t data);
     sim::Task<std::uint64_t> configLoad(unsigned q, LoadOp op, unsigned raw_op);
     /// @}
@@ -122,8 +129,12 @@ class Maple : public soc::MmioDevice {
                                 sim::Addr paddr, std::uint64_t old_value,
                                 unsigned bytes);
 
-    /** Wait until queue @p q has a free slot, counting full-stall cycles. */
-    sim::Task<void> pointerlessEnqueueWait(unsigned q);
+    /**
+     * Wait until queue @p q has a free slot, counting full-stall cycles.
+     * Honors the queue's timeout register: returns false when the wait hit
+     * the bound (the produce is dropped, status = TimedOut).
+     */
+    sim::Task<bool> pointerlessEnqueueWait(unsigned q);
 
     /** Background fill of a reserved slot from memory. */
     sim::Task<void> fetchIntoSlot(unsigned q, unsigned generation, unsigned slot,
@@ -138,6 +149,9 @@ class Maple : public soc::MmioDevice {
 
     /** Occupy a pipeline issue slot (II=1) then traverse it. */
     sim::Task<void> pipeEnter(sim::Cycle &next_free);
+
+    /** Injected delayed-MMIO-response fault (no-op when faults are off). */
+    sim::Task<void> mmioDelay();
 
     /// @name Shared-pipeline ablation: a parked op occupies the pipe head,
     /// blocking every op behind it (the head-of-line hazard the real design
@@ -168,10 +182,24 @@ class Maple : public soc::MmioDevice {
     std::vector<MapleQueue> queues_;
     std::vector<unsigned> queue_generation_;
 
+    // Non-blocking / timed-op state (LoadOp::QueueStatus semantics): the
+    // outcome of the last produce/consume-class op per queue, plus the
+    // latched per-queue wait bound (0 = block forever).
+    std::vector<std::uint8_t> queue_status_;
+    std::vector<sim::Cycle> queue_timeout_;
+
     // Pipeline issue chains (next-free-cycle reservations).
     sim::Cycle produce_free_ = 0;
     sim::Cycle consume_free_ = 0;
     sim::Cycle config_free_ = 0;
+
+    // Injected-MMIO-delay ordering point: no op may enter its pipeline
+    // before this cycle. Keeps the device boundary FIFO so a delayed op
+    // holds back later arrivals instead of letting them overtake it.
+    // mmio_pending_ counts ops parked at the boundary so a same-cycle
+    // arrival queues behind their wake events instead of barging past.
+    sim::Cycle mmio_release_ = 0;
+    unsigned mmio_pending_ = 0;
 
     // Produce buffer backpressure.
     unsigned produce_inflight_ = 0;

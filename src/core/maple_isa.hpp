@@ -30,6 +30,8 @@ enum class LoadOp : std::uint8_t {
     Occupancy = 3,     ///< debug: current number of reserved entries
     FaultVaddr = 4,    ///< driver: virtual address of the last page fault
     QueueConfig = 5,   ///< debug: (capacity << 8) | entry_bytes
+    ConsumePoll = 6,   ///< non-blocking consume: pops if ready, else status
+    QueueStatus = 7,   ///< software-visible status of the last queue op
     CounterBase = 16,  ///< ops [16, 64) read performance counter (op - 16)
 };
 
@@ -50,6 +52,20 @@ enum class StoreOp : std::uint8_t {
     AmoAddend = 10,    ///< latch the per-queue addend for ProduceAmoAdd
     ProduceAmoAdd = 11,///< payload is a vaddr: fetch-and-add (addend reg),
                        ///< old value lands in the queue in program order
+    QueueTimeout = 12, ///< per-queue wait bound in cycles (0 = block forever)
+};
+
+/**
+ * Software-visible outcome of the last produce/consume-class op on a queue,
+ * readable via LoadOp::QueueStatus. This is the paper's non-blocking polling
+ * mode: instead of parking forever, software latches a timeout
+ * (StoreOp::QueueTimeout) or polls (LoadOp::ConsumePoll) and branches on
+ * the status register.
+ */
+enum class MapleStatus : std::uint8_t {
+    Ok = 0,        ///< the op completed normally
+    Empty = 1,     ///< ConsumePoll found no ready entry
+    TimedOut = 2,  ///< a timed produce/consume gave up at the bound
 };
 
 /** Index of a performance counter readable via LoadOp::CounterBase + idx. */
@@ -65,6 +81,7 @@ enum class Counter : std::uint8_t {
     TlbMisses = 8,
     PageFaults = 9,
     PrefetchesIssued = 10,
+    TimedOutOps = 11,      ///< produce/consume ops that hit their timeout
     kCount
 };
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/coro.hpp"
+#include "sim/error.hpp"
 #include "sim/log.hpp"
 #include "sim/stats.hpp"
 
@@ -26,9 +27,10 @@ class MapleQueue {
     void
     configure(unsigned capacity, unsigned entry_bytes)
     {
-        MAPLE_ASSERT(capacity > 0, "queue capacity must be nonzero");
-        MAPLE_ASSERT(entry_bytes == 4 || entry_bytes == 8,
-                     "entry size must be 4 or 8 bytes");
+        MAPLE_CHECK(capacity > 0, sim::QueueMisuseError,
+                    "queue capacity must be nonzero");
+        MAPLE_CHECK(entry_bytes == 4 || entry_bytes == 8, sim::QueueMisuseError,
+                    "entry size must be 4 or 8 bytes (got %u)", entry_bytes);
         capacity_ = capacity;
         entry_bytes_ = entry_bytes;
         data_.assign(capacity, 0);
@@ -94,7 +96,8 @@ class MapleQueue {
     unsigned
     reserveSlot()
     {
-        MAPLE_ASSERT(configured_ && !full(), "reserve on full/unconfigured queue");
+        MAPLE_CHECK(configured_ && !full(), sim::QueueMisuseError,
+                    "reserve on full/unconfigured queue");
         unsigned slot = tail_;
         tail_ = (tail_ + 1) % capacity_;
         ++reserved_;
@@ -106,7 +109,8 @@ class MapleQueue {
     void
     fillSlot(unsigned slot, std::uint64_t value)
     {
-        MAPLE_ASSERT(slot < capacity_ && !valid_[slot], "bad slot fill");
+        MAPLE_CHECK(slot < capacity_ && !valid_[slot], sim::QueueMisuseError,
+                    "fill of slot %u is out of range or already valid", slot);
         data_[slot] = value;
         valid_[slot] = true;
         wakeData();
@@ -129,7 +133,8 @@ class MapleQueue {
     std::uint64_t
     pop()
     {
-        MAPLE_ASSERT(headValid(), "pop on empty/invalid head");
+        MAPLE_CHECK(headValid(), sim::QueueMisuseError,
+                    "pop on empty/invalid head");
         std::uint64_t v = data_[head_];
         valid_[head_] = false;
         head_ = (head_ + 1) % capacity_;

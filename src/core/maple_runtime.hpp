@@ -114,6 +114,66 @@ class MapleApi {
         co_await core.store(encodeStore(base_, 0, StoreOp::PrefetchPtr), ptr);
     }
 
+    /// @name Non-blocking / timed operation (the hardened error paths)
+    /// Software that cannot tolerate an unbounded park latches a per-queue
+    /// timeout (or polls) and branches on the queue status register instead.
+    /// @{
+
+    /** Bound produce/consume waits on queue @p q; 0 restores block-forever. */
+    sim::Task<void>
+    setQueueTimeout(cpu::Core &core, unsigned q, sim::Cycle cycles)
+    {
+        co_await core.store(encodeStore(base_, q, StoreOp::QueueTimeout), cycles);
+        co_await core.storeFence();  // the bound must land before the next op
+    }
+
+    /** Outcome of the last produce/consume-class op on queue @p q. */
+    sim::Task<MapleStatus>
+    queueStatus(cpu::Core &core, unsigned q)
+    {
+        std::uint64_t got =
+            co_await core.load(encodeLoad(base_, q, LoadOp::QueueStatus));
+        co_return static_cast<MapleStatus>(got);
+    }
+
+    /**
+     * Non-blocking CONSUME: pops an entry if one is ready. Check
+     * queueStatus() (Ok vs Empty) to distinguish data from "try again" --
+     * a ready entry may legitimately hold the value 0.
+     */
+    sim::Task<std::uint64_t>
+    consumePoll(cpu::Core &core, unsigned q)
+    {
+        co_return co_await core.load(encodeLoad(base_, q, LoadOp::ConsumePoll));
+    }
+
+    /**
+     * CONSUME bounded by the queue's timeout register. Returns the entry
+     * and sets @p status to Ok, or returns 0 with @p status TimedOut.
+     */
+    sim::Task<std::uint64_t>
+    consumeTimed(cpu::Core &core, unsigned q, MapleStatus &status)
+    {
+        std::uint64_t v =
+            co_await core.load(encodeLoad(base_, q, LoadOp::Consume));
+        status = co_await queueStatus(core, q);
+        co_return v;
+    }
+
+    /**
+     * PRODUCE bounded by the queue's timeout register. Returns false (and
+     * the value is dropped by the device) when the wait hit the bound.
+     */
+    sim::Task<bool>
+    produceTimed(cpu::Core &core, unsigned q, std::uint64_t data)
+    {
+        co_await core.store(encodeStore(base_, q, StoreOp::ProduceData), data);
+        co_await core.storeFence();  // status is undefined until the store lands
+        co_return co_await queueStatus(core, q) == MapleStatus::Ok;
+    }
+
+    /// @}
+
     /// @name Read-modify-write extension (Section 3's "easily extensible")
     /// @{
 

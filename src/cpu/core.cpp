@@ -1,5 +1,7 @@
 #include "cpu/core.hpp"
 
+#include "fault/fault.hpp"
+#include "sim/error.hpp"
 #include "sim/log.hpp"
 
 namespace maple::cpu {
@@ -48,7 +50,8 @@ Core::load(sim::Addr vaddr, unsigned size)
 
     mem::Translation tr = co_await mmu_.translate(vaddr, false);
     if (tr.fault)
-        MAPLE_FATAL("%s: load fault at va 0x%llx", params_.name.c_str(),
+        MAPLE_THROW(sim::PageFaultError,
+                    "%s: load fault at va 0x%llx", params_.name.c_str(),
                     (unsigned long long)vaddr);
     // A TLB hit translates in zero cycles, so elapsed time means a walk ran.
     if (tm && eq_.now() > start)
@@ -80,14 +83,18 @@ Core::store(sim::Addr vaddr, std::uint64_t value, unsigned size)
 
     mem::Translation tr = co_await mmu_.translate(vaddr, true);
     if (tr.fault)
-        MAPLE_FATAL("%s: store fault at va 0x%llx", params_.name.c_str(),
+        MAPLE_THROW(sim::PageFaultError,
+                    "%s: store fault at va 0x%llx", params_.name.c_str(),
                     (unsigned long long)vaddr);
 
     // Retire into the store buffer; stall only when it is full.
-    while (store_buffer_used_ >= params_.store_buffer) {
-        stats_.counter("store_buffer_stalls").inc();
-        sim::Signal wait = store_buffer_wait_;
-        co_await wait;
+    {
+        fault::ParkGuard park(eq_, "store_buffer", params_.name);
+        while (store_buffer_used_ >= params_.store_buffer) {
+            stats_.counter("store_buffer_stalls").inc();
+            sim::Signal wait = store_buffer_wait_;
+            co_await wait;
+        }
     }
     ++store_buffer_used_;
     sim::spawn(drainStore(tr.paddr, value, size));
@@ -110,6 +117,7 @@ Core::drainStore(sim::Addr paddr, std::uint64_t value, unsigned size)
 sim::Task<void>
 Core::storeFence()
 {
+    fault::ParkGuard park(eq_, "store_fence", params_.name);
     while (store_buffer_used_ > 0) {
         sim::Signal wait = store_buffer_wait_;
         co_await wait;
@@ -141,7 +149,8 @@ Core::amoAdd(sim::Addr vaddr, std::uint64_t delta, unsigned size)
 
     mem::Translation tr = co_await mmu_.translate(vaddr, true);
     if (tr.fault)
-        MAPLE_FATAL("%s: amo fault at va 0x%llx", params_.name.c_str(),
+        MAPLE_THROW(sim::PageFaultError,
+                    "%s: amo fault at va 0x%llx", params_.name.c_str(),
                     (unsigned long long)vaddr);
     MAPLE_ASSERT(!w_.amap->isMmio(tr.paddr), "atomics to MMIO unsupported");
 
@@ -167,7 +176,8 @@ Core::loadShared(sim::Addr vaddr, unsigned size)
         tm->begin(tr_track_, "load_shared", trace::Category::Core);
     mem::Translation tr = co_await mmu_.translate(vaddr, false);
     if (tr.fault)
-        MAPLE_FATAL("%s: shared load fault at va 0x%llx", params_.name.c_str(),
+        MAPLE_THROW(sim::PageFaultError,
+                    "%s: shared load fault at va 0x%llx", params_.name.c_str(),
                     (unsigned long long)vaddr);
     co_await w_.atomic_port->access(tr.paddr, size, mem::AccessKind::Read);
     std::uint64_t value = 0;
@@ -186,12 +196,16 @@ Core::storeShared(sim::Addr vaddr, std::uint64_t value, unsigned size)
     stats_.counter("stores").inc();
     mem::Translation tr = co_await mmu_.translate(vaddr, true);
     if (tr.fault)
-        MAPLE_FATAL("%s: shared store fault at va 0x%llx", params_.name.c_str(),
+        MAPLE_THROW(sim::PageFaultError,
+                    "%s: shared store fault at va 0x%llx", params_.name.c_str(),
                     (unsigned long long)vaddr);
-    while (store_buffer_used_ >= params_.store_buffer) {
-        stats_.counter("store_buffer_stalls").inc();
-        sim::Signal wait = store_buffer_wait_;
-        co_await wait;
+    {
+        fault::ParkGuard park(eq_, "store_buffer", params_.name);
+        while (store_buffer_used_ >= params_.store_buffer) {
+            stats_.counter("store_buffer_stalls").inc();
+            sim::Signal wait = store_buffer_wait_;
+            co_await wait;
+        }
     }
     ++store_buffer_used_;
     auto drain = [](Core *self, sim::Addr paddr, std::uint64_t v,

@@ -1,0 +1,230 @@
+#include "fault/fault.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "sim/log.hpp"
+
+namespace maple::fault {
+
+const char *
+faultClassName(FaultClass c)
+{
+    switch (c) {
+      case FaultClass::NocLinkStall: return "noc_link_stall";
+      case FaultClass::DramSpike:    return "dram_spike";
+      case FaultClass::TlbStorm:     return "tlb_storm";
+      case FaultClass::MmioDelay:    return "mmio_delay";
+      default:                       return "?";
+    }
+}
+
+bool
+FaultConfig::anyEnabled() const
+{
+    return noc.prob > 0 || dram.prob > 0 || tlb.prob > 0 || mmio.prob > 0;
+}
+
+namespace {
+
+/** Parse "<prob>[:<cycles>]" from @p env into @p rate. */
+void
+parseRate(const char *env, FaultRate &rate, sim::Cycle default_extra)
+{
+    const char *p = std::getenv(env);
+    if (!p || !*p)
+        return;
+    char *end = nullptr;
+    double prob = std::strtod(p, &end);
+    if (end == p || prob < 0.0 || prob > 1.0) {
+        MAPLE_WARN("ignoring bad %s '%s' (want <prob>[:<cycles>])", env, p);
+        return;
+    }
+    rate.prob = prob;
+    rate.max_extra = default_extra;
+    if (*end == ':') {
+        char *end2 = nullptr;
+        unsigned long long extra = std::strtoull(end + 1, &end2, 10);
+        if (end2 && *end2 == '\0' && extra > 0)
+            rate.max_extra = extra;
+        else
+            MAPLE_WARN("ignoring bad %s magnitude in '%s'", env, p);
+    }
+}
+
+}  // namespace
+
+void
+FaultConfig::mergeEnv()
+{
+    if (const char *p = std::getenv("MAPLE_FAULT_SEED"); p && *p) {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(p, &end, 10);
+        if (end && *end == '\0')
+            seed = v;
+        else
+            MAPLE_WARN("ignoring bad MAPLE_FAULT_SEED '%s'", p);
+    }
+    parseRate("MAPLE_FAULT_NOC", noc, /*default_extra=*/64);
+    parseRate("MAPLE_FAULT_DRAM", dram, /*default_extra=*/2000);
+    parseRate("MAPLE_FAULT_TLB", tlb, /*default_extra=*/1);
+    parseRate("MAPLE_FAULT_MMIO", mmio, /*default_extra=*/200);
+}
+
+FaultPlan::FaultPlan(const FaultConfig &cfg)
+    : rates_{cfg.noc, cfg.dram, cfg.tlb, cfg.mmio},
+      // Distinct splitmix-derived stream per class: the decision sequence of
+      // one class is a pure function of (seed, class), so enabling or
+      // re-rating another class cannot perturb it.
+      streams_{sim::Rng(cfg.seed ^ 0x9e3779b97f4a7c15ull),
+               sim::Rng(cfg.seed ^ 0xbf58476d1ce4e5b9ull),
+               sim::Rng(cfg.seed ^ 0x94d049bb133111ebull),
+               sim::Rng(cfg.seed ^ 0xd6e8feb86659fd93ull)}
+{
+}
+
+sim::Cycle
+FaultPlan::draw(FaultClass c)
+{
+    const auto i = static_cast<std::size_t>(c);
+    const FaultRate &r = rates_[i];
+    if (r.prob <= 0.0)
+        return 0;
+    if (streams_[i].uniform() >= r.prob)
+        return 0;
+    if (r.max_extra <= 1)
+        return 1;
+    return 1 + streams_[i].below(r.max_extra);
+}
+
+FaultInjector::FaultInjector(sim::EventQueue &eq, FaultConfig cfg)
+    : eq_(eq), cfg_(cfg), plan_(cfg), injecting_(cfg.anyEnabled())
+{
+    eq_.attachFaultInjector(this);
+    if (injecting_) {
+        std::fprintf(stderr,
+                     "fault: injection enabled (seed=%llu noc=%g:%llu "
+                     "dram=%g:%llu tlb=%g mmio=%g:%llu)\n",
+                     (unsigned long long)cfg_.seed, cfg_.noc.prob,
+                     (unsigned long long)cfg_.noc.max_extra, cfg_.dram.prob,
+                     (unsigned long long)cfg_.dram.max_extra, cfg_.tlb.prob,
+                     cfg_.mmio.prob, (unsigned long long)cfg_.mmio.max_extra);
+    }
+}
+
+FaultInjector::~FaultInjector()
+{
+    if (eq_.faultInjector() == this)
+        eq_.detachFaultInjector();
+}
+
+namespace {
+
+trace::StallCause
+stallCauseOf(FaultClass c)
+{
+    switch (c) {
+      case FaultClass::NocLinkStall: return trace::StallCause::FaultNoc;
+      case FaultClass::DramSpike:    return trace::StallCause::FaultDram;
+      case FaultClass::TlbStorm:     return trace::StallCause::FaultTlb;
+      default:                       return trace::StallCause::FaultMmio;
+    }
+}
+
+trace::Category
+categoryOf(FaultClass c)
+{
+    switch (c) {
+      case FaultClass::NocLinkStall: return trace::Category::Noc;
+      case FaultClass::DramSpike:    return trace::Category::Mem;
+      default:                       return trace::Category::Maple;
+    }
+}
+
+const char *
+instantName(FaultClass c)
+{
+    switch (c) {
+      case FaultClass::NocLinkStall: return "fault:noc_link_stall";
+      case FaultClass::DramSpike:    return "fault:dram_spike";
+      case FaultClass::TlbStorm:     return "fault:tlb_storm";
+      default:                       return "fault:mmio_delay";
+    }
+}
+
+}  // namespace
+
+sim::Cycle
+FaultInjector::inject(FaultClass c)
+{
+    sim::Cycle extra = plan_.draw(c);
+    if (extra == 0)
+        return 0;
+    ++counts_[static_cast<std::size_t>(c)];
+    if (trace::TraceManager *t = trace::active(eq_)) {
+        if (tr_track_ == trace::TraceManager::kNone)
+            tr_track_ = t->track("faults");
+        t->instant(tr_track_, instantName(c), categoryOf(c));
+    }
+    return extra;
+}
+
+void
+FaultInjector::chargeCycles(FaultClass c, sim::Cycle cycles)
+{
+    if (cycles == 0)
+        return;
+    cycles_[static_cast<std::size_t>(c)] += cycles;
+    if (trace::TraceManager *t = trace::active(eq_))
+        t->attributeStall(stallCauseOf(c), cycles);
+}
+
+sim::Cycle
+FaultInjector::oldestParkCycle() const
+{
+    sim::Cycle oldest = sim::kCycleMax;
+    for (const ParkNode *n = parked_head_; n; n = n->next)
+        oldest = std::min(oldest, n->since);
+    return oldest;
+}
+
+std::string
+FaultInjector::livenessReport() const
+{
+    std::ostringstream os;
+    const sim::Cycle now = eq_.now();
+    os << "parked waiters (" << parked_count_ << "):\n";
+    if (!parked_head_)
+        os << "  (none)\n";
+    for (const ParkNode *n = parked_head_; n; n = n->next) {
+        os << "  - " << (n->owner ? *n->owner : std::string("?")) << ":"
+           << (n->site ? n->site : "?");
+        if (n->index != ParkGuard::kNoIndex)
+            os << " #" << n->index;
+        os << " parked since cycle " << n->since << " (" << (now - n->since)
+           << " cycles ago)\n";
+    }
+    if (!diagnostics_.empty()) {
+        os << "component state:\n";
+        for (const Diagnostic &d : diagnostics_)
+            os << "  " << d.name << ": " << d.fn() << "\n";
+    }
+    bool any_injected = false;
+    for (std::uint64_t n : counts_)
+        any_injected |= n != 0;
+    if (any_injected) {
+        os << "injected faults:\n";
+        for (std::size_t i = 0; i < counts_.size(); ++i) {
+            if (counts_[i] == 0)
+                continue;
+            os << "  " << faultClassName(static_cast<FaultClass>(i)) << ": "
+               << counts_[i] << " (" << cycles_[i] << " cycles)\n";
+        }
+    }
+    if (trace::TraceManager *t = eq_.tracer())
+        os << t->stallReport();
+    return os.str();
+}
+
+}  // namespace maple::fault

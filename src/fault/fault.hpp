@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Deterministic fault injection & liveness bookkeeping.
+ *
+ * A FaultInjector is registered next to the EventQueue
+ * (EventQueue::faultInjector()), mirroring trace::TraceManager, and serves
+ * two roles:
+ *
+ *  - Fault injection: a seeded FaultPlan draws from one dedicated RNG
+ *    stream *per fault class* (never the workload generators' streams), so
+ *    (a) with all rates zero the simulation is bit-identical to a run with
+ *    no injector at all, and (b) enabling one fault class does not perturb
+ *    the draw sequence of another. Injectable classes: transient NoC link
+ *    stalls, DRAM latency spikes, device-TLB miss storms (forced re-walks)
+ *    and delayed MMIO responses. Each injection is counted, charged to a
+ *    dedicated StallCause bucket, and emitted as a Perfetto instant when
+ *    tracing is on.
+ *
+ *  - Liveness bookkeeping: every blocking wait in the modeled hardware
+ *    (MAPLE queue full/empty, produce buffer, MSHRs, store buffer...)
+ *    registers an intrusive ParkGuard while parked. The watchdog
+ *    (fault/watchdog.hpp) and the deadlock diagnostic read this registry to
+ *    name exactly who is stuck and since when.
+ *
+ * Knobs (env, or --fault-* CLI flags via harness::applyFaultFlags):
+ *   MAPLE_FAULT_SEED=<u64>           seed for the fault RNG streams
+ *   MAPLE_FAULT_NOC=<prob[:cycles]>  per-link-traversal stall probability
+ *   MAPLE_FAULT_DRAM=<prob[:cycles]> per-access latency-spike probability
+ *   MAPLE_FAULT_TLB=<prob>           per-translation forced-TLB-miss prob
+ *   MAPLE_FAULT_MMIO=<prob[:cycles]> per-MMIO-op response-delay probability
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/types.hpp"
+#include "trace/trace.hpp"
+
+namespace maple::fault {
+
+enum class FaultClass : std::uint8_t {
+    NocLinkStall,  ///< extra cycles on one directed-mesh-link reservation
+    DramSpike,     ///< extra latency on one DRAM access
+    TlbStorm,      ///< invalidate the translation first: forced re-walk
+    MmioDelay,     ///< extra cycles before an MMIO op enters the device
+    kCount
+};
+const char *faultClassName(FaultClass c);
+
+/** Probability per opportunity plus the magnitude ceiling (where relevant). */
+struct FaultRate {
+    double prob = 0.0;         ///< [0,1] chance per injection opportunity
+    sim::Cycle max_extra = 0;  ///< injected delay drawn from [1, max_extra]
+};
+
+struct FaultConfig {
+    std::uint64_t seed = 1;
+    FaultRate noc{};    ///< defaults to max_extra 64 when enabled via env
+    FaultRate dram{};   ///< defaults to max_extra 2000 when enabled via env
+    FaultRate tlb{};    ///< magnitude is organic: the re-walk costs real cycles
+    FaultRate mmio{};   ///< defaults to max_extra 200 when enabled via env
+
+    /** True when any class has a nonzero probability. */
+    bool anyEnabled() const;
+
+    /** Overlay the MAPLE_FAULT_* environment knobs (see file comment). */
+    void mergeEnv();
+};
+
+/**
+ * The seeded draw engine. One xoshiro256** stream per fault class, each
+ * derived from the plan seed, so the decision sequence of a class depends
+ * only on (seed, its own opportunity order).
+ */
+class FaultPlan {
+  public:
+    explicit FaultPlan(const FaultConfig &cfg);
+
+    /**
+     * Decide one injection opportunity for @p c. Returns the extra cycles
+     * to inject (0 = no fault). For TlbStorm the magnitude is meaningless
+     * (the cost is the organic re-walk) and any nonzero return means fire.
+     */
+    sim::Cycle draw(FaultClass c);
+
+  private:
+    static constexpr std::size_t kClasses =
+        static_cast<std::size_t>(FaultClass::kCount);
+    std::array<FaultRate, kClasses> rates_;
+    std::array<sim::Rng, kClasses> streams_;
+};
+
+/** Intrusive registry node for one parked coroutine (see ParkGuard). */
+struct ParkNode {
+    const char *site = nullptr;          ///< e.g. "consume_empty" (literal)
+    const std::string *owner = nullptr;  ///< component name (stable storage)
+    unsigned index = 0;                  ///< queue index etc. (site-defined)
+    sim::Cycle since = 0;
+    ParkNode *prev = nullptr;
+    ParkNode *next = nullptr;
+};
+
+class FaultInjector {
+  public:
+    /** Construct and attach to @p eq; detaches in the destructor. */
+    FaultInjector(sim::EventQueue &eq, FaultConfig cfg);
+    ~FaultInjector();
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    const FaultConfig &config() const { return cfg_; }
+
+    /** True when at least one fault class can fire (the active() gate). */
+    bool injecting() const { return injecting_; }
+
+    /**
+     * Decide one injection opportunity: draws from the plan, and on a hit
+     * bumps the occurrence counter and emits a Perfetto instant (when
+     * tracing). Returns the extra cycles to inject (0 = no fault).
+     */
+    sim::Cycle inject(FaultClass c);
+
+    /**
+     * Account @p cycles of injected latency: bumps the per-class cycle
+     * counter and charges the matching StallCause::Fault* bucket.
+     */
+    void chargeCycles(FaultClass c, sim::Cycle cycles);
+
+    std::uint64_t injectedCount(FaultClass c) const
+    {
+        return counts_[static_cast<std::size_t>(c)];
+    }
+    std::uint64_t injectedCycles(FaultClass c) const
+    {
+        return cycles_[static_cast<std::size_t>(c)];
+    }
+
+    /// @name Liveness bookkeeping (read by fault::Watchdog)
+    /// @{
+
+    /** Register a named component-state dump for the deadlock diagnostic. */
+    void
+    addDiagnostic(std::string name, std::function<std::string()> fn)
+    {
+        diagnostics_.push_back({std::move(name), std::move(fn)});
+    }
+
+    /** Number of coroutines currently parked on a registered wait. */
+    unsigned parkedWaiters() const { return parked_count_; }
+
+    /** Park cycle of the longest-parked waiter; kCycleMax when none. */
+    sim::Cycle oldestParkCycle() const;
+
+    /**
+     * The structured diagnostic: parked-waiter list (who/where/since),
+     * registered component dumps, and the stall-attribution snapshot when
+     * a tracer is attached.
+     */
+    std::string livenessReport() const;
+
+    /// @}
+
+  private:
+    friend class ParkGuard;
+
+    void
+    link(ParkNode *n)
+    {
+        n->prev = nullptr;
+        n->next = parked_head_;
+        if (parked_head_)
+            parked_head_->prev = n;
+        parked_head_ = n;
+        ++parked_count_;
+    }
+
+    void
+    unlink(ParkNode *n)
+    {
+        if (n->prev)
+            n->prev->next = n->next;
+        else
+            parked_head_ = n->next;
+        if (n->next)
+            n->next->prev = n->prev;
+        --parked_count_;
+    }
+
+    struct Diagnostic {
+        std::string name;
+        std::function<std::string()> fn;
+    };
+
+    sim::EventQueue &eq_;
+    FaultConfig cfg_;
+    FaultPlan plan_;
+    bool injecting_ = false;
+
+    std::array<std::uint64_t, static_cast<std::size_t>(FaultClass::kCount)>
+        counts_{};
+    std::array<std::uint64_t, static_cast<std::size_t>(FaultClass::kCount)>
+        cycles_{};
+
+    ParkNode *parked_head_ = nullptr;
+    unsigned parked_count_ = 0;
+    std::vector<Diagnostic> diagnostics_;
+
+    /// Lazily-created trace track for fault instants.
+    trace::TraceManager::TrackId tr_track_ = trace::TraceManager::kNone;
+};
+
+/**
+ * The injection fast path: null when no injector is attached *or* every
+ * fault rate is zero. Injection sites are written as
+ *
+ *     if (fault::FaultInjector *f = fault::active(eq_)) { ... }
+ *
+ * one pointer load + compare in the common (faults-off) case.
+ */
+inline FaultInjector *
+active(const sim::EventQueue &eq)
+{
+    FaultInjector *f = eq.faultInjector();
+    return (f && f->injecting()) ? f : nullptr;
+}
+
+/**
+ * RAII registration of one parked coroutine. Lives in the coroutine frame
+ * across the wait loop's co_awaits; a no-op (one pointer check) when no
+ * injector is attached. Park tracking is wanted even with injection
+ * disabled — the watchdog names waiters in ordinary runs too — so this
+ * binds to eq.faultInjector() directly, not fault::active().
+ */
+class ParkGuard {
+  public:
+    /** index value meaning "no queue/slot index to report". */
+    static constexpr unsigned kNoIndex = 0xffffffffu;
+
+    ParkGuard() = default;
+
+    ParkGuard(sim::EventQueue &eq, const char *site, const std::string &owner,
+              unsigned index = kNoIndex)
+        : fi_(eq.faultInjector())
+    {
+        if (!fi_)
+            return;
+        node_.site = site;
+        node_.owner = &owner;
+        node_.index = index;
+        node_.since = eq.now();
+        fi_->link(&node_);
+    }
+
+    ParkGuard(const ParkGuard &) = delete;
+    ParkGuard &operator=(const ParkGuard &) = delete;
+    ParkGuard(ParkGuard &&) = delete;
+    ParkGuard &operator=(ParkGuard &&) = delete;
+
+    ~ParkGuard()
+    {
+        if (fi_)
+            fi_->unlink(&node_);
+    }
+
+  private:
+    FaultInjector *fi_ = nullptr;
+    ParkNode node_;
+};
+
+}  // namespace maple::fault

@@ -1,0 +1,81 @@
+#include "fault/watchdog.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "fault/fault.hpp"
+#include "sim/log.hpp"
+
+namespace maple::fault {
+
+void
+WatchdogConfig::mergeEnv()
+{
+    if (const char *p = std::getenv("MAPLE_WATCHDOG"); p && *p)
+        enabled = !(p[0] == '0' && p[1] == '\0');
+    auto parseCycles = [](const char *env, sim::Cycle &out) {
+        const char *p = std::getenv(env);
+        if (!p || !*p)
+            return;
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(p, &end, 10);
+        if (end && *end == '\0' && v > 0)
+            out = v;
+        else
+            MAPLE_WARN("ignoring bad %s '%s'", env, p);
+    };
+    parseCycles("MAPLE_WATCHDOG_STALL_BOUND", stall_bound);
+    parseCycles("MAPLE_WATCHDOG_INTERVAL", check_interval);
+}
+
+bool
+Watchdog::run(sim::Cycle max_cycles)
+{
+    if (!cfg_.enabled)
+        return eq_.run(max_cycles);
+    for (;;) {
+        sim::Cycle bound = max_cycles;
+        if (cfg_.check_interval < max_cycles - eq_.now())
+            bound = eq_.now() + cfg_.check_interval;
+        if (eq_.run(bound))
+            return true;
+        if (eq_.now() >= max_cycles)
+            return false;
+        const FaultInjector *fi = eq_.faultInjector();
+        if (!fi || fi->parkedWaiters() == 0)
+            continue;
+        sim::Cycle oldest = fi->oldestParkCycle();
+        if (oldest != sim::kCycleMax && eq_.now() - oldest >= cfg_.stall_bound) {
+            failDeadlock(eq_, sim::detail::formatString(
+                "liveness watchdog: a waiter has been parked for %llu cycles "
+                "(stall bound %llu) at cycle %llu",
+                (unsigned long long)(eq_.now() - oldest),
+                (unsigned long long)cfg_.stall_bound,
+                (unsigned long long)eq_.now()));
+        }
+    }
+}
+
+std::string
+Watchdog::diagnose(const sim::EventQueue &eq)
+{
+    std::ostringstream os;
+    if (const FaultInjector *fi = eq.faultInjector())
+        os << fi->livenessReport();
+    else
+        os << "(no fault injector attached: parked-waiter detail unavailable)\n";
+    os << "event queue: " << eq.pending() << " pending, " << eq.executed()
+       << " executed, now=" << eq.now();
+    return os.str();
+}
+
+void
+Watchdog::failDeadlock(const sim::EventQueue &eq, const std::string &summary)
+{
+    std::string report = diagnose(eq);
+    std::fprintf(stderr, "deadlock: %s\n%s\n", summary.c_str(), report.c_str());
+    std::fflush(stderr);
+    throw sim::DeadlockError(summary, std::move(report));
+}
+
+}  // namespace maple::fault

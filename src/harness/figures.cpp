@@ -56,6 +56,58 @@ applyTraceFlags(int &argc, char **argv)
     argv[argc] = nullptr;
 }
 
+void
+applyFaultFlags(int &argc, char **argv)
+{
+    struct Flag {
+        const char *name;
+        const char *env;
+    };
+    static constexpr Flag kFlags[] = {
+        {"--fault-seed", "MAPLE_FAULT_SEED"},
+        {"--fault-noc", "MAPLE_FAULT_NOC"},
+        {"--fault-dram", "MAPLE_FAULT_DRAM"},
+        {"--fault-tlb", "MAPLE_FAULT_TLB"},
+        {"--fault-mmio", "MAPLE_FAULT_MMIO"},
+        {"--watchdog", "MAPLE_WATCHDOG"},
+        {"--watchdog-stall-bound", "MAPLE_WATCHDOG_STALL_BOUND"},
+    };
+
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const Flag *hit = nullptr;
+        const char *value = nullptr;
+        for (const Flag &f : kFlags) {
+            size_t n = std::strlen(f.name);
+            if (std::strncmp(arg, f.name, n) != 0)
+                continue;
+            if (arg[n] == '=') {
+                hit = &f;
+                value = arg + n + 1;
+                break;
+            }
+            if (arg[n] == '\0') {
+                hit = &f;
+                if (i + 1 < argc)
+                    value = argv[++i];
+                break;
+            }
+        }
+        if (!hit) {
+            argv[out++] = argv[i];
+            continue;
+        }
+        if (!value || !*value) {
+            std::fprintf(stderr, "%s requires a value\n", hit->name);
+            std::exit(2);
+        }
+        setenv(hit->env, value, /*overwrite=*/1);
+    }
+    argc = out;
+    argv[argc] = nullptr;
+}
+
 Grid
 runGrid(const std::vector<std::unique_ptr<app::Workload>> &workloads,
         const std::vector<app::Technique> &techniques,

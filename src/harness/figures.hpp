@@ -89,4 +89,19 @@ workloadNames(const std::vector<std::unique_ptr<app::Workload>> &ws);
  */
 void applyTraceFlags(int &argc, char **argv);
 
+/**
+ * Strip the fault-injection & watchdog flags from argv and latch them into
+ * the MAPLE_FAULT_* / MAPLE_WATCHDOG* environment knobs, which every Soc
+ * construction picks up:
+ *
+ *   --fault-seed=<u64>              seed for the dedicated fault RNG streams
+ *   --fault-noc=<prob[:cycles]>     transient NoC link stalls
+ *   --fault-dram=<prob[:cycles]>    DRAM latency spikes
+ *   --fault-tlb=<prob>              device-TLB miss storms
+ *   --fault-mmio=<prob[:cycles]>    delayed MMIO responses
+ *   --watchdog=<0|1>                disable/enable the liveness watchdog
+ *   --watchdog-stall-bound=<cycles> park age that counts as a deadlock
+ */
+void applyFaultFlags(int &argc, char **argv);
+
 }  // namespace maple::harness

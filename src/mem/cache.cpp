@@ -1,5 +1,6 @@
 #include "mem/cache.hpp"
 
+#include "fault/fault.hpp"
 #include "sim/log.hpp"
 
 namespace maple::mem {
@@ -137,6 +138,7 @@ Cache::handleMiss(sim::Addr line, AccessKind kind, bool &dropped)
     if (auto it = mshrs_.find(line); it != mshrs_.end()) {
         stats_.counter("mshr_merges").inc();
         sim::Signal fill = it->second;
+        fault::ParkGuard park(eq_, "mshr_merge", params_.name);
         co_await fill;
         co_return;
     }
@@ -150,13 +152,17 @@ Cache::handleMiss(sim::Addr line, AccessKind kind, bool &dropped)
         }
         stats_.counter("mshr_stalls").inc();
         sim::Signal wait = mshr_wait_;
-        co_await wait;
+        {
+            fault::ParkGuard park(eq_, "mshr_full", params_.name);
+            co_await wait;
+        }
         // Re-check everything after waking: the line may have been installed
         // or an MSHR for it allocated while we slept.
         if (lookup(line))
             co_return;
         if (auto it = mshrs_.find(line); it != mshrs_.end()) {
             sim::Signal fill = it->second;
+            fault::ParkGuard park(eq_, "mshr_merge", params_.name);
             co_await fill;
             co_return;
         }

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "mem/physical_memory.hpp"
 #include "mem/timed_mem.hpp"
 #include "sim/stats.hpp"
@@ -41,6 +42,15 @@ class Dram : public TimedMem {
         sim::Cycle start = std::max(now, channel_free_[ch]);
         channel_free_[ch] = start + params_.cycles_per_line * lines;
         sim::Cycle done = channel_free_[ch] + params_.latency;
+        // Injected latency spike: this access's data returns late (the
+        // channel slot itself is not held, mimicking a row-buffer-miss /
+        // refresh collision rather than lost bandwidth).
+        if (fault::FaultInjector *f = fault::active(eq_)) {
+            if (sim::Cycle d = f->inject(fault::FaultClass::DramSpike)) {
+                done += d;
+                f->chargeCycles(fault::FaultClass::DramSpike, d);
+            }
+        }
         queue_wait_.sample(static_cast<double>(start - now));
         co_await sim::delay(eq_, done - now);
     }

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "mem/timed_mem.hpp"
 #include "sim/coro.hpp"
 #include "sim/event_queue.hpp"
@@ -99,6 +100,14 @@ class Mesh {
             sim::Cycle &free = link_free_[link];
             sim::Cycle depart = std::max(t, free);
             queued += depart - t;
+            // Injected transient link stall: the link is unavailable for a
+            // few extra cycles (charged to FaultNoc, not NocBackpressure).
+            if (fault::FaultInjector *f = fault::active(eq_)) {
+                if (sim::Cycle d = f->inject(fault::FaultClass::NocLinkStall)) {
+                    depart += d;
+                    f->chargeCycles(fault::FaultClass::NocLinkStall, d);
+                }
+            }
             free = depart + flits;  // serialization: one flit per cycle
             link_flits_[link] += flits;
             t = depart + params_.hop_latency;

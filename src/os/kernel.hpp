@@ -18,6 +18,7 @@
 #include "mem/page_table.hpp"
 #include "mem/physical_memory.hpp"
 #include "sim/coro.hpp"
+#include "sim/error.hpp"
 #include "sim/log.hpp"
 #include "sim/types.hpp"
 
@@ -34,7 +35,9 @@ class FrameAllocator {
     sim::Addr
     alloc()
     {
-        MAPLE_ASSERT(next_ < end_, "out of physical memory");
+        MAPLE_CHECK(next_ < end_, sim::OutOfMemoryError,
+                    "frame allocator exhausted at pa 0x%llx (region end 0x%llx)",
+                    (unsigned long long)next_, (unsigned long long)end_);
         sim::Addr frame = next_;
         next_ += mem::kPageSize;
         return frame;

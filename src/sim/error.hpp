@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Typed simulator errors.
+ *
+ * Two families, matching the panic()/fatal() split in sim/log.hpp:
+ *
+ *  - PanicError (std::logic_error): an *internal* invariant was violated —
+ *    a modeling bug or API misuse inside the simulator. Subclasses narrow
+ *    the site (queue misuse, ...).
+ *  - FatalError (std::runtime_error): an unrecoverable *runtime* condition —
+ *    bad configuration, a workload page fault, resource exhaustion, or a
+ *    liveness failure. Subclasses let tests assert on the exact failure
+ *    (MmioDecodeError, PageFaultError, OutOfMemoryError, DeadlockError...).
+ *
+ * The bases are deliberately std::logic_error / std::runtime_error so code
+ * (and tests) written against the untyped MAPLE_PANIC / MAPLE_FATAL throws
+ * keeps working; new code catches the precise subclass instead.
+ */
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "sim/log.hpp"
+
+namespace maple::sim {
+
+/** Unrecoverable runtime condition (bad config, workload fault, liveness). */
+class FatalError : public std::runtime_error {
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error("fatal: " + msg)
+    {
+    }
+};
+
+/** A component was constructed/configured with inconsistent parameters. */
+class ConfigError : public FatalError {
+  public:
+    using FatalError::FatalError;
+};
+
+/** An MMIO access decoded to no register/queue of the target device. */
+class MmioDecodeError : public FatalError {
+  public:
+    using FatalError::FatalError;
+};
+
+/** A core access faulted and no handler resolved it (bad vaddr, PTW miss). */
+class PageFaultError : public FatalError {
+  public:
+    using FatalError::FatalError;
+};
+
+/** Simulated physical memory (frame allocator) is exhausted. */
+class OutOfMemoryError : public FatalError {
+  public:
+    using FatalError::FatalError;
+};
+
+/**
+ * The liveness watchdog found no forward progress: the event queue went
+ * quiescent with coroutines still parked, or a waiter starved past the
+ * configured stall bound. what() leads with a one-line summary; report()
+ * holds the structured diagnostic (parked waiters, FIFO occupancies, MSHR
+ * state, stall attribution).
+ */
+class DeadlockError : public FatalError {
+  public:
+    DeadlockError(const std::string &summary, std::string report)
+        : FatalError(summary + (report.empty() ? "" : "\n" + report)),
+          report_(std::move(report))
+    {
+    }
+
+    const std::string &report() const { return report_; }
+
+  private:
+    std::string report_;
+};
+
+/** Internal invariant violated: a simulator bug or component-API misuse. */
+class PanicError : public std::logic_error {
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error("panic: " + msg)
+    {
+    }
+};
+
+/** A hardware-queue contract was broken (pop on empty, fill on filled...). */
+class QueueMisuseError : public PanicError {
+  public:
+    using PanicError::PanicError;
+};
+
+namespace detail {
+
+template <typename E>
+[[noreturn]] void
+throwError(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "error: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    throw E(msg);
+}
+
+}  // namespace detail
+
+/** Throw a typed sim error with a printf-style context string. */
+#define MAPLE_THROW(ErrType, ...) \
+    ::maple::sim::detail::throwError<ErrType>(__FILE__, __LINE__, \
+        ::maple::sim::detail::formatString(__VA_ARGS__))
+
+/** Check a condition; throws the given typed error on failure. */
+#define MAPLE_CHECK(cond, ErrType, ...) \
+    do { \
+        if (!(cond)) { \
+            MAPLE_THROW(ErrType, __VA_ARGS__); \
+        } \
+    } while (0)
+
+}  // namespace maple::sim

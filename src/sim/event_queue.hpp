@@ -49,6 +49,10 @@ namespace maple::trace {
 class TraceManager;
 }
 
+namespace maple::fault {
+class FaultInjector;
+}
+
 namespace maple::sim {
 
 class EventQueue {
@@ -152,6 +156,18 @@ class EventQueue {
 
     /** The attached tracer, or nullptr (the tracing-off fast path). */
     trace::TraceManager *tracer() const { return tracer_; }
+
+    /**
+     * Attach/detach the fault-injection & liveness subsystem. Like the
+     * tracer, the injector is consulted by instrumentation sites through
+     * this pointer (fault::active()); with none attached every site is a
+     * single null-pointer check.
+     */
+    void attachFaultInjector(fault::FaultInjector *f) { fault_ = f; }
+    void detachFaultInjector() { fault_ = nullptr; }
+
+    /** The attached fault injector, or nullptr (the faults-off fast path). */
+    fault::FaultInjector *faultInjector() const { return fault_; }
 
     /**
      * Pop and execute the next event, advancing time.
@@ -414,6 +430,7 @@ class EventQueue {
     std::uint64_t executed_ = 0;
     trace::TraceManager *tracer_ = nullptr;
     TraceHook trace_hook_ = nullptr;
+    fault::FaultInjector *fault_ = nullptr;
 };
 
 }  // namespace maple::sim

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "sim/error.hpp"
+
 namespace maple::sim::detail {
 
 [[noreturn]] void
@@ -12,7 +14,8 @@ panicImpl(const char *file, int line, const std::string &msg)
     std::fflush(stderr);
     // Throwing (instead of abort) lets the property-based tests assert that
     // invalid stimulus is rejected without killing the test binary.
-    throw std::logic_error("panic: " + msg);
+    // PanicError derives from std::logic_error.
+    throw PanicError(msg);
 }
 
 [[noreturn]] void
@@ -20,7 +23,8 @@ fatalImpl(const char *file, int line, const std::string &msg)
 {
     std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
     std::fflush(stderr);
-    throw std::runtime_error("fatal: " + msg);
+    // FatalError derives from std::runtime_error.
+    throw FatalError(msg);
 }
 
 void

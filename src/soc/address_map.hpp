@@ -14,6 +14,7 @@
 
 #include "mem/physical_memory.hpp"
 #include "sim/coro.hpp"
+#include "sim/error.hpp"
 #include "sim/log.hpp"
 #include "sim/types.hpp"
 
@@ -55,12 +56,21 @@ class AddressMap {
         MAPLE_ASSERT((base & mem::kPageMask) == 0 && (size & mem::kPageMask) == 0,
                      "MMIO windows are page granular");
         auto next = windows_.lower_bound(base);
-        if (next != windows_.end())
-            MAPLE_ASSERT(base + size <= next->first, "overlapping MMIO windows");
+        if (next != windows_.end()) {
+            MAPLE_CHECK(base + size <= next->first, sim::ConfigError,
+                        "MMIO window [0x%llx, 0x%llx) overlaps window at 0x%llx",
+                        (unsigned long long)base,
+                        (unsigned long long)(base + size),
+                        (unsigned long long)next->first);
+        }
         if (next != windows_.begin()) {
             auto prev = std::prev(next);
-            MAPLE_ASSERT(prev->first + prev->second.size <= base,
-                         "overlapping MMIO windows");
+            MAPLE_CHECK(prev->first + prev->second.size <= base,
+                        sim::ConfigError,
+                        "MMIO window [0x%llx, 0x%llx) overlaps window at 0x%llx",
+                        (unsigned long long)base,
+                        (unsigned long long)(base + size),
+                        (unsigned long long)prev->first);
         }
         windows_[base] = Window{base, size, device, tile};
     }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "sim/error.hpp"
 #include "sim/log.hpp"
 
 namespace maple::soc {
@@ -51,17 +52,21 @@ Soc::Soc(SocConfig cfg) : cfg_(std::move(cfg))
         cfg_.mesh_width = w;
         cfg_.mesh_height = (tiles_needed + w - 1) / w;
     }
-    MAPLE_ASSERT(cfg_.mesh_width * cfg_.mesh_height >= tiles_needed,
-                 "mesh too small: %ux%u for %u tiles", cfg_.mesh_width,
-                 cfg_.mesh_height, tiles_needed);
+    MAPLE_CHECK(cfg_.mesh_width * cfg_.mesh_height >= tiles_needed,
+                sim::ConfigError, "mesh too small: %ux%u for %u tiles",
+                cfg_.mesh_width, cfg_.mesh_height, tiles_needed);
     cfg_.mesh.width = cfg_.mesh_width;
     cfg_.mesh.height = cfg_.mesh_height;
 
-    // Environment knobs (MAPLE_TRACE=...) turn tracing on for any binary
-    // that assembles a Soc, without per-binary flag plumbing.
+    // Environment knobs (MAPLE_TRACE=..., MAPLE_FAULT_*=...) turn tracing
+    // and fault injection on for any binary that assembles a Soc, without
+    // per-binary flag plumbing.
     cfg_.trace.mergeEnv();
     if (cfg_.trace.enabled)
         tracer_ = std::make_unique<trace::TraceManager>(eq_, cfg_.trace);
+    cfg_.fault.mergeEnv();
+    cfg_.watchdog.mergeEnv();
+    fault_ = std::make_unique<fault::FaultInjector>(eq_, cfg_.fault);
 
     // Pre-size the per-core/per-MAPLE plumbing so wiring never reallocates
     // (components hand out raw pointers to earlier entries while later ones
@@ -135,6 +140,7 @@ Soc::Soc(SocConfig cfg) : cfg_(std::move(cfg))
 
     if (tracer_)
         registerProbes();
+    registerDiagnostics();
 }
 
 void
@@ -157,6 +163,38 @@ Soc::registerProbes()
             tracer_->addProbe(base + ".q" + std::to_string(q) + ".occupancy",
                               [m, q] { return double(m->queue(q).occupancy()); });
         }
+    }
+}
+
+void
+Soc::registerDiagnostics()
+{
+    // Component-state dumps for the deadlock diagnostic: enough to see at a
+    // glance which structural resource a parked waiter is starved of.
+    fault_->addDiagnostic("llc", [c = llc_.get()] {
+        return sim::detail::formatString("%zu MSHRs in flight", c->mshrsInUse());
+    });
+    for (unsigned i = 0; i < numCores(); ++i) {
+        fault_->addDiagnostic("l1." + std::to_string(i), [c = l1s_[i].get()] {
+            return sim::detail::formatString("%zu MSHRs in flight",
+                                             c->mshrsInUse());
+        });
+    }
+    for (unsigned i = 0; i < numMaples(); ++i) {
+        ::maple::core::Maple *m = maples_[i].get();
+        fault_->addDiagnostic("maple." + std::to_string(i), [m] {
+            std::string s = sim::detail::formatString(
+                "%u pointer-produces in flight", m->produceInflight());
+            for (unsigned q = 0; q < m->params().max_queues; ++q) {
+                if (!m->queue(q).configured())
+                    continue;
+                s += sim::detail::formatString(
+                    "; q%u %u/%u (status %u)", q, m->queue(q).occupancy(),
+                    m->queue(q).capacity(),
+                    static_cast<unsigned>(m->queueStatus(q)));
+            }
+            return s;
+        });
     }
 }
 
@@ -188,18 +226,25 @@ sim::Cycle
 Soc::run(std::vector<sim::Join> joins, sim::Cycle max_cycles)
 {
     sim::Cycle start = eq_.now();
-    bool drained = eq_.run(max_cycles);
+    fault::Watchdog wd(eq_, cfg_.watchdog);
+    bool drained = wd.run(max_cycles);
     for (const sim::Join &j : joins) {
         if (j.done())
             j.get();  // rethrows workload exceptions
     }
     if (!drained) {
-        MAPLE_FATAL("simulation did not quiesce within %llu cycles",
-                    (unsigned long long)(max_cycles - start));
+        fault::Watchdog::failDeadlock(
+            eq_, sim::detail::formatString(
+                     "simulation did not quiesce within %llu cycles",
+                     (unsigned long long)(max_cycles - start)));
     }
-    for (const sim::Join &j : joins)
-        MAPLE_ASSERT(j.done(), "event queue drained but a task never finished "
-                               "(deadlock in simulated software?)");
+    for (const sim::Join &j : joins) {
+        if (!j.done()) {
+            fault::Watchdog::failDeadlock(
+                eq_, "event queue drained but a task never finished "
+                     "(deadlock in simulated software?)");
+        }
+    }
     return eq_.now() - start;
 }
 

@@ -16,6 +16,8 @@
 
 #include "core/maple.hpp"
 #include "cpu/core.hpp"
+#include "fault/fault.hpp"
+#include "fault/watchdog.hpp"
 #include "mem/cache.hpp"
 #include "mem/dram.hpp"
 #include "mem/physical_memory.hpp"
@@ -82,6 +84,8 @@ struct SocConfig {
     ::maple::core::MapleParams maple_proto{};
     os::KernelParams kernel{};
     trace::TraceConfig trace{};      // off unless set or MAPLE_TRACE is present
+    fault::FaultConfig fault{};      // off unless set or MAPLE_FAULT_* present
+    fault::WatchdogConfig watchdog{}; // on by default; MAPLE_WATCHDOG=0 disables
 
     /** Table 2: the FPGA-emulated OpenPiton+Ariane SoC (2 cores, 1 MAPLE). */
     static SocConfig fpga();
@@ -108,6 +112,12 @@ class Soc {
 
     /** The SoC's tracer, or nullptr when tracing is disabled. */
     trace::TraceManager *tracer() { return tracer_.get(); }
+
+    /**
+     * The SoC's fault injector. Always present: even with injection off it
+     * tracks parked waiters for the liveness watchdog and deadlock report.
+     */
+    fault::FaultInjector &faultInjector() { return *fault_; }
 
     unsigned numCores() const { return static_cast<unsigned>(cores_.size()); }
     cpu::Core &core(unsigned i) { return *cores_.at(i); }
@@ -138,12 +148,18 @@ class Soc {
     /** Register the telemetry probes once all components exist. */
     void registerProbes();
 
+    /** Register component-state dumps for the deadlock diagnostic. */
+    void registerDiagnostics();
+
     SocConfig cfg_;
     sim::EventQueue eq_;
     // Declared right after eq_ (destroyed before it) so the tracer detaches
     // from a still-live EventQueue; probe lambdas only run while components
     // (declared below, destroyed first) are alive, i.e. while eq_ runs.
     std::unique_ptr<trace::TraceManager> tracer_;
+    // Same lifetime argument as the tracer: the injector detaches from eq_
+    // in its destructor, and its diagnostic lambdas only run while eq_ runs.
+    std::unique_ptr<fault::FaultInjector> fault_;
     std::unique_ptr<mem::PhysicalMemory> pm_;
     std::unique_ptr<os::Kernel> kernel_;
     std::unique_ptr<noc::Mesh> mesh_;

@@ -35,6 +35,10 @@ stallCauseName(StallCause c)
       case StallCause::TlbMiss:         return "tlb_miss";
       case StallCause::Dram:            return "dram";
       case StallCause::NocBackpressure: return "noc_backpressure";
+      case StallCause::FaultNoc:        return "fault_noc";
+      case StallCause::FaultDram:       return "fault_dram";
+      case StallCause::FaultTlb:        return "fault_tlb";
+      case StallCause::FaultMmio:       return "fault_mmio";
       default:                          return "?";
     }
 }

@@ -55,6 +55,12 @@ enum class StallCause : std::uint8_t {
     TlbMiss,        ///< translation waited on a page-table walk / fault
     Dram,           ///< waited on a memory fetch (DRAM or LLC round trip)
     NocBackpressure,///< packet waited on a busy mesh link
+    // Injected-fault buckets (src/fault): the attribution report separates
+    // latency the FaultPlan inserted from organic latency of the same kind.
+    FaultNoc,       ///< injected transient NoC link stall
+    FaultDram,      ///< injected DRAM latency spike
+    FaultTlb,       ///< injected device-TLB miss storm (forced re-walk)
+    FaultMmio,      ///< injected delayed MMIO response
     kCount
 };
 const char *stallCauseName(StallCause c);

@@ -259,8 +259,16 @@ TEST(Maple, SharedPipelineAblationDeadlocks)
 
     sim::Join j1 = sim::spawn(driver(f.soc.core(0)));
     sim::Join j2 = sim::spawn(consumer(f.soc.core(1)));
-    f.soc.eq().run(2'000'000);
-    // Deadlock: the event queue drains with both tasks incomplete.
+    // Deadlock: the event queue drains with both tasks incomplete, which the
+    // liveness machinery converts into a typed, catchable error whose report
+    // names the parked waiters (instead of the pre-watchdog silent hang).
+    try {
+        f.soc.run({j1, j2}, 2'000'000);
+        FAIL() << "expected sim::DeadlockError";
+    } catch (const sim::DeadlockError &e) {
+        EXPECT_NE(std::string(e.report()).find("pipe_head"), std::string::npos)
+            << e.report();
+    }
     EXPECT_TRUE(f.soc.eq().empty());
     EXPECT_FALSE(j1.done());
     EXPECT_FALSE(j2.done());

@@ -31,7 +31,7 @@ TEST(FrameAllocator, AllocatesDistinctAlignedFrames)
         EXPECT_EQ(f & mem::kPageMask, 0u);
         EXPECT_TRUE(frames.insert(f).second) << "duplicate frame";
     }
-    EXPECT_THROW(fa.alloc(), std::logic_error) << "exhaustion must be fatal";
+    EXPECT_THROW(fa.alloc(), sim::OutOfMemoryError) << "exhaustion must be fatal";
 }
 
 TEST(Process, AllocMapsZeroedWritableMemory)

@@ -49,8 +49,8 @@ TEST(AddressMap, RejectsOverlappingWindows)
         }
     } dev;
     amap.addDevice(0x10000, 0x2000, &dev, 0);
-    EXPECT_THROW(amap.addDevice(0x11000, 0x1000, &dev, 0), std::logic_error);
-    EXPECT_THROW(amap.addDevice(0x0f000, 0x2000, &dev, 0), std::logic_error);
+    EXPECT_THROW(amap.addDevice(0x11000, 0x1000, &dev, 0), sim::ConfigError);
+    EXPECT_THROW(amap.addDevice(0x0f000, 0x2000, &dev, 0), sim::ConfigError);
 }
 
 TEST(Soc, FpgaConfigMatchesTable2)
@@ -90,7 +90,7 @@ TEST(Soc, TooSmallExplicitMeshPanics)
 {
     SocConfig cfg = SocConfig::fpga();
     cfg.num_cores = 6;  // 6 + 1 maple + 1 mem > 2x2
-    EXPECT_THROW(Soc{cfg}, std::logic_error);
+    EXPECT_THROW(Soc{cfg}, sim::ConfigError);
 }
 
 TEST(Soc, MapleMmioWindowLiesAboveDram)

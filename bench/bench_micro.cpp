@@ -56,10 +56,13 @@ BM_CacheHitAccess(benchmark::State &state)
     mem::Dram dram(eq);
     mem::Cache cache(eq, mem::CacheParams{"bench", 64 * 1024, 8, 2, 16}, dram);
     // Warm one line.
-    sim::spawn(cache.access(0x1000, 8, mem::AccessKind::Read));
+    sim::spawn(cache.request(mem::MemRequest::make(
+        eq, mem::RequesterClass::Core, 0, 0x1000, 8, mem::AccessKind::Read)));
     eq.run();
     for (auto _ : state) {
-        sim::spawn(cache.access(0x1000, 8, mem::AccessKind::Read));
+        sim::spawn(cache.request(mem::MemRequest::make(
+            eq, mem::RequesterClass::Core, 0, 0x1000, 8,
+            mem::AccessKind::Read)));
         eq.run();
     }
     state.SetItemsProcessed(state.iterations());
@@ -74,7 +77,8 @@ BM_CacheMissFill(benchmark::State &state)
     mem::Cache cache(eq, mem::CacheParams{"bench", 8 * 1024, 4, 2, 16}, dram);
     sim::Addr a = 0;
     for (auto _ : state) {
-        sim::spawn(cache.access(a, 8, mem::AccessKind::Read));
+        sim::spawn(cache.request(mem::MemRequest::make(
+            eq, mem::RequesterClass::Core, 0, a, 8, mem::AccessKind::Read)));
         eq.run();
         a += mem::kLineSize;  // always a fresh line: guaranteed miss
     }

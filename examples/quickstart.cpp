@@ -71,6 +71,10 @@ main(int argc, char **argv)
     // tune the liveness watchdog (latched into MAPLE_FAULT_*/MAPLE_WATCHDOG*,
     // which both SoCs below pick up).
     harness::applyFaultFlags(argc, argv);
+    // --llc-arb / --dram-arb pick the fabric arbitration policy and
+    // --fault-only restricts injection to the named requester classes
+    // (latched into MAPLE_LLC_ARB / MAPLE_DRAM_ARB / MAPLE_FAULT_ONLY).
+    harness::applyFabricFlags(argc, argv);
     trace::TraceConfig tracecfg;
     tracecfg.mergeEnv();
     unsetenv("MAPLE_TRACE");

@@ -1,12 +1,22 @@
 #!/usr/bin/env python3
 """Compare a bench_host_perf run against the checked-in baseline.
 
-Usage: check_host_perf.py <baseline.json> <current.json> [max_regression]
+Usage:
+    check_host_perf.py <baseline.json> <current.json>... [max_regression]
+                       [--limit name=ratio ...]
 
-Fails (exit 1) if any benchmark's events/second dropped by more than
-max_regression (default 5x). The generous threshold tolerates host and CI
-noise: this is a smoke test against gross kernel regressions, not a
-microbenchmark gate.
+Fails (exit 1) if any benchmark's events/second dropped by more than its
+limit. The default limit (max_regression, 5x) is generous and tolerates
+host and CI noise: a smoke test against gross kernel regressions. Per-
+benchmark --limit overrides tighten the gate where it matters, e.g.
+--limit maple_spmv=1.15 guards the full-system figure-8 run (the number
+that actually bounds how long the paper's experiments take) against even
+moderate slowdowns.
+
+Several current.json files (from repeated runs) may be given; each
+benchmark scores its best run. A tight limit on a single noisy --quick
+run would flake; a true regression slows every repetition, so best-of-N
+keeps the gate honest while screening out scheduler noise.
 """
 import json
 import sys
@@ -18,27 +28,59 @@ def load(path):
                 for b in json.load(f)["benchmarks"]}
 
 
+def parse_args(argv):
+    positional, limits = [], {}
+    it = iter(argv)
+    for arg in it:
+        if arg == "--limit" or arg.startswith("--limit="):
+            spec = arg.split("=", 1)[1] if "=" in arg else next(it, None)
+            if not spec or "=" not in spec:
+                sys.exit("--limit expects name=ratio (e.g. maple_spmv=1.15)")
+            name, ratio = spec.split("=", 1)
+            limits[name] = float(ratio)
+        else:
+            positional.append(arg)
+    return positional, limits
+
+
 def main():
-    if len(sys.argv) < 3:
+    positional, limits = parse_args(sys.argv[1:])
+    if len(positional) < 2:
         sys.exit(__doc__)
-    baseline = load(sys.argv[1])
-    current = load(sys.argv[2])
-    max_regression = float(sys.argv[3]) if len(sys.argv) > 3 else 5.0
+    baseline = load(positional[0])
+    default_limit = 5.0
+    current_paths = positional[1:]
+    try:
+        default_limit = float(positional[-1])
+        current_paths = positional[1:-1]
+    except ValueError:
+        pass
+    if not current_paths:
+        sys.exit(__doc__)
+    current = {}
+    for path in current_paths:
+        for name, eps in load(path).items():
+            current[name] = max(current.get(name, 0.0), eps)
+    unknown = set(limits) - set(baseline)
+    if unknown:
+        sys.exit("--limit names not in baseline: " + ", ".join(sorted(unknown)))
 
     failures = []
     for name, base_eps in sorted(baseline.items()):
+        limit = limits.get(name, default_limit)
         eps = current.get(name)
         if eps is None:
             failures.append(f"{name}: missing from current run")
             continue
         ratio = base_eps / eps if eps > 0 else float("inf")
-        status = "FAIL" if ratio > max_regression else "ok"
+        status = "FAIL" if ratio > limit else "ok"
         print(f"{status:4} {name:24} {eps / 1e6:8.2f}M ev/s  "
-              f"(baseline {base_eps / 1e6:8.2f}M, {ratio:.2f}x slower)")
-        if ratio > max_regression:
+              f"(baseline {base_eps / 1e6:8.2f}M, {ratio:.2f}x slower, "
+              f"limit {limit:.2f}x)")
+        if ratio > limit:
             failures.append(
                 f"{name}: {eps:.0f} ev/s vs baseline {base_eps:.0f} "
-                f"({ratio:.1f}x slower, limit {max_regression:.1f}x)")
+                f"({ratio:.1f}x slower, limit {limit:.1f}x)")
     if failures:
         sys.exit("host-perf regression:\n" + "\n".join(failures))
     print("host-perf smoke ok")

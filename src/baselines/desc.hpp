@@ -46,7 +46,7 @@ class DescQueue {
      *        core's (near-blocking) L1, so it gets its own LLC-reaching port.
      */
     DescQueue(sim::EventQueue &eq, mem::PhysicalMemory &pm,
-              mem::TimedMem &fetch_port, DescParams params = {})
+              mem::Port &fetch_port, DescParams params = {})
         : eq_(eq), pm_(pm), fetch_port_(fetch_port), params_(params)
     {
         comm_.configure(params_.queue_entries, 8);
@@ -91,7 +91,7 @@ class DescQueue {
 
         mem::Translation tr = co_await core.mmu().translate(vaddr, false);
         MAPLE_ASSERT(!tr.fault, "DeSC terminal load faulted");
-        sim::spawn(fetch(slot, tr.paddr, size));
+        sim::spawn(fetch(slot, core.tile(), tr.paddr, size));
     }
 
     /** Drain one Compute-side store (Supply performs the actual store). */
@@ -171,9 +171,13 @@ class DescQueue {
     }
 
     sim::Task<void>
-    fetch(unsigned slot, sim::Addr paddr, unsigned size)
+    fetch(unsigned slot, sim::TileId tile, sim::Addr paddr, unsigned size)
     {
-        co_await fetch_port_.access(paddr, size, mem::AccessKind::Read);
+        // Early-committed terminal loads are core demand traffic issued on
+        // the Supply core's behalf.
+        co_await fetch_port_.request(mem::MemRequest::make(
+            eq_, mem::RequesterClass::Core, tile, paddr, size,
+            mem::AccessKind::Read));
         std::uint64_t v = 0;
         pm_.read(paddr, &v, size);
         comm_.fillSlot(slot, v);
@@ -184,7 +188,7 @@ class DescQueue {
 
     sim::EventQueue &eq_;
     mem::PhysicalMemory &pm_;
-    mem::TimedMem &fetch_port_;
+    mem::Port &fetch_port_;
     DescParams params_;
     maple::core::MapleQueue comm_;     ///< Supply -> Compute data queue
     maple::core::MapleQueue store_q_;  ///< Compute -> Supply store queue

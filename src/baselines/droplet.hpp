@@ -32,7 +32,7 @@
 
 namespace maple::baselines {
 
-class DropletPrefetcher : public mem::TimedMem {
+class DropletPrefetcher : public mem::Port {
   public:
     struct Binding {
         sim::Addr b_base_pa, b_end_pa;  ///< physical range of the index array
@@ -75,10 +75,10 @@ class DropletPrefetcher : public mem::TimedMem {
 
     /** All LLC-bound traffic flows through here (front-end interposer). */
     sim::Task<void>
-    access(sim::Addr paddr, std::uint32_t size, mem::AccessKind kind) override
+    request(mem::MemRequest req) override
     {
-        sim::Addr line = mem::lineBase(paddr);
-        if (kind == mem::AccessKind::Read) {
+        sim::Addr line = mem::lineBase(req.paddr);
+        if (req.kind == mem::AccessKind::Read) {
             if (auto it = buffer_.find(line); it != buffer_.end()) {
                 // Demand hit in the memory-side buffer: wait for the fill if
                 // it is still in flight, then pay buffer access time.
@@ -89,10 +89,10 @@ class DropletPrefetcher : public mem::TimedMem {
                 co_return;
             }
         }
-        co_await soc_.llc().access(paddr, size, kind);
+        co_await soc_.llc().request(req);
         // Data awareness: a completed demand read of an index line triggers
         // decoding (its data is now on-chip) plus a lookahead stream.
-        if (kind == mem::AccessKind::Read)
+        if (req.kind == mem::AccessKind::Read)
             trigger(line);
     }
 
@@ -171,8 +171,12 @@ class DropletPrefetcher : public mem::TimedMem {
         ++prefetches_;
         auto fetch = [](DropletPrefetcher *self, sim::Addr l,
                         sim::Signal done) -> sim::Task<void> {
-            co_await self->soc_.dram().access(l, mem::kLineSize,
-                                              mem::AccessKind::Prefetch);
+            // Buffer fills are the prefetcher's own traffic: Prefetch class,
+            // originating at the memory tile DROPLET sits on.
+            co_await self->soc_.dram().request(mem::MemRequest::make(
+                self->soc_.eq(), mem::RequesterClass::Prefetch,
+                self->soc_.memTile(), l, mem::kLineSize,
+                mem::AccessKind::Prefetch));
             done.set(sim::Unit{});
         };
         sim::spawn(fetch(this, line, buffer_.at(line).ready));

@@ -10,7 +10,8 @@ namespace maple::core {
 
 Maple::Maple(sim::EventQueue &eq, MapleParams params, MapleWiring wiring)
     : eq_(eq), params_(std::move(params)), w_(wiring),
-      mmu_(eq, *wiring.pm, *wiring.walk_port, params_.tlb_entries),
+      mmu_(eq, *wiring.pm, *wiring.walk_port, params_.tlb_entries,
+           params_.tile),
       stats_(params_.name)
 {
     MAPLE_ASSERT(w_.pm && w_.dram_port && w_.walk_port, "MAPLE wiring incomplete");
@@ -349,10 +350,12 @@ Maple::fetchIntoSlot(unsigned q, unsigned generation, unsigned slot,
                      sim::Addr paddr, unsigned bytes)
 {
     bumpCounter(Counter::MemRequests);
-    mem::TimedMem *port = params_.fetch_via_llc && w_.llc_port ? w_.llc_port
-                                                               : w_.dram_port;
+    mem::Port *port = params_.fetch_via_llc && w_.llc_port ? w_.llc_port
+                                                            : w_.dram_port;
     sim::Cycle fetch_start = eq_.now();
-    co_await port->access(paddr, bytes, mem::AccessKind::Read);
+    co_await port->request(mem::MemRequest::make(
+        eq_, mem::RequesterClass::MapleProduce, params_.tile, paddr, bytes,
+        mem::AccessKind::Read));
     if (auto *t = tracer()) {
         t->attributeStall(trace::StallCause::Dram, eq_.now() - fetch_start);
     }
@@ -455,9 +458,11 @@ Maple::amoIntoSlot(unsigned q, unsigned generation, unsigned slot,
 {
     bumpCounter(Counter::MemRequests);
     // Atomics are coherent: charge an LLC round trip for the RMW.
-    mem::TimedMem *port = w_.llc_port ? w_.llc_port : w_.dram_port;
+    mem::Port *port = w_.llc_port ? w_.llc_port : w_.dram_port;
     sim::Cycle rmw_start = eq_.now();
-    co_await port->access(paddr, bytes, mem::AccessKind::Write);
+    co_await port->request(mem::MemRequest::make(
+        eq_, mem::RequesterClass::MapleProduce, params_.tile, paddr, bytes,
+        mem::AccessKind::Write));
     if (auto *t = tracer()) {
         t->attributeStall(trace::StallCause::Dram, eq_.now() - rmw_start);
     }
@@ -729,8 +734,10 @@ Maple::limaOne(const LimaCmd &cmd)
         f.last = std::min<std::uint64_t>(cmd.end, i + in_chunk);
         bumpCounter(Counter::MemRequests);
         auto fetch = [](Maple *self, sim::Addr pa, sim::Signal done) -> sim::Task<void> {
-            co_await self->w_.dram_port->access(pa, mem::kLineSize,
-                                                mem::AccessKind::Read);
+            co_await self->w_.dram_port->request(mem::MemRequest::make(
+                self->eq_, mem::RequesterClass::MapleConsume,
+                self->params_.tile, pa, mem::kLineSize,
+                mem::AccessKind::Read));
             done.set(sim::Unit{});
         };
         sim::spawn(fetch(this, chunk_pa, f.arrived));

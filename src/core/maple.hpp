@@ -33,7 +33,7 @@
 #include "mem/cache.hpp"
 #include "mem/mmu.hpp"
 #include "mem/physical_memory.hpp"
-#include "mem/timed_mem.hpp"
+#include "mem/port.hpp"
 #include "sim/coro.hpp"
 #include "sim/stats.hpp"
 #include "soc/address_map.hpp"
@@ -58,10 +58,10 @@ struct MapleParams {
 /** Memory-side connections of a MAPLE instance. */
 struct MapleWiring {
     mem::PhysicalMemory *pm = nullptr;
-    mem::TimedMem *dram_port = nullptr;  ///< non-coherent direct-to-DRAM path
-    mem::TimedMem *llc_port = nullptr;   ///< coherent path through the LLC
-    mem::Cache *llc_cache = nullptr;     ///< for speculative LLC prefetches
-    mem::TimedMem *walk_port = nullptr;  ///< page-table-walker port
+    mem::Port *dram_port = nullptr;  ///< non-coherent direct-to-DRAM path
+    mem::Port *llc_port = nullptr;   ///< coherent path through the LLC
+    mem::Cache *llc_cache = nullptr; ///< for speculative LLC prefetches
+    mem::Port *walk_port = nullptr;  ///< page-table-walker port
 };
 
 class Maple : public soc::MmioDevice {

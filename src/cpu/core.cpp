@@ -8,7 +8,8 @@ namespace maple::cpu {
 
 Core::Core(sim::EventQueue &eq, CoreParams params, CoreWiring wiring)
     : eq_(eq), params_(std::move(params)), w_(wiring),
-      mmu_(eq, *wiring.pm, *wiring.walk_port, params_.tlb_entries),
+      mmu_(eq, *wiring.pm, *wiring.walk_port, params_.tlb_entries,
+           params_.tile),
       stats_(params_.name)
 {
     MAPLE_ASSERT(w_.pm && w_.l1 && w_.walk_port && w_.amap && w_.mesh,
@@ -64,7 +65,9 @@ Core::load(sim::Addr vaddr, unsigned size)
         if (tm)
             tm->complete(tr_track_, "mmio_load", trace::Category::Core, mmio_start);
     } else {
-        co_await w_.l1->access(tr.paddr, size, mem::AccessKind::Read);
+        co_await w_.l1->request(mem::MemRequest::make(
+            eq_, mem::RequesterClass::Core, params_.tile, tr.paddr, size,
+            mem::AccessKind::Read));
         value = 0;
         w_.pm->read(tr.paddr, &value, size);
     }
@@ -106,7 +109,9 @@ Core::drainStore(sim::Addr paddr, std::uint64_t value, unsigned size)
     if (const auto *win = w_.amap->find(paddr)) {
         co_await mmioStore(*win, paddr, value, size);
     } else {
-        co_await w_.l1->access(paddr, size, mem::AccessKind::Write);
+        co_await w_.l1->request(mem::MemRequest::make(
+            eq_, mem::RequesterClass::Core, params_.tile, paddr, size,
+            mem::AccessKind::Write));
         w_.pm->write(paddr, &value, size);
     }
     --store_buffer_used_;
@@ -154,7 +159,9 @@ Core::amoAdd(sim::Addr vaddr, std::uint64_t delta, unsigned size)
                     (unsigned long long)vaddr);
     MAPLE_ASSERT(!w_.amap->isMmio(tr.paddr), "atomics to MMIO unsupported");
 
-    co_await w_.atomic_port->access(tr.paddr, size, mem::AccessKind::Write);
+    co_await w_.atomic_port->request(mem::MemRequest::make(
+        eq_, mem::RequesterClass::Core, params_.tile, tr.paddr, size,
+        mem::AccessKind::Write));
     // Functional read-modify-write happens atomically at completion time.
     std::uint64_t old = 0;
     w_.pm->read(tr.paddr, &old, size);
@@ -179,7 +186,9 @@ Core::loadShared(sim::Addr vaddr, unsigned size)
         MAPLE_THROW(sim::PageFaultError,
                     "%s: shared load fault at va 0x%llx", params_.name.c_str(),
                     (unsigned long long)vaddr);
-    co_await w_.atomic_port->access(tr.paddr, size, mem::AccessKind::Read);
+    co_await w_.atomic_port->request(mem::MemRequest::make(
+        eq_, mem::RequesterClass::Core, params_.tile, tr.paddr, size,
+        mem::AccessKind::Read));
     std::uint64_t value = 0;
     w_.pm->read(tr.paddr, &value, size);
     if (tm)
@@ -210,7 +219,9 @@ Core::storeShared(sim::Addr vaddr, std::uint64_t value, unsigned size)
     ++store_buffer_used_;
     auto drain = [](Core *self, sim::Addr paddr, std::uint64_t v,
                     unsigned sz) -> sim::Task<void> {
-        co_await self->w_.atomic_port->access(paddr, sz, mem::AccessKind::Write);
+        co_await self->w_.atomic_port->request(mem::MemRequest::make(
+            self->eq_, mem::RequesterClass::Core, self->params_.tile, paddr,
+            sz, mem::AccessKind::Write));
         self->w_.pm->write(paddr, &v, sz);
         --self->store_buffer_used_;
         sim::Signal wake = std::exchange(self->store_buffer_wait_, sim::Signal{});
@@ -226,9 +237,11 @@ Core::mmioLoad(const soc::AddressMap::Window &w, sim::Addr paddr, unsigned size)
     const unsigned fb = w_.mesh->params().flit_bytes;
     co_await sim::delay(eq_, params_.l1_bypass + params_.l15_latency +
                                  params_.mmio_extra_latency);
-    co_await w_.mesh->transit(params_.tile, w.tile, noc::flitsFor(0, fb));
+    co_await w_.mesh->transit(params_.tile, w.tile, noc::flitsFor(0, fb),
+                              mem::RequesterClass::Mmio);
     std::uint64_t v = co_await w.device->mmioLoad(paddr, size, params_.thread);
-    co_await w_.mesh->transit(w.tile, params_.tile, noc::flitsFor(size, fb));
+    co_await w_.mesh->transit(w.tile, params_.tile, noc::flitsFor(size, fb),
+                              mem::RequesterClass::Mmio);
     co_await sim::delay(eq_, params_.l15_latency + params_.l1_bypass +
                                  params_.mmio_extra_latency);
     co_return v;
@@ -242,10 +255,12 @@ Core::mmioStore(const soc::AddressMap::Window &w, sim::Addr paddr,
     const unsigned fb = w_.mesh->params().flit_bytes;
     co_await sim::delay(eq_, params_.l1_bypass + params_.l15_latency +
                                  params_.mmio_extra_latency);
-    co_await w_.mesh->transit(params_.tile, w.tile, noc::flitsFor(size, fb));
+    co_await w_.mesh->transit(params_.tile, w.tile, noc::flitsFor(size, fb),
+                              mem::RequesterClass::Mmio);
     co_await w.device->mmioStore(paddr, value, size, params_.thread);
     // The ack is a header-only packet.
-    co_await w_.mesh->transit(w.tile, params_.tile, noc::flitsFor(0, fb));
+    co_await w_.mesh->transit(w.tile, params_.tile, noc::flitsFor(0, fb),
+                              mem::RequesterClass::Mmio);
     co_await sim::delay(eq_, params_.l15_latency + params_.l1_bypass +
                                  params_.mmio_extra_latency);
 }

@@ -17,7 +17,7 @@
 #include "mem/cache.hpp"
 #include "mem/mmu.hpp"
 #include "mem/physical_memory.hpp"
-#include "mem/timed_mem.hpp"
+#include "mem/port.hpp"
 #include "noc/mesh.hpp"
 #include "sim/coro.hpp"
 #include "sim/stats.hpp"
@@ -42,10 +42,10 @@ struct CoreParams {
 /** Everything a core is wired to; assembled by soc::Soc. */
 struct CoreWiring {
     mem::PhysicalMemory *pm = nullptr;
-    mem::TimedMem *l1 = nullptr;          ///< demand path (top of local cache)
-    mem::Cache *l1_cache = nullptr;       ///< same cache, for prefetch inserts
-    mem::TimedMem *walk_port = nullptr;   ///< page-table walker port
-    mem::TimedMem *atomic_port = nullptr; ///< RMW ops (serviced at the LLC)
+    mem::Port *l1 = nullptr;           ///< demand path (top of local cache)
+    mem::Cache *l1_cache = nullptr;    ///< same cache, for prefetch inserts
+    mem::Port *walk_port = nullptr;    ///< page-table walker port
+    mem::Port *atomic_port = nullptr;  ///< RMW ops (serviced at the LLC)
     const soc::AddressMap *amap = nullptr;
     noc::Mesh *mesh = nullptr;
 };

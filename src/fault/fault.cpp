@@ -70,6 +70,31 @@ FaultConfig::mergeEnv()
     parseRate("MAPLE_FAULT_DRAM", dram, /*default_extra=*/2000);
     parseRate("MAPLE_FAULT_TLB", tlb, /*default_extra=*/1);
     parseRate("MAPLE_FAULT_MMIO", mmio, /*default_extra=*/200);
+    if (const char *p = std::getenv("MAPLE_FAULT_ONLY"); p && *p) {
+        std::uint32_t mask = 0;
+        std::stringstream ss(p);
+        std::string tok;
+        bool ok = true;
+        while (std::getline(ss, tok, ',')) {
+            bool found = false;
+            for (unsigned i = 0; i < mem::kNumRequesterClasses; ++i) {
+                auto rc = static_cast<mem::RequesterClass>(i);
+                if (tok == mem::requesterClassName(rc)) {
+                    mask |= mem::requesterClassBit(rc);
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                MAPLE_WARN("ignoring MAPLE_FAULT_ONLY: unknown class '%s'",
+                           tok.c_str());
+                ok = false;
+                break;
+            }
+        }
+        if (ok && mask)
+            class_mask = mask;
+    }
 }
 
 FaultPlan::FaultPlan(const FaultConfig &cfg)

@@ -28,6 +28,9 @@
  *   MAPLE_FAULT_DRAM=<prob[:cycles]> per-access latency-spike probability
  *   MAPLE_FAULT_TLB=<prob>           per-translation forced-TLB-miss prob
  *   MAPLE_FAULT_MMIO=<prob[:cycles]> per-MMIO-op response-delay probability
+ *   MAPLE_FAULT_ONLY=<cls[,cls...]>  restrict injection to these requester
+ *                                    classes (core, maple_consume,
+ *                                    maple_produce, ptw, prefetch, mmio)
  */
 #pragma once
 
@@ -38,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "mem/port.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 #include "sim/types.hpp"
@@ -54,6 +58,13 @@ enum class FaultClass : std::uint8_t {
 };
 const char *faultClassName(FaultClass c);
 
+/** Bit in RequestMeta::fault_tags marking a fault hit en route. */
+inline constexpr std::uint32_t
+faultClassBit(FaultClass c)
+{
+    return 1u << static_cast<unsigned>(c);
+}
+
 /** Probability per opportunity plus the magnitude ceiling (where relevant). */
 struct FaultRate {
     double prob = 0.0;         ///< [0,1] chance per injection opportunity
@@ -66,6 +77,14 @@ struct FaultConfig {
     FaultRate dram{};   ///< defaults to max_extra 2000 when enabled via env
     FaultRate tlb{};    ///< magnitude is organic: the re-walk costs real cycles
     FaultRate mmio{};   ///< defaults to max_extra 200 when enabled via env
+
+    /**
+     * Requester classes faults may hit. Opportunities from classes outside
+     * the mask are skipped *without* drawing, so a class-targeted campaign
+     * never injects into other agents' requests (they only feel second-order
+     * contention from the targeted class). Default: everyone.
+     */
+    std::uint32_t class_mask = mem::kAllRequesterClasses;
 
     /** True when any class has a nonzero probability. */
     bool anyEnabled() const;
@@ -127,6 +146,20 @@ class FaultInjector {
      * tracing). Returns the extra cycles to inject (0 = no fault).
      */
     sim::Cycle inject(FaultClass c);
+
+    /**
+     * Class-keyed injection opportunity: skipped (no draw, no counter) when
+     * @p rc is outside the configured requester-class mask. Sites on the
+     * typed memory fabric use this overload so fault campaigns can target
+     * e.g. only MAPLE's streams or only core demand traffic.
+     */
+    sim::Cycle
+    inject(FaultClass c, mem::RequesterClass rc)
+    {
+        if (!(cfg_.class_mask & mem::requesterClassBit(rc)))
+            return 0;
+        return inject(c);
+    }
 
     /**
      * Account @p cycles of injected latency: bumps the per-class cycle

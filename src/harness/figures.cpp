@@ -8,25 +8,28 @@
 
 namespace maple::harness {
 
-void
-applyTraceFlags(int &argc, char **argv)
-{
-    struct Flag {
-        const char *name;
-        const char *env;
-    };
-    static constexpr Flag kFlags[] = {
-        {"--trace", "MAPLE_TRACE"},
-        {"--trace-csv", "MAPLE_TRACE_CSV"},
-        {"--trace-interval", "MAPLE_TRACE_INTERVAL"},
-    };
+namespace {
 
+struct Flag {
+    const char *name;
+    const char *env;
+};
+
+/**
+ * Strip every recognized --flag=value (or --flag value) pair from argv and
+ * latch it into the corresponding environment knob. Shared by the trace,
+ * fault, and fabric flag families so they strip identically.
+ */
+void
+stripFlagsToEnv(int &argc, char **argv, const Flag *flags, size_t num_flags)
+{
     int out = 1;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         const Flag *hit = nullptr;
         const char *value = nullptr;
-        for (const Flag &f : kFlags) {
+        for (size_t k = 0; k < num_flags; ++k) {
+            const Flag &f = flags[k];
             size_t n = std::strlen(f.name);
             if (std::strncmp(arg, f.name, n) != 0)
                 continue;
@@ -56,13 +59,22 @@ applyTraceFlags(int &argc, char **argv)
     argv[argc] = nullptr;
 }
 
+}  // namespace
+
+void
+applyTraceFlags(int &argc, char **argv)
+{
+    static constexpr Flag kFlags[] = {
+        {"--trace", "MAPLE_TRACE"},
+        {"--trace-csv", "MAPLE_TRACE_CSV"},
+        {"--trace-interval", "MAPLE_TRACE_INTERVAL"},
+    };
+    stripFlagsToEnv(argc, argv, kFlags, std::size(kFlags));
+}
+
 void
 applyFaultFlags(int &argc, char **argv)
 {
-    struct Flag {
-        const char *name;
-        const char *env;
-    };
     static constexpr Flag kFlags[] = {
         {"--fault-seed", "MAPLE_FAULT_SEED"},
         {"--fault-noc", "MAPLE_FAULT_NOC"},
@@ -72,40 +84,18 @@ applyFaultFlags(int &argc, char **argv)
         {"--watchdog", "MAPLE_WATCHDOG"},
         {"--watchdog-stall-bound", "MAPLE_WATCHDOG_STALL_BOUND"},
     };
+    stripFlagsToEnv(argc, argv, kFlags, std::size(kFlags));
+}
 
-    int out = 1;
-    for (int i = 1; i < argc; ++i) {
-        const char *arg = argv[i];
-        const Flag *hit = nullptr;
-        const char *value = nullptr;
-        for (const Flag &f : kFlags) {
-            size_t n = std::strlen(f.name);
-            if (std::strncmp(arg, f.name, n) != 0)
-                continue;
-            if (arg[n] == '=') {
-                hit = &f;
-                value = arg + n + 1;
-                break;
-            }
-            if (arg[n] == '\0') {
-                hit = &f;
-                if (i + 1 < argc)
-                    value = argv[++i];
-                break;
-            }
-        }
-        if (!hit) {
-            argv[out++] = argv[i];
-            continue;
-        }
-        if (!value || !*value) {
-            std::fprintf(stderr, "%s requires a value\n", hit->name);
-            std::exit(2);
-        }
-        setenv(hit->env, value, /*overwrite=*/1);
-    }
-    argc = out;
-    argv[argc] = nullptr;
+void
+applyFabricFlags(int &argc, char **argv)
+{
+    static constexpr Flag kFlags[] = {
+        {"--llc-arb", "MAPLE_LLC_ARB"},
+        {"--dram-arb", "MAPLE_DRAM_ARB"},
+        {"--fault-only", "MAPLE_FAULT_ONLY"},
+    };
+    stripFlagsToEnv(argc, argv, kFlags, std::size(kFlags));
 }
 
 Grid

@@ -104,4 +104,19 @@ void applyTraceFlags(int &argc, char **argv);
  */
 void applyFaultFlags(int &argc, char **argv);
 
+/**
+ * Strip the memory-fabric flags from argv into the environment knobs every
+ * Soc construction latches:
+ *
+ *   --llc-arb=<fifo|rr|core-priority>   arbitration at the shared-LLC
+ *                                       front-end (MAPLE_LLC_ARB)
+ *   --dram-arb=<fifo|rr|core-priority>  arbitration at the DRAM queue
+ *                                       (MAPLE_DRAM_ARB)
+ *   --fault-only=<cls[,cls...]>         restrict fault injection to the
+ *                                       named requester classes, e.g.
+ *                                       "maple_consume,maple_produce"
+ *                                       (MAPLE_FAULT_ONLY)
+ */
+void applyFabricFlags(int &argc, char **argv);
+
 }  // namespace maple::harness

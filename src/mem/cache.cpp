@@ -5,7 +5,7 @@
 
 namespace maple::mem {
 
-Cache::Cache(sim::EventQueue &eq, CacheParams params, TimedMem &downstream)
+Cache::Cache(sim::EventQueue &eq, CacheParams params, Port &downstream)
     : eq_(eq), params_(std::move(params)), downstream_(downstream),
       stats_(params_.name)
 {
@@ -88,28 +88,30 @@ Cache::invalidateAll()
 void
 Cache::prefetch(sim::Addr paddr)
 {
-    sim::spawn(access(lineBase(paddr), kLineSize, AccessKind::Prefetch));
+    sim::spawn(request(MemRequest::make(eq_, RequesterClass::Prefetch,
+                                        params_.tile, lineBase(paddr),
+                                        kLineSize, AccessKind::Prefetch)));
 }
 
 sim::Task<void>
-Cache::access(sim::Addr paddr, std::uint32_t size, AccessKind kind)
+Cache::request(MemRequest req)
 {
-    MAPLE_ASSERT(size > 0);
-    sim::Addr first = lineBase(paddr);
-    sim::Addr last = lineBase(paddr + size - 1);
+    MAPLE_ASSERT(req.size > 0);
+    sim::Addr first = lineBase(req.paddr);
+    sim::Addr last = lineBase(req.paddr + req.size - 1);
     for (sim::Addr line = first; line <= last; line += kLineSize)
-        co_await accessLine(line, kind);
+        co_await accessLine(req, line);
 }
 
 sim::Task<void>
-Cache::accessLine(sim::Addr line, AccessKind kind)
+Cache::accessLine(MemRequest req, sim::Addr line)
 {
     co_await sim::delay(eq_, params_.hit_latency);
 
-    bool demand = kind != AccessKind::Prefetch;
+    bool demand = req.kind != AccessKind::Prefetch;
     if (Way *w = lookup(line)) {
         touch(*w);
-        if (kind == AccessKind::Write)
+        if (req.kind == AccessKind::Write)
             w->dirty = true;
         stats_.counter(demand ? "demand_hits" : "prefetch_hits").inc();
         co_return;
@@ -117,20 +119,20 @@ Cache::accessLine(sim::Addr line, AccessKind kind)
     stats_.counter(demand ? "demand_misses" : "prefetch_misses").inc();
 
     bool dropped = false;
-    co_await handleMiss(line, kind, dropped);
+    co_await handleMiss(req, line, dropped);
     if (dropped)
         co_return;
 
     // The fill installed the line; a concurrent eviction between resumptions
     // is possible but benign for a timing model -- treat it as present.
-    if (kind == AccessKind::Write) {
+    if (req.kind == AccessKind::Write) {
         if (Way *w = lookup(line))
             w->dirty = true;
     }
 }
 
 sim::Task<void>
-Cache::handleMiss(sim::Addr line, AccessKind kind, bool &dropped)
+Cache::handleMiss(MemRequest req, sim::Addr line, bool &dropped)
 {
     trace::LaneSpan span(tracer(), tr_miss_, "miss", trace::Category::Cache);
 
@@ -145,7 +147,7 @@ Cache::handleMiss(sim::Addr line, AccessKind kind, bool &dropped)
 
     // Wait for a free MSHR; prefetches are dropped instead of waiting.
     while (mshrs_.size() >= params_.mshrs) {
-        if (kind == AccessKind::Prefetch) {
+        if (req.kind == AccessKind::Prefetch) {
             stats_.counter("prefetch_drops").inc();
             dropped = true;
             co_return;
@@ -171,7 +173,11 @@ Cache::handleMiss(sim::Addr line, AccessKind kind, bool &dropped)
     sim::Signal fill_done;
     mshrs_.emplace(line, fill_done);
 
-    co_await downstream_.access(line, kLineSize, AccessKind::Read);
+    // The fill (and any writeback it triggers) keeps the requester's
+    // identity so downstream stages attribute the traffic to its true
+    // origin. Requests merged into this MSHR are attributed to the first
+    // requester -- the one whose fill they ride.
+    co_await downstream_.request(req.child(line, kLineSize, AccessKind::Read));
 
     size_t set = setIndex(line);
     Way &victim = selectVictim(set);
@@ -180,14 +186,15 @@ Cache::handleMiss(sim::Addr line, AccessKind kind, bool &dropped)
         if (victim.dirty) {
             stats_.counter("writebacks").inc();
             // Writeback consumes downstream bandwidth but nobody waits on it.
-            sim::spawn(downstream_.access(victim.tag, kLineSize, AccessKind::Write));
+            sim::spawn(downstream_.request(
+                req.child(victim.tag, kLineSize, AccessKind::Write)));
         }
     }
     victim.tag = line;
     victim.valid = true;
     victim.dirty = false;
     touch(victim);
-    if (kind == AccessKind::Prefetch)
+    if (req.kind == AccessKind::Prefetch)
         stats_.counter("prefetch_fills").inc();
 
     mshrs_.erase(line);

@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "mem/physical_memory.hpp"
-#include "mem/timed_mem.hpp"
+#include "mem/port.hpp"
 #include "sim/stats.hpp"
 #include "trace/trace.hpp"
 
@@ -27,14 +27,15 @@ struct CacheParams {
     std::uint32_t assoc = 4;
     sim::Cycle hit_latency = 2;
     std::uint32_t mshrs = 16;
+    sim::TileId tile = 0;  ///< tile stamped on self-originated prefetches
 };
 
-class Cache : public TimedMem {
+class Cache : public Port {
   public:
-    Cache(sim::EventQueue &eq, CacheParams params, TimedMem &downstream);
+    Cache(sim::EventQueue &eq, CacheParams params, Port &downstream);
 
-    /** Timed demand access (or prefetch when @p kind == Prefetch). */
-    sim::Task<void> access(sim::Addr paddr, std::uint32_t size, AccessKind kind) override;
+    /** Timed access; fills and writebacks inherit the request's identity. */
+    sim::Task<void> request(MemRequest req) override;
 
     /** Fire-and-forget prefetch of the line containing @p paddr. */
     void prefetch(sim::Addr paddr);
@@ -64,10 +65,10 @@ class Cache : public TimedMem {
     };
 
     /** One access covering a single cache line. */
-    sim::Task<void> accessLine(sim::Addr line, AccessKind kind);
+    sim::Task<void> accessLine(MemRequest req, sim::Addr line);
 
     /** Resolve a miss on @p line; merges into an existing MSHR if any. */
-    sim::Task<void> handleMiss(sim::Addr line, AccessKind kind, bool &dropped);
+    sim::Task<void> handleMiss(MemRequest req, sim::Addr line, bool &dropped);
 
     /** Active tracer or nullptr; lazily creates the miss lane group. */
     trace::TraceManager *tracer();
@@ -81,7 +82,7 @@ class Cache : public TimedMem {
 
     sim::EventQueue &eq_;
     CacheParams params_;
-    TimedMem &downstream_;
+    Port &downstream_;
     size_t num_sets_;
     std::vector<std::vector<Way>> sets_;
     std::uint64_t lru_clock_ = 1;

@@ -15,7 +15,7 @@
 
 #include "mem/page_table.hpp"
 #include "mem/physical_memory.hpp"
-#include "mem/timed_mem.hpp"
+#include "mem/port.hpp"
 #include "mem/tlb.hpp"
 #include "sim/coro.hpp"
 #include "sim/stats.hpp"
@@ -36,9 +36,10 @@ class Mmu {
      */
     using FaultHandler = std::function<sim::Task<bool>(sim::Addr vaddr, bool write)>;
 
-    Mmu(sim::EventQueue &eq, PhysicalMemory &pm, TimedMem &walk_port,
-        size_t tlb_entries = 16)
-        : eq_(eq), pm_(pm), walk_port_(walk_port), tlb_(tlb_entries)
+    Mmu(sim::EventQueue &eq, PhysicalMemory &pm, Port &walk_port,
+        size_t tlb_entries = 16, sim::TileId tile = 0)
+        : eq_(eq), pm_(pm), walk_port_(walk_port), tlb_(tlb_entries),
+          tile_(tile)
     {
     }
 
@@ -102,8 +103,9 @@ class Mmu {
         for (unsigned level = kPtLevels; level-- > 0;) {
             sim::Addr pte_addr =
                 table + vpnField(vaddr, level) * sizeof(std::uint64_t);
-            co_await walk_port_.access(pte_addr, sizeof(std::uint64_t),
-                                       AccessKind::Read);
+            co_await walk_port_.request(
+                MemRequest::make(eq_, RequesterClass::Ptw, tile_, pte_addr,
+                                 sizeof(std::uint64_t), AccessKind::Read));
             Pte pte{pm_.readU64(pte_addr)};
             if (!pte.valid())
                 co_return std::nullopt;
@@ -116,8 +118,9 @@ class Mmu {
 
     sim::EventQueue &eq_;
     PhysicalMemory &pm_;
-    TimedMem &walk_port_;
+    Port &walk_port_;
     Tlb tlb_;
+    sim::TileId tile_;
     sim::Addr root_ = sim::kBadAddr;
     FaultHandler fault_handler_;
     sim::Counter walks_, faults_;

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The typed memory-request fabric: every memory-side component (caches,
+ * DRAM, NoC ports, interposers) implements mem::Port and exchanges
+ * first-class mem::MemRequest messages instead of positional
+ * (paddr, size, kind) arguments.
+ *
+ * A MemRequest carries *who* is asking (requester tile + class) alongside
+ * the what (address, size, kind), a monotonically-assigned transaction id,
+ * the issue cycle, and an intrusive metadata slot. Stages forward the
+ * message downstream -- possibly rewriting its extent (an L1 miss becomes a
+ * line fill) while preserving the originator's identity -- so any point in
+ * the hierarchy can attribute latency, bandwidth and injected faults to the
+ * core, MAPLE pipeline, page-table walker or prefetcher that caused the
+ * traffic. Timing and data stay decoupled: request() models *when* the
+ * access completes; the requester performs the functional read/write
+ * against PhysicalMemory at completion time.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/coro.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/types.hpp"
+
+namespace maple::mem {
+
+/** Kind of access, for stats and for prefetch-aware components. */
+enum class AccessKind : std::uint8_t {
+    Read,
+    Write,
+    Prefetch,  ///< fill without a demand waiter
+};
+
+/**
+ * Who originated a request. MAPLE's traffic is deliberately unprivileged
+ * (paper §4): it shares the NoC/LLC/DRAM with the cores, so the *only* way
+ * to arbitrate or attribute per-agent is to carry the class in the message.
+ */
+enum class RequesterClass : std::uint8_t {
+    Core,          ///< core demand loads/stores/atomics
+    MapleConsume,  ///< MAPLE streaming its own inputs (LIMA index chunks)
+    MapleProduce,  ///< MAPLE pointer-produce fetches and remote AMOs
+    Ptw,           ///< hardware page-table walks (core or device MMU)
+    Prefetch,      ///< speculative fills with no demand waiter
+    Mmio,          ///< core-to-device MMIO packets on the NoC
+    kCount
+};
+
+inline constexpr unsigned kNumRequesterClasses =
+    static_cast<unsigned>(RequesterClass::kCount);
+
+/** Bit in a requester-class mask (fault keying, arbitration filters). */
+inline constexpr std::uint32_t
+requesterClassBit(RequesterClass c)
+{
+    return 1u << static_cast<unsigned>(c);
+}
+
+/** Mask selecting every requester class. */
+inline constexpr std::uint32_t kAllRequesterClasses =
+    (1u << kNumRequesterClasses) - 1;
+
+const char *requesterClassName(RequesterClass c);
+
+/**
+ * Intrusive metadata slot riding with a request through the fabric. A stage
+ * that must attach per-request state while the request is in flight (an
+ * open trace-span cookie, tags for faults injected en route) writes it here
+ * instead of keeping a side table keyed by transaction id. The storage
+ * lives in the originator's coroutine frame, so attaching costs nothing.
+ */
+struct RequestMeta {
+    std::uint64_t trace_span = 0;  ///< opaque span cookie (trace subsystem)
+    std::uint32_t fault_tags = 0;  ///< bitmask of fault::FaultClass hit en route
+    void *scratch = nullptr;       ///< stage-defined extension slot
+};
+
+/**
+ * One memory transaction. Constructed once at the origin (make()), then
+ * forwarded -- and possibly narrowed/widened via child() -- through every
+ * stage between the requester and DRAM.
+ */
+struct MemRequest {
+    sim::Addr paddr = 0;
+    std::uint32_t size = 0;
+    AccessKind kind = AccessKind::Read;
+    RequesterClass cls = RequesterClass::Core;
+    sim::TileId tile = 0;          ///< tile of the originating agent
+    std::uint64_t id = 0;          ///< monotonic per-EventQueue transaction id
+    sim::Cycle issue_cycle = 0;    ///< cycle the origin issued the request
+    RequestMeta *meta = nullptr;   ///< optional intrusive metadata slot
+
+    /** Build an origin request: stamps the issue cycle and allocates an id. */
+    static MemRequest
+    make(sim::EventQueue &eq, RequesterClass cls, sim::TileId tile,
+         sim::Addr paddr, std::uint32_t size, AccessKind kind,
+         RequestMeta *meta = nullptr)
+    {
+        MemRequest r;
+        r.paddr = paddr;
+        r.size = size;
+        r.kind = kind;
+        r.cls = cls;
+        r.tile = tile;
+        r.id = eq.allocTicket();
+        r.issue_cycle = eq.now();
+        r.meta = meta;
+        return r;
+    }
+
+    /**
+     * Derive a same-transaction request with a new extent: identity (class,
+     * tile, id, issue cycle, metadata) is preserved so downstream stages
+     * still attribute the traffic to the original requester. Used for line
+     * fills, writebacks and other stage-internal transformations.
+     */
+    MemRequest
+    child(sim::Addr new_paddr, std::uint32_t new_size, AccessKind new_kind) const
+    {
+        MemRequest r = *this;
+        r.paddr = new_paddr;
+        r.size = new_size;
+        r.kind = new_kind;
+        return r;
+    }
+};
+
+/**
+ * Timing interface implemented by every memory-side stage. The returned
+ * task completes when the request would have finished at this stage.
+ */
+class Port {
+  public:
+    virtual ~Port() = default;
+
+    virtual sim::Task<void> request(MemRequest req) = 0;
+};
+
+/**
+ * Fixed-latency stage, useful for tests and for modeling simple pipeline
+ * segments. When @p bytes_per_cycle is nonzero the port also serializes
+ * transfers -- a request occupies the port for ceil(size / bytes_per_cycle)
+ * cycles, so multi-line accesses queue behind each other instead of being
+ * free. bytes_per_cycle == 0 keeps the historical pure-latency behavior.
+ */
+class FixedLatencyMem : public Port {
+  public:
+    FixedLatencyMem(sim::EventQueue &eq, sim::Cycle latency,
+                    unsigned bytes_per_cycle = 0)
+        : eq_(eq), latency_(latency), bytes_per_cycle_(bytes_per_cycle)
+    {
+    }
+
+    sim::Task<void>
+    request(MemRequest req) override
+    {
+        if (bytes_per_cycle_ == 0) {
+            co_await sim::delay(eq_, latency_);
+            co_return;
+        }
+        sim::Cycle transfer =
+            (req.size + bytes_per_cycle_ - 1) / bytes_per_cycle_;
+        sim::Cycle start = std::max(eq_.now(), busy_until_);
+        busy_until_ = start + transfer;
+        co_await sim::delay(eq_, (busy_until_ + latency_) - eq_.now());
+    }
+
+  private:
+    sim::EventQueue &eq_;
+    sim::Cycle latency_;
+    unsigned bytes_per_cycle_;
+    sim::Cycle busy_until_ = 0;
+};
+
+}  // namespace maple::mem

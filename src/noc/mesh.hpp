@@ -9,11 +9,12 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "fault/fault.hpp"
-#include "mem/timed_mem.hpp"
+#include "mem/port.hpp"
 #include "sim/coro.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/log.hpp"
@@ -70,15 +71,18 @@ class Mesh {
     }
 
     /**
-     * Move a packet of @p flits flits from @p src to @p dst.
+     * Move a packet of @p flits flits from @p src to @p dst on behalf of
+     * requester class @p cls (attribution + class-keyed fault injection).
      * Completes when the head flit is ejected at the destination.
      */
     sim::Task<void>
-    transit(sim::TileId src, sim::TileId dst, unsigned flits)
+    transit(sim::TileId src, sim::TileId dst, unsigned flits,
+            mem::RequesterClass cls = mem::RequesterClass::Core)
     {
         MAPLE_ASSERT(src < numTiles() && dst < numTiles());
         packets_.inc();
         flits_.inc(flits);
+        class_flits_[static_cast<std::size_t>(cls)] += flits;
         sim::Cycle start = eq_.now();
         sim::Cycle t = start;
         sim::Cycle queued = 0;
@@ -103,7 +107,7 @@ class Mesh {
             // Injected transient link stall: the link is unavailable for a
             // few extra cycles (charged to FaultNoc, not NocBackpressure).
             if (fault::FaultInjector *f = fault::active(eq_)) {
-                if (sim::Cycle d = f->inject(fault::FaultClass::NocLinkStall)) {
+                if (sim::Cycle d = f->inject(fault::FaultClass::NocLinkStall, cls)) {
                     depart += d;
                     f->chargeCycles(fault::FaultClass::NocLinkStall, d);
                 }
@@ -134,6 +138,13 @@ class Mesh {
     /** Cumulative flits that traversed directed link @p link (telemetry). */
     std::uint64_t linkFlits(size_t link) const { return link_flits_[link]; }
 
+    /** Cumulative flits injected on behalf of one requester class. */
+    std::uint64_t
+    classFlits(mem::RequesterClass cls) const
+    {
+        return class_flits_[static_cast<std::size_t>(cls)];
+    }
+
   private:
     static constexpr unsigned kEast = 0, kWest = 1, kNorth = 2, kSouth = 3;
 
@@ -147,30 +158,37 @@ class Mesh {
     MeshParams params_;
     std::vector<sim::Cycle> link_free_;
     std::vector<std::uint64_t> link_flits_;
+    std::array<std::uint64_t, mem::kNumRequesterClasses> class_flits_{};
     sim::Counter packets_, flits_;
     sim::Average latency_;
 };
 
 /**
- * TimedMem adaptor that reaches a remote memory-side component across the
- * mesh: request packet out, target access, response packet back.
+ * Port adaptor that reaches a remote memory-side component across the
+ * mesh: request packet out, target access, response packet back. The
+ * request's class rides along so the mesh attributes both packets (and any
+ * injected link faults) to the true originator.
  */
-class RemotePort : public mem::TimedMem {
+class RemotePort : public mem::Port {
   public:
-    RemotePort(Mesh &mesh, sim::TileId src, sim::TileId dst, mem::TimedMem &target)
+    RemotePort(Mesh &mesh, sim::TileId src, sim::TileId dst, mem::Port &target)
         : mesh_(mesh), src_(src), dst_(dst), target_(target)
     {
     }
 
     sim::Task<void>
-    access(sim::Addr paddr, std::uint32_t size, mem::AccessKind kind) override
+    request(mem::MemRequest req) override
     {
-        const bool write = kind == mem::AccessKind::Write;
-        unsigned req_bytes = write ? size : 0;   // writes carry data out
-        unsigned resp_bytes = write ? 0 : size;  // reads carry data back
-        co_await mesh_.transit(src_, dst_, flitsFor(req_bytes, mesh_.params().flit_bytes));
-        co_await target_.access(paddr, size, kind);
-        co_await mesh_.transit(dst_, src_, flitsFor(resp_bytes, mesh_.params().flit_bytes));
+        const bool write = req.kind == mem::AccessKind::Write;
+        unsigned req_bytes = write ? req.size : 0;   // writes carry data out
+        unsigned resp_bytes = write ? 0 : req.size;  // reads carry data back
+        co_await mesh_.transit(src_, dst_,
+                               flitsFor(req_bytes, mesh_.params().flit_bytes),
+                               req.cls);
+        co_await target_.request(req);
+        co_await mesh_.transit(dst_, src_,
+                               flitsFor(resp_bytes, mesh_.params().flit_bytes),
+                               req.cls);
     }
 
     sim::TileId destination() const { return dst_; }
@@ -179,7 +197,7 @@ class RemotePort : public mem::TimedMem {
     Mesh &mesh_;
     sim::TileId src_;
     sim::TileId dst_;
-    mem::TimedMem &target_;
+    mem::Port &target_;
 };
 
 }  // namespace maple::noc

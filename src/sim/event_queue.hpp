@@ -119,6 +119,13 @@ class EventQueue {
     /** Total events executed so far (for microbenchmarks and stats). */
     std::uint64_t executed() const { return executed_; }
 
+    /**
+     * Monotonic ticket allocator, deterministic per run. Used by the memory
+     * fabric to stamp MemRequest transaction ids; ids never influence
+     * timing, only attribution.
+     */
+    std::uint64_t allocTicket() { return next_ticket_++; }
+
     /** Pending events parked in the far-future overflow heap (telemetry). */
     size_t overflowPending() const { return overflow_.size(); }
 
@@ -428,6 +435,7 @@ class EventQueue {
     Cycle now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;
+    std::uint64_t next_ticket_ = 1;
     trace::TraceManager *tracer_ = nullptr;
     TraceHook trace_hook_ = nullptr;
     fault::FaultInjector *fault_ = nullptr;

@@ -68,35 +68,40 @@ Soc::Soc(SocConfig cfg) : cfg_(std::move(cfg))
     cfg_.watchdog.mergeEnv();
     fault_ = std::make_unique<fault::FaultInjector>(eq_, cfg_.fault);
 
-    // Pre-size the per-core/per-MAPLE plumbing so wiring never reallocates
-    // (components hand out raw pointers to earlier entries while later ones
-    // are still being pushed).
-    llc_ports_.reserve(cfg_.num_cores);
+    // Fabric arbitration knobs (MAPLE_LLC_ARB / MAPLE_DRAM_ARB, or the
+    // --llc-arb / --dram-arb harness flags): fifo keeps the historical
+    // pass-through front-ends.
+    cfg_.llc_arb = mem::arbPolicyFromEnv("MAPLE_LLC_ARB", cfg_.llc_arb);
+    cfg_.dram.arb = mem::arbPolicyFromEnv("MAPLE_DRAM_ARB", cfg_.dram.arb);
+
+    // Pre-size the plumbing containers so wiring never reallocates while
+    // components hand out raw pointers to earlier entries.
+    ports_.reserve(2 * cfg_.num_cores + 3 * cfg_.num_maples + 4);
     l1s_.reserve(cfg_.num_cores);
-    atomic_ports_.reserve(cfg_.num_cores);
     cores_.reserve(cfg_.num_cores);
-    maple_dram_ports_.reserve(cfg_.num_maples);
-    maple_llc_ports_.reserve(cfg_.num_maples);
-    maple_walk_ports_.reserve(cfg_.num_maples);
     maples_.reserve(cfg_.num_maples);
 
     pm_ = std::make_unique<mem::PhysicalMemory>(cfg_.dram_bytes);
     kernel_ = std::make_unique<os::Kernel>(eq_, *pm_, cfg_.kernel);
     mesh_ = std::make_unique<noc::Mesh>(eq_, cfg_.mesh);
     dram_ = std::make_unique<mem::Dram>(eq_, cfg_.dram);
-    llc_ = std::make_unique<mem::Cache>(eq_, cfg_.llc, *dram_);
-    llc_front_ = std::make_unique<LlcFrontEnd>(*llc_);
+    mem::CacheParams llcp = cfg_.llc;
+    llcp.tile = memTile();  // LLC prefetch fills originate at the memory tile
+    llc_ = std::make_unique<mem::Cache>(eq_, llcp, *dram_);
+    llc_front_ = std::make_unique<mem::PortInterposer>(eq_, "llc_front", *llc_,
+                                                       cfg_.llc_arb);
 
     // Cores and their private plumbing.
     for (unsigned i = 0; i < cfg_.num_cores; ++i) {
         sim::TileId tile = coreTile(i);
-        llc_ports_.push_back(
-            std::make_unique<noc::RemotePort>(*mesh_, tile, memTile(), *llc_front_));
+        noc::RemotePort &demand =
+            makePort(tile, PortUse::CoreDemand, *llc_front_);
         mem::CacheParams l1p = cfg_.l1;
         l1p.name = "l1." + std::to_string(i);
-        l1s_.push_back(std::make_unique<mem::Cache>(eq_, l1p, *llc_ports_.back()));
-        atomic_ports_.push_back(
-            std::make_unique<noc::RemotePort>(*mesh_, tile, memTile(), *llc_front_));
+        l1p.tile = tile;
+        l1s_.push_back(std::make_unique<mem::Cache>(eq_, l1p, demand));
+        noc::RemotePort &atomic =
+            makePort(tile, PortUse::CoreAtomic, *llc_front_);
 
         cpu::CoreParams cp = cfg_.core_proto;
         cp.name = "core." + std::to_string(i);
@@ -107,7 +112,7 @@ Soc::Soc(SocConfig cfg) : cfg_(std::move(cfg))
         wiring.l1 = l1s_.back().get();
         wiring.l1_cache = l1s_.back().get();
         wiring.walk_port = l1s_.back().get();  // PTW walks through the L1
-        wiring.atomic_port = atomic_ports_.back().get();
+        wiring.atomic_port = &atomic;
         wiring.amap = &amap_;
         wiring.mesh = mesh_.get();
         cores_.push_back(std::make_unique<cpu::Core>(eq_, cp, wiring));
@@ -116,23 +121,16 @@ Soc::Soc(SocConfig cfg) : cfg_(std::move(cfg))
     // MAPLE tiles: MMIO pages live just above DRAM in the physical map.
     for (unsigned i = 0; i < cfg_.num_maples; ++i) {
         sim::TileId tile = mapleTile(i);
-        maple_dram_ports_.push_back(
-            std::make_unique<noc::RemotePort>(*mesh_, tile, memTile(), *dram_));
-        maple_llc_ports_.push_back(
-            std::make_unique<noc::RemotePort>(*mesh_, tile, memTile(), *llc_front_));
-        maple_walk_ports_.push_back(
-            std::make_unique<noc::RemotePort>(*mesh_, tile, memTile(), *llc_front_));
-
         ::maple::core::MapleParams mp = cfg_.maple_proto;
         mp.name = "maple." + std::to_string(i);
         mp.tile = tile;
         mp.mmio_base = cfg_.dram_bytes + sim::Addr(i) * mem::kPageSize;
         ::maple::core::MapleWiring wiring;
         wiring.pm = pm_.get();
-        wiring.dram_port = maple_dram_ports_.back().get();
-        wiring.llc_port = maple_llc_ports_.back().get();
+        wiring.dram_port = &makePort(tile, PortUse::MapleDram, *dram_);
+        wiring.llc_port = &makePort(tile, PortUse::MapleLlc, *llc_front_);
         wiring.llc_cache = llc_.get();
-        wiring.walk_port = maple_walk_ports_.back().get();
+        wiring.walk_port = &makePort(tile, PortUse::MapleWalk, *llc_front_);
         maples_.push_back(
             std::make_unique<::maple::core::Maple>(eq_, mp, wiring));
         amap_.addDevice(mp.mmio_base, mem::kPageSize, maples_.back().get(), tile);
@@ -206,11 +204,28 @@ Soc::~Soc()
 }
 
 noc::RemotePort &
+Soc::makePort(sim::TileId tile, PortUse use, mem::Port &target)
+{
+    ports_.push_back(PortEntry{
+        tile, use,
+        std::make_unique<noc::RemotePort>(*mesh_, tile, memTile(), target)});
+    return *ports_.back().port;
+}
+
+noc::RemotePort *
+Soc::findPort(sim::TileId tile, PortUse use)
+{
+    for (PortEntry &e : ports_) {
+        if (e.tile == tile && e.use == use)
+            return e.port.get();
+    }
+    return nullptr;
+}
+
+noc::RemotePort &
 Soc::addLlcPort(sim::TileId tile)
 {
-    extra_ports_.push_back(
-        std::make_unique<noc::RemotePort>(*mesh_, tile, memTile(), *llc_front_));
-    return *extra_ports_.back();
+    return makePort(tile, PortUse::Extra, *llc_front_);
 }
 
 os::Process &

@@ -20,6 +20,7 @@
 #include "fault/watchdog.hpp"
 #include "mem/cache.hpp"
 #include "mem/dram.hpp"
+#include "mem/fabric.hpp"
 #include "mem/physical_memory.hpp"
 #include "noc/mesh.hpp"
 #include "os/kernel.hpp"
@@ -30,42 +31,14 @@
 
 namespace maple::soc {
 
-/**
- * Thin interposer in front of the shared LLC. All tiles reach the LLC
- * through this stage, so memory-side hardware (e.g. the DROPLET-style
- * indirect prefetcher baseline) can observe traffic without rewiring ports.
- */
-class LlcFrontEnd : public mem::TimedMem {
-  public:
-    using Observer =
-        std::function<void(sim::Addr paddr, std::uint32_t size, mem::AccessKind kind)>;
-
-    explicit LlcFrontEnd(mem::TimedMem &llc) : llc_(llc) {}
-
-    void setObserver(Observer o) { observer_ = std::move(o); }
-
-    /**
-     * Interpose memory-side hardware (e.g. the DROPLET prefetch buffer) in
-     * front of the LLC: when set, all traffic routes through @p t, which is
-     * expected to forward to the LLC itself. Pass nullptr to remove.
-     */
-    void setInterposer(mem::TimedMem *t) { interposer_ = t; }
-
-    sim::Task<void>
-    access(sim::Addr paddr, std::uint32_t size, mem::AccessKind kind) override
-    {
-        if (interposer_)
-            co_await interposer_->access(paddr, size, kind);
-        else
-            co_await llc_.access(paddr, size, kind);
-        if (observer_)
-            observer_(paddr, size, kind);
-    }
-
-  private:
-    mem::TimedMem &llc_;
-    Observer observer_;
-    mem::TimedMem *interposer_ = nullptr;
+/** Role of a Soc-owned NoC port: what traffic class it was wired for. */
+enum class PortUse : std::uint8_t {
+    CoreDemand,  ///< L1 miss path to the shared LLC
+    CoreAtomic,  ///< core RMW / shared-data path to the LLC
+    MapleDram,   ///< MAPLE's non-coherent direct-to-DRAM path
+    MapleLlc,    ///< MAPLE's coherent path through the LLC
+    MapleWalk,   ///< MAPLE's page-table-walker path
+    Extra,       ///< baseline hardware added via addLlcPort()
 };
 
 struct SocConfig {
@@ -79,6 +52,9 @@ struct SocConfig {
     mem::CacheParams l1{"l1", 8 * 1024, 4, /*hit=*/2, /*mshrs=*/8};
     mem::CacheParams llc{"llc", 64 * 1024, 8, /*hit=*/26, /*mshrs=*/32};
     mem::DramParams dram{};          // 300-cycle latency
+    /** Arbitration at the shared-LLC front-end (MAPLE_LLC_ARB env; the DRAM
+     *  queue policy is dram.arb, MAPLE_DRAM_ARB env). */
+    mem::ArbPolicy llc_arb = mem::ArbPolicy::Fifo;
     noc::MeshParams mesh{};          // filled from mesh_width/height
     cpu::CoreParams core_proto{};    // per-core parameters
     ::maple::core::MapleParams maple_proto{};
@@ -108,7 +84,14 @@ class Soc {
     AddressMap &addressMap() { return amap_; }
     const SocConfig &config() const { return cfg_; }
 
-    LlcFrontEnd &llcFront() { return *llc_front_; }
+    /**
+     * The reusable interposer stage in front of the shared LLC. All tiles
+     * reach the LLC through it, so it is where per-requester-class latency
+     * and bandwidth are sampled, where memory-side baseline hardware (e.g.
+     * the DROPLET prefetch buffer) interposes, and where non-fifo LLC
+     * arbitration lives.
+     */
+    mem::PortInterposer &llcFront() { return *llc_front_; }
 
     /** The SoC's tracer, or nullptr when tracing is disabled. */
     trace::TraceManager *tracer() { return tracer_.get(); }
@@ -165,21 +148,33 @@ class Soc {
     std::unique_ptr<noc::Mesh> mesh_;
     std::unique_ptr<mem::Dram> dram_;
     std::unique_ptr<mem::Cache> llc_;
-    std::unique_ptr<LlcFrontEnd> llc_front_;
+    std::unique_ptr<mem::PortInterposer> llc_front_;
     AddressMap amap_;
 
-    // Per-core plumbing (order matters: ports before cores).
-    std::vector<std::unique_ptr<noc::RemotePort>> llc_ports_;   // L1 -> LLC
-    std::vector<std::unique_ptr<mem::Cache>> l1s_;
-    std::vector<std::unique_ptr<noc::RemotePort>> atomic_ports_;
-    std::vector<std::unique_ptr<cpu::Core>> cores_;
+    /**
+     * Owned registry of every Soc-created NoC port, keyed by (tile, use).
+     * One container instead of a vector per role: the port objects are
+     * heap-allocated, so registry growth never moves them and wiring can
+     * hand out references while later ports are still being added.
+     */
+    struct PortEntry {
+        sim::TileId tile;
+        PortUse use;
+        std::unique_ptr<noc::RemotePort> port;
+    };
+    std::vector<PortEntry> ports_;
 
-    // Per-MAPLE plumbing.
-    std::vector<std::unique_ptr<noc::RemotePort>> maple_dram_ports_;
-    std::vector<std::unique_ptr<noc::RemotePort>> maple_llc_ports_;
-    std::vector<std::unique_ptr<noc::RemotePort>> maple_walk_ports_;
+    /** Create, register and return a port for (tile, use) -> @p target. */
+    noc::RemotePort &makePort(sim::TileId tile, PortUse use, mem::Port &target);
+
+    /** Registered port for (tile, use), or nullptr. */
+    noc::RemotePort *findPort(sim::TileId tile, PortUse use);
+
+    // Components (order matters: the registry above outlives them all, and
+    // ports are wired before the cores/MAPLEs that use them).
+    std::vector<std::unique_ptr<mem::Cache>> l1s_;
+    std::vector<std::unique_ptr<cpu::Core>> cores_;
     std::vector<std::unique_ptr<::maple::core::Maple>> maples_;
-    std::vector<std::unique_ptr<noc::RemotePort>> extra_ports_;
 };
 
 }  // namespace maple::soc

@@ -17,6 +17,18 @@
 using namespace maple;
 using namespace maple::mem;
 
+namespace {
+
+/** Origin-request shorthand for driving ports directly in tests. */
+MemRequest
+coreReq(sim::EventQueue &eq, sim::Addr a, std::uint32_t size,
+        AccessKind kind = AccessKind::Read)
+{
+    return MemRequest::make(eq, RequesterClass::Core, /*tile=*/0, a, size, kind);
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // PhysicalMemory
 // ---------------------------------------------------------------------------
@@ -181,6 +193,60 @@ TEST(Tlb, CapacityNeverExceeded)
 }
 
 // ---------------------------------------------------------------------------
+// FixedLatencyMem
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Completion time of one request against @p port, starting at eq.now(). */
+sim::Cycle
+timedRequest(sim::EventQueue &eq, Port &port, sim::Addr a, std::uint32_t size)
+{
+    sim::Cycle start = eq.now();
+    sim::Join j = sim::spawn(port.request(coreReq(eq, a, size)));
+    eq.run();
+    j.get();
+    return eq.now() - start;
+}
+
+}  // namespace
+
+TEST(FixedLatencyMem, PureLatencyIgnoresSizeWhenUnthrottled)
+{
+    sim::EventQueue eq;
+    FixedLatencyMem mem(eq, 25);  // bytes_per_cycle = 0: infinite bandwidth
+    EXPECT_EQ(timedRequest(eq, mem, 0x1000, 8), 25u);
+    EXPECT_EQ(timedRequest(eq, mem, 0x2000, 4096), 25u);
+}
+
+TEST(FixedLatencyMem, BytesPerCycleChargesTransferTime)
+{
+    sim::EventQueue eq;
+    FixedLatencyMem mem(eq, 10, /*bytes_per_cycle=*/8);
+    // 64B at 8B/cycle = 8 transfer cycles, plus the fixed 10-cycle latency.
+    EXPECT_EQ(timedRequest(eq, mem, 0x1000, 64), 18u);
+    // Sub-unit sizes round up to a whole transfer cycle.
+    EXPECT_EQ(timedRequest(eq, mem, 0x2000, 1), 11u);
+}
+
+TEST(FixedLatencyMem, ConcurrentRequestsSerializeOnBandwidth)
+{
+    sim::EventQueue eq;
+    FixedLatencyMem mem(eq, 10, /*bytes_per_cycle=*/8);
+    std::vector<sim::Cycle> done;
+    auto t = [&](sim::Addr a) -> sim::Task<void> {
+        co_await mem.request(coreReq(eq, a, 64));
+        done.push_back(eq.now());
+    };
+    sim::spawn(t(0x1000));
+    sim::spawn(t(0x2000));
+    eq.run();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(done[0], 18u);
+    EXPECT_EQ(done[1], 26u) << "second transfer starts when the pipe frees";
+}
+
+// ---------------------------------------------------------------------------
 // Dram timing
 // ---------------------------------------------------------------------------
 
@@ -190,7 +256,7 @@ TEST(Dram, FixedLatency)
     Dram dram(eq, DramParams{300, 1, 1});
     sim::Cycle done = 0;
     auto t = [&]() -> sim::Task<void> {
-        co_await dram.access(0x1000, 64, AccessKind::Read);
+        co_await dram.request(coreReq(eq, 0x1000, 64));
         done = eq.now();
     };
     sim::Join j = sim::spawn(t());
@@ -205,7 +271,7 @@ TEST(Dram, BandwidthSerializesConcurrentAccesses)
     Dram dram(eq, DramParams{300, 4, 1});  // 4 cycles per line, one channel
     std::vector<sim::Cycle> done;
     auto t = [&](sim::Addr a) -> sim::Task<void> {
-        co_await dram.access(a, 64, AccessKind::Read);
+        co_await dram.request(coreReq(eq, a, 64));
         done.push_back(eq.now());
     };
     std::vector<sim::Join> js;
@@ -224,7 +290,7 @@ TEST(Dram, ChannelsProvideParallelism)
     Dram dram(eq, DramParams{300, 4, 2});
     std::vector<sim::Cycle> done;
     auto t = [&](sim::Addr a) -> sim::Task<void> {
-        co_await dram.access(a, 64, AccessKind::Read);
+        co_await dram.request(coreReq(eq, a, 64));
         done.push_back(eq.now());
     };
     // Two accesses to different channels (line-interleaved) finish together.
@@ -250,7 +316,7 @@ struct CacheFixture {
     timedAccess(sim::Addr a, AccessKind kind = AccessKind::Read)
     {
         sim::Cycle start = eq.now();
-        sim::Join j = sim::spawn(cache.access(a, 8, kind));
+        sim::Join j = sim::spawn(cache.request(coreReq(eq, a, 8, kind)));
         eq.run();
         j.get();
         return eq.now() - start;
@@ -304,7 +370,7 @@ TEST(Cache, MshrMergesConcurrentMissesToOneLine)
     CacheFixture f;
     std::vector<sim::Cycle> done;
     auto t = [&](sim::Addr a) -> sim::Task<void> {
-        co_await f.cache.access(a, 8, AccessKind::Read);
+        co_await f.cache.request(coreReq(f.eq, a, 8));
         done.push_back(f.eq.now());
     };
     sim::spawn(t(0x1000));
@@ -322,7 +388,7 @@ TEST(Cache, DemandWaitsWhenMshrsExhausted)
     CacheFixture f;  // 4 MSHRs
     int completed = 0;
     auto t = [&](sim::Addr a) -> sim::Task<void> {
-        co_await f.cache.access(a, 8, AccessKind::Read);
+        co_await f.cache.request(coreReq(f.eq, a, 8));
         ++completed;
     };
     for (int i = 0; i < 8; ++i)
@@ -336,7 +402,7 @@ TEST(Cache, PrefetchDroppedWhenMshrsFull)
 {
     CacheFixture f;
     auto t = [&](sim::Addr a) -> sim::Task<void> {
-        co_await f.cache.access(a, 8, AccessKind::Read);
+        co_await f.cache.request(coreReq(f.eq, a, 8));
     };
     for (int i = 0; i < 4; ++i)
         sim::spawn(t(0x1000 + 64 * i));  // fill all 4 MSHRs
@@ -377,12 +443,12 @@ TEST_P(CacheGeometry, SequentialThenRepeatAccessPattern)
     const unsigned lines = size_kb * 1024 / 64;
     // Touch exactly `lines` distinct lines: all misses, then all hits.
     for (unsigned i = 0; i < lines; ++i) {
-        sim::spawn(cache.access(i * 64, 8, AccessKind::Read));
+        sim::spawn(cache.request(coreReq(eq, i * 64, 8)));
         eq.run();
     }
     EXPECT_EQ(cache.demandMisses(), lines);
     for (unsigned i = 0; i < lines; ++i) {
-        sim::spawn(cache.access(i * 64, 8, AccessKind::Read));
+        sim::spawn(cache.request(coreReq(eq, i * 64, 8)));
         eq.run();
     }
     EXPECT_EQ(cache.demandHits(), lines) << "working set equal to capacity "

@@ -5,7 +5,7 @@
  */
 #include <gtest/gtest.h>
 
-#include "mem/timed_mem.hpp"
+#include "mem/port.hpp"
 #include "noc/mesh.hpp"
 
 using namespace maple;
@@ -115,7 +115,9 @@ TEST(RemotePort, RoundTripAddsTransitBothWays)
 
     sim::Cycle done = 0;
     auto t = [&]() -> sim::Task<void> {
-        co_await port.access(0x1000, 64, mem::AccessKind::Read);
+        co_await port.request(mem::MemRequest::make(
+            eq, mem::RequesterClass::Core, 0, 0x1000, 64,
+            mem::AccessKind::Read));
         done = eq.now();
     };
     sim::spawn(t());
@@ -133,10 +135,12 @@ TEST(RemotePort, WritesCarryPayloadOutward)
     mem::FixedLatencyMem target(eq, 0);
     RemotePort port(mesh, 0, 1, target);
 
-    sim::spawn(port.access(0, 64, mem::AccessKind::Write));
+    sim::spawn(port.request(mem::MemRequest::make(
+        eq, mem::RequesterClass::Core, 0, 0, 64, mem::AccessKind::Write)));
     eq.run();
     std::uint64_t flits_write = mesh.flitsSent();
-    sim::spawn(port.access(0, 64, mem::AccessKind::Read));
+    sim::spawn(port.request(mem::MemRequest::make(
+        eq, mem::RequesterClass::Core, 0, 0, 64, mem::AccessKind::Read)));
     eq.run();
     std::uint64_t flits_read = mesh.flitsSent() - flits_write;
     EXPECT_EQ(flits_write, flits_read)

@@ -6,7 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "os/kernel.hpp"
-#include "mem/timed_mem.hpp"
+#include "mem/port.hpp"
 
 using namespace maple;
 using namespace maple::os;

@@ -163,11 +163,10 @@ TEST(LlcFrontEnd, ObserverSeesAllAccesses)
     os::Process &proc = soc.createProcess("obs");
     sim::Addr buf = proc.alloc(4096, "buf");
     int reads = 0, writes = 0;
-    soc.llcFront().setObserver(
-        [&](sim::Addr, std::uint32_t, mem::AccessKind k) {
-            reads += k == mem::AccessKind::Read;
-            writes += k == mem::AccessKind::Write;
-        });
+    soc.llcFront().setObserver([&](const mem::MemRequest &r) {
+        reads += r.kind == mem::AccessKind::Read;
+        writes += r.kind == mem::AccessKind::Write;
+    });
     auto t = [&](cpu::Core &c) -> sim::Task<void> {
         (void)co_await c.load(buf, 8);          // L1 miss -> LLC read
         co_await c.store(buf + 2048, 1, 8);     // miss -> LLC read (fill)

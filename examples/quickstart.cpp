@@ -37,13 +37,14 @@ baseline(cpu::Core &core, sim::Addr a, sim::Addr b, sim::Addr out)
     }
 }
 
-/** Access thread: streams B and hands the pointers to MAPLE. */
+/** Access thread: streams B and hands the pointers to MAPLE. The *Reliable
+ *  ops are free pass-throughs unless --fault-recovery armed the driver. */
 sim::Task<void>
 accessThread(cpu::Core &core, core::MapleApi &api, sim::Addr a, sim::Addr b)
 {
     for (std::uint32_t i = 0; i < kN; ++i) {
         std::uint64_t idx = co_await core.load(b + 4 * i, 4);
-        co_await api.producePtr(core, /*queue=*/0, a + 4 * idx);
+        co_await api.producePtrReliable(core, /*queue=*/0, a + 4 * idx);
     }
 }
 
@@ -52,7 +53,7 @@ sim::Task<void>
 executeThread(cpu::Core &core, core::MapleApi &api, sim::Addr out)
 {
     for (std::uint32_t i = 0; i < kN; ++i) {
-        std::uint64_t v = co_await api.consume(core, /*queue=*/0);
+        std::uint64_t v = co_await api.consumeReliable(core, /*queue=*/0);
         co_await core.compute(1);
         co_await core.store(out + 4 * i, v + 1, 4);
     }
@@ -143,6 +144,15 @@ main(int argc, char **argv)
                     (unsigned long long)soc.maple().counter(core::Counter::ProducedPtrs),
                     (unsigned long long)soc.maple().counter(core::Counter::Consumed),
                     (unsigned long long)soc.maple().mmu().walks());
+        if (os::MapleDriver *drv = api.driver()) {
+            std::printf("recovery: %llu recoveries, %llu replayed ops, "
+                        "%llu poisoned responses, %llu degraded queues\n",
+                        (unsigned long long)drv->recoveries(),
+                        (unsigned long long)drv->replayedOps(),
+                        (unsigned long long)soc.maple().counter(
+                            core::Counter::PoisonedResponses),
+                        (unsigned long long)drv->degradedQueues());
+        }
     }
 
     std::printf("\nspeedup: %.2fx\n",

@@ -2,23 +2,37 @@
 """Fault-injection matrix: run the quickstart under every fault class.
 
 Usage: run_fault_matrix.py [path/to/quickstart] [--timeout SECONDS]
+                           [--markdown summary.md] [--only transient|recovery]
 
-For each fault class (noc, dram, tlb, mmio) and for the all-classes-at-once
-combination, runs the quickstart example with deterministic fault injection
-enabled at an aggressive rate and asserts that the run
+For each transient fault class (noc, dram, tlb, mmio) and for the
+all-classes-at-once combination, runs the quickstart example with
+deterministic fault injection enabled at an aggressive rate and asserts that
+the run
 
   * terminates within the timeout (the liveness watchdog must convert any
     wedge into a typed error rather than a hang),
-  * exits 0 with a PASS result check (faults are performance bugs, never
-    correctness bugs), and
+  * exits 0 with a PASS result check (transient faults are performance bugs,
+    never correctness bugs), and
   * is bit-identical to a second run with the same seed (stdout compared
     byte-for-byte; determinism is the whole point of the seeded streams).
 
 Also checks that a faults-disabled run matches a plain run (the injector
 must not perturb the simulation when every rate is zero).
+
+Hard-fault recovery campaigns (DESIGN.md section 10) extend the matrix:
+each hard-fault class runs with the OS recovery driver on and off.
+
+  * recovery on: the run must complete with PASS, perform at least one
+    recovery, and (for the low-budget row) degrade to the software queue
+    while still delivering exact results;
+  * recovery off: a hard fault wedges the queue, so the expected outcome is
+    the watchdog's typed liveness error -- a timeout (hang) still fails.
+
+--markdown writes a summary table of every campaign for CI artifacts.
 """
 import argparse
 import os
+import re
 import subprocess
 import sys
 
@@ -38,6 +52,32 @@ MATRIX = [
     }),
 ]
 
+# Hard-fault recovery campaigns: (name, knobs, expectation, timeout-or-None).
+# Expectations:
+#   recover  -- completes, PASS, >=1 recovery, 0 degraded queues
+#   degrade  -- completes, PASS, >=1 recovery, >=1 degraded queue
+#   wedge    -- hard fault without recovery: typed liveness error (nonzero
+#               exit, deadlock report on stderr), NOT a hang and NOT a PASS
+RECOVERY = "MAPLE_FAULT_RECOVERY"
+RECOVERY_MATRIX = [
+    ("hard-spad/recover",
+     {"MAPLE_FAULT_HARD_SPAD": "0.001", RECOVERY: "1"}, "recover", None),
+    ("hard-tlb/recover",
+     {"MAPLE_FAULT_HARD_TLB": "0.002", RECOVERY: "1"}, "recover", None),
+    ("hard-both/recover",
+     {"MAPLE_FAULT_HARD_SPAD": "0.001", "MAPLE_FAULT_HARD_TLB": "0.001",
+      RECOVERY: "1"}, "recover", None),
+    ("hard-spad/degrade",
+     {"MAPLE_FAULT_HARD_SPAD": "0.002", RECOVERY: "1",
+      "MAPLE_FAULT_RECOVERY_BUDGET": "2"}, "degrade", None),
+    ("hard-spad/wedge", {"MAPLE_FAULT_HARD_SPAD": "0.001"}, "wedge", 60.0),
+    ("hard-tlb/wedge", {"MAPLE_FAULT_HARD_TLB": "0.002"}, "wedge", 60.0),
+]
+
+RECOVERY_LINE = re.compile(
+    rb"recovery: (\d+) recoveries, (\d+) replayed ops, "
+    rb"(\d+) poisoned responses, (\d+) degraded queues")
+
 
 def run_once(binary, extra_env, timeout):
     env = dict(os.environ)
@@ -51,25 +91,26 @@ def run_once(binary, extra_env, timeout):
         stdout=subprocess.PIPE, stderr=subprocess.PIPE)
 
 
-def main():
-    ap = argparse.ArgumentParser()
-    ap.add_argument("binary", nargs="?", default="build/examples/quickstart")
-    ap.add_argument("--timeout", type=float, default=120.0)
-    args = ap.parse_args()
+def parse_recovery(stdout):
+    m = RECOVERY_LINE.search(stdout)
+    return tuple(int(g) for g in m.groups()) if m else None
 
-    failures = []
+
+def transient_rows(binary, timeout, failures):
+    rows = []
     baseline_stdout = None
     for name, knobs in MATRIX:
         env = dict(knobs)
         if name != "none":
             env["MAPLE_FAULT_SEED"] = "42"
         try:
-            first = run_once(args.binary, env, args.timeout)
-            second = run_once(args.binary, env, args.timeout)
+            first = run_once(binary, env, timeout)
+            second = run_once(binary, env, timeout)
         except subprocess.TimeoutExpired:
-            failures.append(f"{name}: timed out after {args.timeout}s "
+            failures.append(f"{name}: timed out after {timeout}s "
                             "(watchdog failed to fire?)")
-            print(f"FAIL {name:5} timeout")
+            print(f"FAIL {name:20} timeout")
+            rows.append((name, knobs, "complete", "timeout", None))
             continue
 
         problems = []
@@ -89,11 +130,110 @@ def main():
             problems.append("identical to faults-disabled run (no faults fired)")
 
         status = "FAIL" if problems else "ok"
-        print(f"{status:4} {name:5} " + ("; ".join(problems) or
+        print(f"{status:4} {name:20} " + ("; ".join(problems) or
               first.stdout.decode(errors="replace").splitlines()[-1].strip()))
         if problems:
             failures.append(f"{name}: " + "; ".join(problems))
+        rows.append((name, knobs, "complete",
+                     "FAIL" if problems else "ok", parse_recovery(first.stdout)))
+    return rows
 
+
+def recovery_rows(binary, default_timeout, failures):
+    rows = []
+    for name, knobs, expect, row_timeout in RECOVERY_MATRIX:
+        env = dict(knobs)
+        env["MAPLE_FAULT_SEED"] = "42"
+        timeout = row_timeout or default_timeout
+        try:
+            first = run_once(binary, env, timeout)
+            second = run_once(binary, env, timeout)
+        except subprocess.TimeoutExpired:
+            failures.append(f"{name}: timed out after {timeout}s "
+                            "(hung instead of failing typed)")
+            print(f"FAIL {name:20} timeout")
+            rows.append((name, knobs, expect, "timeout", None))
+            continue
+
+        problems = []
+        stats = parse_recovery(first.stdout)
+        if expect == "wedge":
+            # The run must die with the watchdog's typed report, quickly.
+            if first.returncode == 0:
+                problems.append("completed despite an unrecovered hard fault")
+            if b"deadlock" not in first.stderr:
+                problems.append("no deadlock report on stderr")
+            if first.returncode != second.returncode:
+                problems.append("same seed, different exit (non-deterministic)")
+        else:
+            if first.returncode != 0:
+                tail = first.stderr.decode(errors="replace").strip().splitlines()
+                problems.append(f"exit {first.returncode}"
+                                + (f" ({tail[-1]})" if tail else ""))
+            if b"result check: PASS" not in first.stdout:
+                problems.append("result check not PASS")
+            if first.stdout != second.stdout:
+                problems.append("same seed, different stdout (non-deterministic)")
+            if stats is None:
+                problems.append("no recovery summary line in stdout")
+            else:
+                recoveries, _replayed, _poisoned, degraded = stats
+                if recoveries == 0:
+                    problems.append("no recoveries fired (rate too low?)")
+                if expect == "degrade" and degraded == 0:
+                    problems.append("expected >=1 degraded queue")
+                if expect == "recover" and degraded != 0:
+                    problems.append("degraded despite a generous budget")
+
+        status = "FAIL" if problems else "ok"
+        detail = "; ".join(problems)
+        if not detail:
+            detail = (f"recoveries={stats[0]} replayed={stats[1]} "
+                      f"degraded={stats[3]}" if stats else
+                      "typed liveness error, as expected")
+        print(f"{status:4} {name:20} {detail}")
+        if problems:
+            failures.append(f"{name}: " + "; ".join(problems))
+        rows.append((name, knobs, expect,
+                     "FAIL" if problems else "ok", stats))
+    return rows
+
+
+def write_markdown(path, rows):
+    with open(path, "w") as f:
+        f.write("# Fault-injection & recovery matrix\n\n")
+        f.write("| campaign | knobs | expectation | status | recoveries "
+                "| replayed | poisoned | degraded |\n")
+        f.write("|---|---|---|---|---|---|---|---|\n")
+        for name, knobs, expect, status, stats in rows:
+            knob_str = " ".join(
+                f"{k.removeprefix('MAPLE_FAULT_').lower()}={v}"
+                for k, v in sorted(knobs.items())) or "(none)"
+            cells = [str(c) for c in stats] if stats else ["-"] * 4
+            f.write(f"| {name} | `{knob_str}` | {expect} | {status} | "
+                    + " | ".join(cells) + " |\n")
+    print(f"wrote {path}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("binary", nargs="?", default="build/examples/quickstart")
+    ap.add_argument("--timeout", type=float, default=120.0,
+                    help="default per-run timeout; wedge rows use their own")
+    ap.add_argument("--markdown", help="write a summary table for CI artifacts")
+    ap.add_argument("--only", choices=["transient", "recovery"],
+                    help="run just one half of the matrix")
+    args = ap.parse_args()
+
+    failures = []
+    rows = []
+    if args.only != "recovery":
+        rows += transient_rows(args.binary, args.timeout, failures)
+    if args.only != "transient":
+        rows += recovery_rows(args.binary, args.timeout, failures)
+
+    if args.markdown:
+        write_markdown(args.markdown, rows)
     if failures:
         sys.exit("fault matrix failed:\n" + "\n".join(failures))
     print("fault matrix ok")

@@ -91,7 +91,7 @@ class DescQueue {
 
         mem::Translation tr = co_await core.mmu().translate(vaddr, false);
         MAPLE_ASSERT(!tr.fault, "DeSC terminal load faulted");
-        sim::spawn(fetch(slot, core.tile(), tr.paddr, size));
+        sim::spawnDetached(eq_, fetch(slot, core.tile(), tr.paddr, size));
     }
 
     /** Drain one Compute-side store (Supply performs the actual store). */

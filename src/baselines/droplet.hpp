@@ -116,7 +116,7 @@ class DropletPrefetcher : public mem::Port {
                 sim::Addr bl = line + sim::Addr(d) * mem::kLineSize;
                 if (bl >= b.b_end_pa)
                     break;
-                sim::spawn(chainPrefetch(b, bl));
+                sim::spawnDetached(soc_.eq(), chainPrefetch(b, bl));
             }
         }
     }
@@ -179,7 +179,7 @@ class DropletPrefetcher : public mem::Port {
                 mem::AccessKind::Prefetch));
             done.set(sim::Unit{});
         };
-        sim::spawn(fetch(this, line, buffer_.at(line).ready));
+        sim::spawnDetached(soc_.eq(), fetch(this, line, buffer_.at(line).ready));
         return true;
     }
 

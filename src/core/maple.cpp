@@ -19,9 +19,15 @@ Maple::Maple(sim::EventQueue &eq, MapleParams params, MapleWiring wiring)
                  "queue count must fit the MMIO encoding");
     queues_.resize(params_.max_queues);
     queue_generation_.assign(params_.max_queues, 0);
+    queue_abort_epoch_.assign(params_.max_queues, 0);
     queue_status_.assign(params_.max_queues,
                          static_cast<std::uint8_t>(MapleStatus::Ok));
+    produce_status_.assign(params_.max_queues,
+                           static_cast<std::uint8_t>(MapleStatus::Ok));
+    consume_status_.assign(params_.max_queues,
+                           static_cast<std::uint8_t>(MapleStatus::Ok));
     queue_timeout_.assign(params_.max_queues, 0);
+    accept_count_.assign(params_.max_queues, 0);
     amo_addend_.assign(params_.max_queues, 0);
     amo_seq_alloc_.assign(params_.max_queues, 0);
     amo_seq_commit_.assign(params_.max_queues, 0);
@@ -107,12 +113,46 @@ Maple::applyQueueConfig(std::uint64_t payload)
     for (unsigned i = 0; i < queues_.size(); ++i) {
         ++queue_generation_[i];
         queue_status_[i] = static_cast<std::uint8_t>(MapleStatus::Ok);
+        produce_status_[i] = static_cast<std::uint8_t>(MapleStatus::Ok);
+        consume_status_[i] = static_cast<std::uint8_t>(MapleStatus::Ok);
         queue_timeout_[i] = 0;
+        accept_count_[i] = 0;
         if (i < cfg.count)
             queues_[i].configure(cfg.entries, cfg.entry_bytes);
         else
             queues_[i].reset();
     }
+}
+
+void
+Maple::latchError(fault::FaultClass cause, sim::Addr addr)
+{
+    bumpCounter(Counter::HardFaults);
+    ++err_.count;
+    if (!err_.valid) {
+        err_.valid = true;
+        err_.cause = cause;
+        err_.addr = addr;
+        err_.latched_at = eq_.now();
+        MAPLE_WARN("%s: hard fault latched: %s at 0x%llx (cycle %llu)",
+                   params_.name.c_str(), fault::faultClassName(cause),
+                   (unsigned long long)addr, (unsigned long long)eq_.now());
+    }
+    if (error_cb_)
+        error_cb_();
+}
+
+void
+Maple::deviceReset(unsigned q)
+{
+    // Bump the generation first: in-flight fills for the dropped contents
+    // are fenced off, and the signal wakes from flushContents() unwind any
+    // parked produce/consume on this queue with status Aborted.
+    ++queue_generation_[q];
+    ++queue_abort_epoch_[q];
+    queues_[q].flushContents();
+    mmu_.flush();
+    err_ = {};
 }
 
 sim::Task<void>
@@ -209,11 +249,17 @@ Maple::produceData(unsigned q, std::uint64_t data)
     trace::LaneSpan span(tracer(), tr_produce_, "produce_data",
                          trace::Category::Maple);
     co_await pipeEnter(produce_free_);
+    if (quiesced_) {
+        produce_status_[q] = queue_status_[q] =
+            static_cast<std::uint8_t>(MapleStatus::Quiesced);
+        co_return;
+    }
     bumpCounter(Counter::ProducedData);
     if (params_.shared_pipeline_hazard)
         co_await acquirePipeHead();
     if (co_await pointerlessEnqueueWait(q)) {
         MapleQueue &queue = queues_[q];
+        ++accept_count_[q];
         unsigned slot = queue.reserveSlot();
         queue.fillSlot(slot, data);
     }
@@ -227,6 +273,11 @@ Maple::producePtr(unsigned q, sim::Addr vaddr)
     trace::LaneSpan span(tracer(), tr_produce_, "produce_ptr",
                          trace::Category::Maple);
     co_await pipeEnter(produce_free_);
+    if (quiesced_) {
+        produce_status_[q] = queue_status_[q] =
+            static_cast<std::uint8_t>(MapleStatus::Quiesced);
+        co_return;
+    }
     bumpCounter(Counter::ProducedPtrs);
 
     // Produce buffer: bounded number of produces between decode and issue.
@@ -259,8 +310,9 @@ sim::Task<void>
 Maple::pointerProduceInner(unsigned q, sim::Addr vaddr)
 {
     if (!co_await pointerlessEnqueueWait(q))
-        co_return;  // timed out: the produce is dropped, status = TimedOut
+        co_return;  // timed out / aborted: the produce is dropped
     MapleQueue &queue = queues_[q];
+    ++accept_count_[q];
     unsigned slot = queue.reserveSlot();
     unsigned generation = queue_generation_[q];
 
@@ -294,10 +346,25 @@ Maple::pointerProduceInner(unsigned q, sim::Addr vaddr)
             queue.fillSlot(slot, 0);
         co_return;
     }
+    // Injected hard device-TLB fault: the translation the lookup produced is
+    // garbage, so fetching through it would read the wrong line. Latch the
+    // error, invalidate the whole (untrusted) TLB, and poison the slot --
+    // FIFO order is preserved, the consumer sees MapleStatus::Poisoned.
+    if (fault::FaultInjector *f = fault::active(eq_)) {
+        if (f->inject(fault::FaultClass::HardTlb,
+                      mem::RequesterClass::MapleProduce)) {
+            latchError(fault::FaultClass::HardTlb, vaddr);
+            mmu_.flush();
+            if (generation == queue_generation_[q])
+                queue.fillSlotPoisoned(slot, 0);
+            co_return;
+        }
+    }
     // Issue the memory request; the slot index is the transaction ID. The
     // produce is acknowledged now (the Access thread's store retires), and
     // the response fills the slot asynchronously.
-    sim::spawn(fetchIntoSlot(q, generation, slot, tr.paddr, queue.entryBytes()));
+    sim::spawnDetached(eq_, fetchIntoSlot(q, generation, slot, tr.paddr,
+                                          queue.entryBytes()));
 }
 
 sim::Task<bool>
@@ -308,11 +375,12 @@ Maple::pointerlessEnqueueWait(unsigned q)
                 "%s: produce to unconfigured queue %u", params_.name.c_str(), q);
     sim::Cycle wait_start = eq_.now();
     const sim::Cycle timeout = queue_timeout_[q];
+    const unsigned abort_epoch = queue_abort_epoch_[q];
     bool timed_out = false;
     {
         fault::ParkGuard park(eq_, "produce_full", params_.name, q);
         if (timeout == 0) {
-            while (queue.full()) {
+            while (queue.full() && queue_abort_epoch_[q] == abort_epoch) {
                 sim::Signal wait = queue.spaceSignal();
                 co_await wait;
             }
@@ -320,7 +388,7 @@ Maple::pointerlessEnqueueWait(unsigned q)
             // Timed wait: the hardware timeout counter ticks every cycle
             // until space frees or the bound is hit.
             const sim::Cycle deadline = wait_start + timeout;
-            while (queue.full()) {
+            while (queue.full() && queue_abort_epoch_[q] == abort_epoch) {
                 if (eq_.now() >= deadline) {
                     timed_out = true;
                     break;
@@ -336,12 +404,21 @@ Maple::pointerlessEnqueueWait(unsigned q)
                               eq_.now() - wait_start);
         }
     }
+    if (queue_abort_epoch_[q] != abort_epoch) {
+        // DeviceReset hit the queue while this produce was parked: unwind
+        // without touching the rebuilt queue.
+        produce_status_[q] = queue_status_[q] =
+            static_cast<std::uint8_t>(MapleStatus::Aborted);
+        co_return false;
+    }
     if (timed_out) {
-        queue_status_[q] = static_cast<std::uint8_t>(MapleStatus::TimedOut);
+        produce_status_[q] = queue_status_[q] =
+            static_cast<std::uint8_t>(MapleStatus::TimedOut);
         bumpCounter(Counter::TimedOutOps);
         co_return false;
     }
-    queue_status_[q] = static_cast<std::uint8_t>(MapleStatus::Ok);
+    produce_status_[q] = queue_status_[q] =
+        static_cast<std::uint8_t>(MapleStatus::Ok);
     co_return true;
 }
 
@@ -352,15 +429,29 @@ Maple::fetchIntoSlot(unsigned q, unsigned generation, unsigned slot,
     bumpCounter(Counter::MemRequests);
     mem::Port *port = params_.fetch_via_llc && w_.llc_port ? w_.llc_port
                                                             : w_.dram_port;
+    // Injected hard scratchpad fault: decided per fill opportunity and
+    // carried on the request as a fault tag, so the poison travels with the
+    // response the way a real ECC error would.
+    mem::RequestMeta meta;
+    if (fault::FaultInjector *f = fault::active(eq_)) {
+        if (f->inject(fault::FaultClass::HardSpad,
+                      mem::RequesterClass::MapleProduce))
+            meta.fault_tags |= fault::faultClassBit(fault::FaultClass::HardSpad);
+    }
     sim::Cycle fetch_start = eq_.now();
     co_await port->request(mem::MemRequest::make(
         eq_, mem::RequesterClass::MapleProduce, params_.tile, paddr, bytes,
-        mem::AccessKind::Read));
+        mem::AccessKind::Read, &meta));
     if (auto *t = tracer()) {
         t->attributeStall(trace::StallCause::Dram, eq_.now() - fetch_start);
     }
     if (generation != queue_generation_[q])
         co_return;  // queue was closed/reconfigured while the fetch flew
+    if (meta.fault_tags & fault::faultClassBit(fault::FaultClass::HardSpad)) {
+        latchError(fault::FaultClass::HardSpad, paddr);
+        queues_[q].fillSlotPoisoned(slot, 0);
+        co_return;
+    }
     std::uint64_t value = 0;
     w_.pm->read(paddr, &value, bytes);
     queues_[q].fillSlot(slot, value);
@@ -372,6 +463,11 @@ Maple::produceAmoAdd(unsigned q, sim::Addr vaddr)
     trace::LaneSpan span(tracer(), tr_produce_, "produce_amo",
                          trace::Category::Maple);
     co_await pipeEnter(produce_free_);
+    if (quiesced_) {
+        produce_status_[q] = queue_status_[q] =
+            static_cast<std::uint8_t>(MapleStatus::Quiesced);
+        co_return;
+    }
     bumpCounter(Counter::ProducedPtrs);
 
     sim::Cycle buf_wait_start = eq_.now();
@@ -398,6 +494,7 @@ Maple::produceAmoAdd(unsigned q, sim::Addr vaddr)
         co_return;
     }
     MapleQueue &queue = queues_[q];
+    ++accept_count_[q];
     unsigned slot = queue.reserveSlot();
     unsigned generation = queue_generation_[q];
     // Take a commit ticket at reservation time: translations can complete
@@ -442,7 +539,8 @@ Maple::produceAmoAdd(unsigned q, sim::Addr vaddr)
         w_.pm->read(tr.paddr, &old, bytes);
         std::uint64_t updated = old + amo_addend_[q];
         w_.pm->write(tr.paddr, &updated, bytes);
-        sim::spawn(amoIntoSlot(q, generation, slot, tr.paddr, old, bytes));
+        sim::spawnDetached(eq_, amoIntoSlot(q, generation, slot, tr.paddr, old,
+                                            bytes));
     }
     ++amo_seq_commit_[q];
     sim::Signal commit_wake = std::exchange(amo_commit_wait_, sim::Signal{});
@@ -485,6 +583,11 @@ Maple::consume(unsigned q, bool pair)
     // produces -- including produces parked on a full queue (deadlock).
     co_await pipeEnter(params_.shared_pipeline_hazard ? produce_free_
                                                       : consume_free_);
+    if (quiesced_) {
+        consume_status_[q] = queue_status_[q] =
+            static_cast<std::uint8_t>(MapleStatus::Quiesced);
+        co_return 0;
+    }
     if (params_.shared_pipeline_hazard)
         co_await acquirePipeHead();
     MapleQueue &queue = queues_[q];
@@ -501,17 +604,20 @@ Maple::consume(unsigned q, bool pair)
     const unsigned needed = pair ? 2 : 1;
     sim::Cycle wait_start = eq_.now();
     const sim::Cycle timeout = queue_timeout_[q];
+    const unsigned abort_epoch = queue_abort_epoch_[q];
     bool timed_out = false;
     {
         fault::ParkGuard park(eq_, "consume_empty", params_.name, q);
         if (timeout == 0) {
-            while (!queue.headValid(needed)) {
+            while (!queue.headValid(needed) &&
+                   queue_abort_epoch_[q] == abort_epoch) {
                 sim::Signal wait = queue.dataSignal();
                 co_await wait;
             }
         } else {
             const sim::Cycle deadline = wait_start + timeout;
-            while (!queue.headValid(needed)) {
+            while (!queue.headValid(needed) &&
+                   queue_abort_epoch_[q] == abort_epoch) {
                 if (eq_.now() >= deadline) {
                     timed_out = true;
                     break;
@@ -527,19 +633,43 @@ Maple::consume(unsigned q, bool pair)
                               eq_.now() - wait_start);
         }
     }
+    if (queue_abort_epoch_[q] != abort_epoch) {
+        // DeviceReset unwound this parked consume: the entry it was waiting
+        // for was dropped with the queue contents.
+        consume_status_[q] = queue_status_[q] =
+            static_cast<std::uint8_t>(MapleStatus::Aborted);
+        if (params_.shared_pipeline_hazard)
+            releasePipeHead();
+        co_return 0;
+    }
     if (timed_out) {
-        queue_status_[q] = static_cast<std::uint8_t>(MapleStatus::TimedOut);
+        consume_status_[q] = queue_status_[q] =
+            static_cast<std::uint8_t>(MapleStatus::TimedOut);
         bumpCounter(Counter::TimedOutOps);
         if (params_.shared_pipeline_hazard)
             releasePipeHead();
         co_return 0;  // software reads QueueStatus to distinguish from data
+    }
+    if (queue.headPoisoned(needed)) {
+        // Surface poison, not data -- and leave the entries at the head, so
+        // the queue wedges until a DeviceReset. Popping here would free a
+        // slot and let a parked produce slip in, pushing the accepted-but-
+        // undelivered window past the queue capacity; the driver's recovery
+        // replay depends on that window always fitting the reset queue.
+        consume_status_[q] = queue_status_[q] =
+            static_cast<std::uint8_t>(MapleStatus::Poisoned);
+        bumpCounter(Counter::PoisonedResponses);
+        if (params_.shared_pipeline_hazard)
+            releasePipeHead();
+        co_return 0;
     }
 
     std::uint64_t value = queue.pop();
     if (pair)
         value |= queue.pop() << 32;
     bumpCounter(Counter::Consumed, needed);
-    queue_status_[q] = static_cast<std::uint8_t>(MapleStatus::Ok);
+    consume_status_[q] = queue_status_[q] =
+        static_cast<std::uint8_t>(MapleStatus::Ok);
     stats_.average("occupancy_at_consume").sample(queue.occupancy());
     stats_.histogram("consume_occupancy").sample(queue.occupancy());
     if (params_.shared_pipeline_hazard)
@@ -554,16 +684,30 @@ Maple::consumePoll(unsigned q)
                          trace::Category::Maple);
     co_await pipeEnter(params_.shared_pipeline_hazard ? produce_free_
                                                       : consume_free_);
+    if (quiesced_) {
+        consume_status_[q] = queue_status_[q] =
+            static_cast<std::uint8_t>(MapleStatus::Quiesced);
+        co_return 0;
+    }
     MapleQueue &queue = queues_[q];
     // Polling an unconfigured queue is not misuse: report Empty so software
     // spin loops degrade gracefully instead of crashing the device model.
     if (!queue.configured() || !queue.headValid(1)) {
-        queue_status_[q] = static_cast<std::uint8_t>(MapleStatus::Empty);
+        consume_status_[q] = queue_status_[q] =
+            static_cast<std::uint8_t>(MapleStatus::Empty);
+        co_return 0;
+    }
+    if (queue.headPoisoned(1)) {
+        // Same wedge-until-reset contract as the blocking consume above.
+        consume_status_[q] = queue_status_[q] =
+            static_cast<std::uint8_t>(MapleStatus::Poisoned);
+        bumpCounter(Counter::PoisonedResponses);
         co_return 0;
     }
     std::uint64_t value = queue.pop();
     bumpCounter(Counter::Consumed);
-    queue_status_[q] = static_cast<std::uint8_t>(MapleStatus::Ok);
+    consume_status_[q] = queue_status_[q] =
+        static_cast<std::uint8_t>(MapleStatus::Ok);
     stats_.average("occupancy_at_consume").sample(queue.occupancy());
     stats_.histogram("consume_occupancy").sample(queue.occupancy());
     co_return value;
@@ -597,6 +741,20 @@ Maple::configLoad(unsigned q, LoadOp op, unsigned raw_op)
             queues_[q].entryBytes();
       case LoadOp::QueueStatus:
         co_return queue_status_[q];
+      case LoadOp::ErrStatus:
+        co_return (err_.valid ? 1u : 0u) | (quiesced_ ? 2u : 0u) |
+            (std::uint64_t(err_.count & 0xff) << 8) |
+            (std::uint64_t(produce_inflight_ & 0xffff) << 16);
+      case LoadOp::ErrCause:
+        co_return static_cast<std::uint64_t>(err_.cause);
+      case LoadOp::ErrAddr:
+        co_return err_.addr;
+      case LoadOp::AcceptCount:
+        co_return accept_count_[q];
+      case LoadOp::ProduceStatus:
+        co_return produce_status_[q];
+      case LoadOp::ConsumeStatus:
+        co_return consume_status_[q];
       default:
         MAPLE_WARN("%s: unknown load op %u", params_.name.c_str(), raw_op);
         co_return 0;
@@ -643,12 +801,12 @@ Maple::configStore(unsigned q, StoreOp op, std::uint64_t data)
         lima_cmds_.push_back(cmd);
         if (!lima_running_) {
             lima_running_ = true;
-            sim::spawn(limaWorker());
+            sim::spawnDetached(eq_, limaWorker());
         }
         co_return;
       }
       case StoreOp::PrefetchPtr:
-        sim::spawn(speculativePrefetch(data));
+        sim::spawnDetached(eq_, speculativePrefetch(data));
         co_return;
       case StoreOp::ResetCounters:
         for (auto &c : counters_)
@@ -659,6 +817,12 @@ Maple::configStore(unsigned q, StoreOp op, std::uint64_t data)
         co_return;
       case StoreOp::QueueTimeout:
         queue_timeout_[q] = data;
+        co_return;
+      case StoreOp::Quiesce:
+        quiesced_ = data != 0;
+        co_return;
+      case StoreOp::DeviceReset:
+        deviceReset(q);
         co_return;
       default:
         MAPLE_WARN("%s: unknown store op %u", params_.name.c_str(),
@@ -740,7 +904,7 @@ Maple::limaOne(const LimaCmd &cmd)
                 mem::AccessKind::Read));
             done.set(sim::Unit{});
         };
-        sim::spawn(fetch(this, chunk_pa, f.arrived));
+        sim::spawnDetached(eq_, fetch(this, chunk_pa, f.arrived));
         co_return f;
     };
 

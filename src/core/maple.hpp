@@ -26,10 +26,12 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
 
 #include "core/maple_isa.hpp"
 #include "core/maple_queue.hpp"
+#include "fault/fault.hpp"
 #include "mem/cache.hpp"
 #include "mem/mmu.hpp"
 #include "mem/physical_memory.hpp"
@@ -77,6 +79,7 @@ class Maple : public soc::MmioDevice {
     /// @}
 
     mem::Mmu &mmu() { return mmu_; }
+    sim::EventQueue &eq() { return eq_; }
 
     /**
      * Install the OS driver's fault handler; MAPLE additionally latches the
@@ -95,6 +98,38 @@ class Maple : public soc::MmioDevice {
     MapleStatus queueStatus(unsigned idx) const
     {
         return static_cast<MapleStatus>(queue_status_.at(idx));
+    }
+
+    /**
+     * Architectural error state latched on the first hard fault. Later hard
+     * faults only bump the count; the first cause/address stick until
+     * StoreOp::DeviceReset clears the latch.
+     */
+    struct ErrorState {
+        bool valid = false;
+        fault::FaultClass cause = fault::FaultClass::kCount;
+        sim::Addr addr = 0;
+        unsigned count = 0;          ///< hard faults since the last reset
+        sim::Cycle latched_at = 0;   ///< cycle of the first latched fault
+    };
+
+    const ErrorState &errorState() const { return err_; }
+    bool errorLatched() const { return err_.valid; }
+    bool quiesced() const { return quiesced_; }
+
+    /**
+     * Notification hook invoked on every hard-fault latch — the simulation
+     * analogue of the device's error interrupt line. The OS-layer recovery
+     * driver uses it to learn of errors it has not yet observed through a
+     * poisoned consume.
+     */
+    using ErrorCallback = std::function<void()>;
+    void setErrorCallback(ErrorCallback cb) { error_cb_ = std::move(cb); }
+
+    /** Accepted produce-class ops on queue @p idx (survives DeviceReset). */
+    std::uint64_t acceptCount(unsigned idx) const
+    {
+        return accept_count_.at(idx);
     }
 
     std::uint64_t counter(Counter c) const
@@ -150,6 +185,15 @@ class Maple : public soc::MmioDevice {
     /** Occupy a pipeline issue slot (II=1) then traverse it. */
     sim::Task<void> pipeEnter(sim::Cycle &next_free);
 
+    /**
+     * Latch a hard fault into the architectural error registers (first
+     * cause/addr win, count always bumps) and fire the error callback.
+     */
+    void latchError(fault::FaultClass cause, sim::Addr addr);
+
+    /** StoreOp::DeviceReset backend: see the ISA comment for semantics. */
+    void deviceReset(unsigned q);
+
     /** Injected delayed-MMIO-response fault (no-op when faults are off). */
     sim::Task<void> mmioDelay();
 
@@ -181,12 +225,28 @@ class Maple : public soc::MmioDevice {
 
     std::vector<MapleQueue> queues_;
     std::vector<unsigned> queue_generation_;
+    // Bumped only by DeviceReset: parked produce/consume waits re-check it
+    // and unwind with MapleStatus::Aborted. Deliberately separate from
+    // queue_generation_ (which a plain reconfigure also bumps): a consume
+    // parked against the power-on default config must survive the
+    // application's INIT, exactly as it did before recovery existed.
+    std::vector<unsigned> queue_abort_epoch_;
 
     // Non-blocking / timed-op state (LoadOp::QueueStatus semantics): the
     // outcome of the last produce/consume-class op per queue, plus the
-    // latched per-queue wait bound (0 = block forever).
+    // latched per-queue wait bound (0 = block forever). The direction-split
+    // copies back LoadOp::ProduceStatus/ConsumeStatus so a producer and a
+    // consumer core sharing a queue can't clobber each other's status.
     std::vector<std::uint8_t> queue_status_;
+    std::vector<std::uint8_t> produce_status_;
+    std::vector<std::uint8_t> consume_status_;
     std::vector<sim::Cycle> queue_timeout_;
+
+    // Architectural error reporting + recovery control (see maple_isa.hpp).
+    ErrorState err_;
+    bool quiesced_ = false;
+    std::vector<std::uint64_t> accept_count_;
+    ErrorCallback error_cb_;
 
     // Pipeline issue chains (next-free-cycle reservations).
     sim::Cycle produce_free_ = 0;

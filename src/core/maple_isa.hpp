@@ -32,6 +32,20 @@ enum class LoadOp : std::uint8_t {
     QueueConfig = 5,   ///< debug: (capacity << 8) | entry_bytes
     ConsumePoll = 6,   ///< non-blocking consume: pops if ready, else status
     QueueStatus = 7,   ///< software-visible status of the last queue op
+    // Architectural error-reporting registers (read by the recovery driver):
+    ErrStatus = 8,     ///< packed: bit0 error latched, bit1 quiesced,
+                       ///< bits[15:8] error count, bits[31:16] produce ops
+                       ///< still in flight inside the device
+    ErrCause = 9,      ///< FaultClass of the first latched hard fault
+    ErrAddr = 10,      ///< faulting address (vaddr/paddr) of that fault
+    AcceptCount = 11,  ///< per-queue count of accepted produce-class ops;
+                       ///< survives DeviceReset (disambiguates replay)
+    // Direction-split status: QueueStatus is written by *both* produce- and
+    // consume-class ops (legacy semantics), which races when a producer and
+    // a consumer core drive the same queue. The recovery driver reads the
+    // per-direction registers instead, which only its own ops can clobber.
+    ProduceStatus = 12,///< status of the last produce-class op on the queue
+    ConsumeStatus = 13,///< status of the last consume-class op on the queue
     CounterBase = 16,  ///< ops [16, 64) read performance counter (op - 16)
 };
 
@@ -53,6 +67,14 @@ enum class StoreOp : std::uint8_t {
     ProduceAmoAdd = 11,///< payload is a vaddr: fetch-and-add (addend reg),
                        ///< old value lands in the queue in program order
     QueueTimeout = 12, ///< per-queue wait bound in cycles (0 = block forever)
+    // Recovery control (driven by the OS-layer driver, os/maple_driver):
+    Quiesce = 13,      ///< payload 1: stop accepting produce/consume-class
+                       ///< ops (they return MapleStatus::Quiesced); payload
+                       ///< 0: resume. The config pipeline stays live.
+    DeviceReset = 14,  ///< per-queue reset: drop queue contents (geometry and
+                       ///< binding preserved), abort parked waiters and
+                       ///< in-flight fills, flush the device TLB, clear the
+                       ///< error latch. Counters and AcceptCount survive.
 };
 
 /**
@@ -66,6 +88,9 @@ enum class MapleStatus : std::uint8_t {
     Ok = 0,        ///< the op completed normally
     Empty = 1,     ///< ConsumePoll found no ready entry
     TimedOut = 2,  ///< a timed produce/consume gave up at the bound
+    Poisoned = 3,  ///< a consume popped a hard-fault-poisoned entry
+    Quiesced = 4,  ///< the op was dropped: device quiesced for recovery
+    Aborted = 5,   ///< a parked op unwound because DeviceReset hit its queue
 };
 
 /** Index of a performance counter readable via LoadOp::CounterBase + idx. */
@@ -82,6 +107,8 @@ enum class Counter : std::uint8_t {
     PageFaults = 9,
     PrefetchesIssued = 10,
     TimedOutOps = 11,      ///< produce/consume ops that hit their timeout
+    PoisonedResponses = 12,///< consumes that returned poisoned data
+    HardFaults = 13,       ///< hard faults latched by this device
     kCount
 };
 

@@ -35,6 +35,7 @@ class MapleQueue {
         entry_bytes_ = entry_bytes;
         data_.assign(capacity, 0);
         valid_.assign(capacity, false);
+        poisoned_.assign(capacity, false);
         head_ = tail_ = reserved_ = 0;
         peak_occupancy_ = 0;
         open_ = false;
@@ -51,6 +52,7 @@ class MapleQueue {
         capacity_ = 0;
         data_.clear();
         valid_.clear();
+        poisoned_.clear();
         head_ = tail_ = reserved_ = 0;
         peak_occupancy_ = 0;
         wakeSpace();
@@ -85,6 +87,23 @@ class MapleQueue {
         open_ = false;
         head_ = tail_ = reserved_ = 0;
         valid_.assign(valid_.size(), false);
+        poisoned_.assign(poisoned_.size(), false);
+        wakeSpace();
+        wakeData();
+    }
+
+    /**
+     * Drop the queue contents (DeviceReset): every entry — valid, reserved
+     * or in-flight — is discarded, geometry and the open binding survive.
+     * In-flight fills for dropped slots are fenced off by the device's
+     * per-queue generation counter, not by this class.
+     */
+    void
+    flushContents()
+    {
+        head_ = tail_ = reserved_ = 0;
+        valid_.assign(valid_.size(), false);
+        poisoned_.assign(poisoned_.size(), false);
         wakeSpace();
         wakeData();
     }
@@ -116,6 +135,29 @@ class MapleQueue {
         wakeData();
     }
 
+    /**
+     * Fill a reserved slot whose data a hard fault corrupted en route. The
+     * slot becomes valid (it keeps FIFO order) but carries a poison bit the
+     * consume pipeline surfaces as MapleStatus::Poisoned instead of data.
+     */
+    void
+    fillSlotPoisoned(unsigned slot, std::uint64_t value)
+    {
+        fillSlot(slot, value);
+        poisoned_[slot] = true;
+    }
+
+    /** True when the head entry is valid but poisoned. */
+    bool
+    headPoisoned(unsigned n = 1) const
+    {
+        for (unsigned i = 0; i < n; ++i) {
+            if (poisoned_[(head_ + i) % capacity_])
+                return true;
+        }
+        return false;
+    }
+
     /** True when the next @p n entries at the head are ready to pop. */
     bool
     headValid(unsigned n = 1) const
@@ -137,6 +179,7 @@ class MapleQueue {
                     "pop on empty/invalid head");
         std::uint64_t v = data_[head_];
         valid_[head_] = false;
+        poisoned_[head_] = false;
         head_ = (head_ + 1) % capacity_;
         --reserved_;
         wakeSpace();
@@ -172,6 +215,7 @@ class MapleQueue {
     unsigned entry_bytes_ = 4;
     std::vector<std::uint64_t> data_;
     std::vector<bool> valid_;
+    std::vector<bool> poisoned_;
     unsigned head_ = 0;
     unsigned tail_ = 0;
     unsigned reserved_ = 0;

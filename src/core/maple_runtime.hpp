@@ -11,11 +11,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "core/maple.hpp"
 #include "core/maple_isa.hpp"
 #include "cpu/core.hpp"
 #include "os/kernel.hpp"
+#include "os/maple_driver.hpp"
 #include "sim/coro.hpp"
 
 namespace maple::core {
@@ -43,10 +45,27 @@ class MapleApi {
     static MapleApi
     attach(os::Process &proc, Maple &device)
     {
+        os::RecoveryConfig rc;
+        rc.mergeEnv();
+        return attach(proc, device, rc);
+    }
+
+    /**
+     * Attach with an explicit recovery policy. When @p rc .enabled the OS
+     * instantiates the recovery driver (os::MapleDriver) and the *Reliable
+     * operations below route through it; otherwise they are plain aliases of
+     * the raw operations and cost nothing extra.
+     */
+    static MapleApi
+    attach(os::Process &proc, Maple &device, const os::RecoveryConfig &rc)
+    {
         sim::Addr base = proc.mapMmio(device.params().mmio_base);
         proc.attachMmu(&device.mmu());
         device.setDriverFaultHandler(proc.kernel().makeFaultHandler(proc));
-        return MapleApi(base, &device);
+        MapleApi api(base, &device);
+        if (rc.enabled)
+            api.driver_ = std::make_shared<os::MapleDriver>(proc, device, base, rc);
+        return api;
     }
 
     /** User virtual address of the device page. */
@@ -174,6 +193,49 @@ class MapleApi {
 
     /// @}
 
+    /// @name Reliable operation (fault-recovery runtime, DESIGN.md §10)
+    /// With the recovery driver attached these journal, retry with
+    /// deterministic backoff, trigger device recovery on latched errors and
+    /// fall back to the software queue once the queue degrades. Without a
+    /// driver they are exact pass-throughs of the raw operations.
+    /// @{
+
+    /** PRODUCE with retry/recovery; true once the value is delivered. */
+    sim::Task<bool>
+    produceReliable(cpu::Core &core, unsigned q, std::uint64_t data)
+    {
+        if (!driver_) {
+            co_await produce(core, q, data);
+            co_return true;
+        }
+        co_return co_await driver_->produce(core, q, data);
+    }
+
+    /** PRODUCE_PTR with retry/recovery; true once the value is delivered. */
+    sim::Task<bool>
+    producePtrReliable(cpu::Core &core, unsigned q, sim::Addr ptr)
+    {
+        if (!driver_) {
+            co_await producePtr(core, q, ptr);
+            co_return true;
+        }
+        co_return co_await driver_->producePtr(core, q, ptr);
+    }
+
+    /** CONSUME with retry/recovery; never returns poisoned data. */
+    sim::Task<std::uint64_t>
+    consumeReliable(cpu::Core &core, unsigned q)
+    {
+        if (!driver_)
+            co_return co_await consume(core, q);
+        co_return co_await driver_->consume(core, q);
+    }
+
+    /** The recovery driver, or nullptr when recovery is disabled. */
+    os::MapleDriver *driver() { return driver_.get(); }
+
+    /// @}
+
     /// @name Read-modify-write extension (Section 3's "easily extensible")
     /// @{
 
@@ -254,6 +316,8 @@ class MapleApi {
     Maple *device_;
     sim::Addr shadow_a_ = sim::kBadAddr;
     sim::Addr shadow_b_ = sim::kBadAddr;
+    /// Shared so MapleApi stays copyable (it is passed around by value).
+    std::shared_ptr<os::MapleDriver> driver_;
 };
 
 }  // namespace maple::core

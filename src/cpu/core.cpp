@@ -100,7 +100,7 @@ Core::store(sim::Addr vaddr, std::uint64_t value, unsigned size)
         }
     }
     ++store_buffer_used_;
-    sim::spawn(drainStore(tr.paddr, value, size));
+    sim::spawnDetached(eq_, drainStore(tr.paddr, value, size));
 }
 
 sim::Task<void>
@@ -227,7 +227,7 @@ Core::storeShared(sim::Addr vaddr, std::uint64_t value, unsigned size)
         sim::Signal wake = std::exchange(self->store_buffer_wait_, sim::Signal{});
         wake.set(sim::Unit{});
     };
-    sim::spawn(drain(this, tr.paddr, value, size));
+    sim::spawnDetached(eq_, drain(this, tr.paddr, value, size));
 }
 
 sim::Task<std::uint64_t>

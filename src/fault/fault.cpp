@@ -1,5 +1,6 @@
 #include "fault/fault.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -16,6 +17,8 @@ faultClassName(FaultClass c)
       case FaultClass::DramSpike:    return "dram_spike";
       case FaultClass::TlbStorm:     return "tlb_storm";
       case FaultClass::MmioDelay:    return "mmio_delay";
+      case FaultClass::HardSpad:     return "hard_spad";
+      case FaultClass::HardTlb:      return "hard_tlb";
       default:                       return "?";
     }
 }
@@ -23,7 +26,8 @@ faultClassName(FaultClass c)
 bool
 FaultConfig::anyEnabled() const
 {
-    return noc.prob > 0 || dram.prob > 0 || tlb.prob > 0 || mmio.prob > 0;
+    return noc.prob > 0 || dram.prob > 0 || tlb.prob > 0 || mmio.prob > 0 ||
+           hard_spad.prob > 0 || hard_tlb.prob > 0;
 }
 
 namespace {
@@ -70,6 +74,9 @@ FaultConfig::mergeEnv()
     parseRate("MAPLE_FAULT_DRAM", dram, /*default_extra=*/2000);
     parseRate("MAPLE_FAULT_TLB", tlb, /*default_extra=*/1);
     parseRate("MAPLE_FAULT_MMIO", mmio, /*default_extra=*/200);
+    // Hard faults have no latency magnitude: the draw only decides firing.
+    parseRate("MAPLE_FAULT_HARD_SPAD", hard_spad, /*default_extra=*/1);
+    parseRate("MAPLE_FAULT_HARD_TLB", hard_tlb, /*default_extra=*/1);
     if (const char *p = std::getenv("MAPLE_FAULT_ONLY"); p && *p) {
         std::uint32_t mask = 0;
         std::stringstream ss(p);
@@ -98,14 +105,16 @@ FaultConfig::mergeEnv()
 }
 
 FaultPlan::FaultPlan(const FaultConfig &cfg)
-    : rates_{cfg.noc, cfg.dram, cfg.tlb, cfg.mmio},
+    : rates_{cfg.noc, cfg.dram, cfg.tlb, cfg.mmio, cfg.hard_spad, cfg.hard_tlb},
       // Distinct splitmix-derived stream per class: the decision sequence of
       // one class is a pure function of (seed, class), so enabling or
       // re-rating another class cannot perturb it.
       streams_{sim::Rng(cfg.seed ^ 0x9e3779b97f4a7c15ull),
                sim::Rng(cfg.seed ^ 0xbf58476d1ce4e5b9ull),
                sim::Rng(cfg.seed ^ 0x94d049bb133111ebull),
-               sim::Rng(cfg.seed ^ 0xd6e8feb86659fd93ull)}
+               sim::Rng(cfg.seed ^ 0xd6e8feb86659fd93ull),
+               sim::Rng(cfg.seed ^ 0xa0761d6478bd642full),
+               sim::Rng(cfg.seed ^ 0xe7037ed1a0b428dbull)}
 {
 }
 
@@ -124,17 +133,20 @@ FaultPlan::draw(FaultClass c)
 }
 
 FaultInjector::FaultInjector(sim::EventQueue &eq, FaultConfig cfg)
-    : eq_(eq), cfg_(cfg), plan_(cfg), injecting_(cfg.anyEnabled())
+    : eq_(eq), cfg_(cfg), plan_(cfg), injecting_(cfg.anyEnabled()),
+      recovery_rng_(cfg.seed ^ 0x2545f4914f6cdd1dull)
 {
     eq_.attachFaultInjector(this);
     if (injecting_) {
         std::fprintf(stderr,
                      "fault: injection enabled (seed=%llu noc=%g:%llu "
-                     "dram=%g:%llu tlb=%g mmio=%g:%llu)\n",
+                     "dram=%g:%llu tlb=%g mmio=%g:%llu hard_spad=%g "
+                     "hard_tlb=%g)\n",
                      (unsigned long long)cfg_.seed, cfg_.noc.prob,
                      (unsigned long long)cfg_.noc.max_extra, cfg_.dram.prob,
                      (unsigned long long)cfg_.dram.max_extra, cfg_.tlb.prob,
-                     cfg_.mmio.prob, (unsigned long long)cfg_.mmio.max_extra);
+                     cfg_.mmio.prob, (unsigned long long)cfg_.mmio.max_extra,
+                     cfg_.hard_spad.prob, cfg_.hard_tlb.prob);
     }
 }
 
@@ -153,6 +165,8 @@ stallCauseOf(FaultClass c)
       case FaultClass::NocLinkStall: return trace::StallCause::FaultNoc;
       case FaultClass::DramSpike:    return trace::StallCause::FaultDram;
       case FaultClass::TlbStorm:     return trace::StallCause::FaultTlb;
+      case FaultClass::HardSpad:
+      case FaultClass::HardTlb:      return trace::StallCause::FaultRecovery;
       default:                       return trace::StallCause::FaultMmio;
     }
 }
@@ -174,6 +188,8 @@ instantName(FaultClass c)
       case FaultClass::NocLinkStall: return "fault:noc_link_stall";
       case FaultClass::DramSpike:    return "fault:dram_spike";
       case FaultClass::TlbStorm:     return "fault:tlb_storm";
+      case FaultClass::HardSpad:     return "fault:hard_spad";
+      case FaultClass::HardTlb:      return "fault:hard_tlb";
       default:                       return "fault:mmio_delay";
     }
 }
@@ -187,12 +203,73 @@ FaultInjector::inject(FaultClass c)
     if (extra == 0)
         return 0;
     ++counts_[static_cast<std::size_t>(c)];
+    // Hard faults carry no latency magnitude; log them with extra 0.
+    event_log_[event_count_ % kEventLog] = {eq_.now(), c,
+                                            isHardFault(c) ? 0 : extra};
+    ++event_count_;
     if (trace::TraceManager *t = trace::active(eq_)) {
         if (tr_track_ == trace::TraceManager::kNone)
             tr_track_ = t->track("faults");
         t->instant(tr_track_, instantName(c), categoryOf(c));
     }
     return extra;
+}
+
+std::vector<FaultEvent>
+FaultInjector::recentFaults() const
+{
+    std::vector<FaultEvent> out;
+    const std::uint64_t n = std::min<std::uint64_t>(event_count_, kEventLog);
+    out.reserve(n);
+    for (std::uint64_t i = event_count_ - n; i < event_count_; ++i)
+        out.push_back(event_log_[i % kEventLog]);
+    return out;
+}
+
+void
+FaultInjector::maskOwner(const std::string &owner)
+{
+    masked_owners_.push_back(&owner);
+}
+
+void
+FaultInjector::unmaskOwner(const std::string &owner)
+{
+    // Erase one occurrence: masks nest (RAII guard + permanent degradation).
+    auto it = std::find(masked_owners_.begin(), masked_owners_.end(), &owner);
+    if (it != masked_owners_.end())
+        masked_owners_.erase(it);
+}
+
+bool
+FaultInjector::ownerMasked(const std::string *owner) const
+{
+    return owner && std::find(masked_owners_.begin(), masked_owners_.end(),
+                              owner) != masked_owners_.end();
+}
+
+unsigned
+FaultInjector::unmaskedParkedWaiters() const
+{
+    if (masked_owners_.empty())
+        return parked_count_;
+    unsigned n = 0;
+    for (const ParkNode *p = parked_head_; p; p = p->next)
+        if (!ownerMasked(p->owner))
+            ++n;
+    return n;
+}
+
+sim::Cycle
+FaultInjector::oldestUnmaskedParkCycle() const
+{
+    if (masked_owners_.empty())
+        return oldestParkCycle();
+    sim::Cycle oldest = sim::kCycleMax;
+    for (const ParkNode *n = parked_head_; n; n = n->next)
+        if (!ownerMasked(n->owner))
+            oldest = std::min(oldest, n->since);
+    return oldest;
 }
 
 void
@@ -245,6 +322,18 @@ FaultInjector::livenessReport() const
                 continue;
             os << "  " << faultClassName(static_cast<FaultClass>(i)) << ": "
                << counts_[i] << " (" << cycles_[i] << " cycles)\n";
+        }
+        // The tail of the injection event log makes hang reports
+        // self-contained: the last faults before the stall are usually the
+        // trigger, and reproducing them needs only (seed, class, cycle).
+        os << "recent injected faults (last "
+           << std::min<std::uint64_t>(event_count_, kEventLog) << " of "
+           << event_count_ << "):\n";
+        for (const FaultEvent &e : recentFaults()) {
+            os << "  - cycle " << e.cycle << ": " << faultClassName(e.cls);
+            if (e.extra > 0)
+                os << " (+" << e.extra << " cycles)";
+            os << "\n";
         }
     }
     if (trace::TraceManager *t = eq_.tracer())

@@ -28,9 +28,16 @@
  *   MAPLE_FAULT_DRAM=<prob[:cycles]> per-access latency-spike probability
  *   MAPLE_FAULT_TLB=<prob>           per-translation forced-TLB-miss prob
  *   MAPLE_FAULT_MMIO=<prob[:cycles]> per-MMIO-op response-delay probability
+ *   MAPLE_FAULT_HARD_SPAD=<prob>     per-fill hard scratchpad corruption
+ *   MAPLE_FAULT_HARD_TLB=<prob>      per-walk hard device-TLB corruption
  *   MAPLE_FAULT_ONLY=<cls[,cls...]>  restrict injection to these requester
  *                                    classes (core, maple_consume,
  *                                    maple_produce, ptw, prefetch, mmio)
+ *
+ * Hard faults (HardSpad, HardTlb) do not add latency: they corrupt state.
+ * The device latches architectural error registers and poisons the affected
+ * response (RequestMeta::fault_tags); the OS-layer driver (os/maple_driver)
+ * detects the poison at the consumer and runs the recovery state machine.
  */
 #pragma once
 
@@ -54,9 +61,19 @@ enum class FaultClass : std::uint8_t {
     DramSpike,     ///< extra latency on one DRAM access
     TlbStorm,      ///< invalidate the translation first: forced re-walk
     MmioDelay,     ///< extra cycles before an MMIO op enters the device
+    HardSpad,      ///< hard fault: a scratchpad fill returns poisoned data
+    HardTlb,       ///< hard fault: a device-TLB translation is corrupted
     kCount
 };
 const char *faultClassName(FaultClass c);
+
+/** Transient faults add latency; hard faults corrupt state and must be
+ *  recovered from (device error latch + driver reset + replay). */
+inline constexpr bool
+isHardFault(FaultClass c)
+{
+    return c == FaultClass::HardSpad || c == FaultClass::HardTlb;
+}
 
 /** Bit in RequestMeta::fault_tags marking a fault hit en route. */
 inline constexpr std::uint32_t
@@ -77,6 +94,8 @@ struct FaultConfig {
     FaultRate dram{};   ///< defaults to max_extra 2000 when enabled via env
     FaultRate tlb{};    ///< magnitude is organic: the re-walk costs real cycles
     FaultRate mmio{};   ///< defaults to max_extra 200 when enabled via env
+    FaultRate hard_spad{};  ///< hard scratchpad-fill corruption (prob only)
+    FaultRate hard_tlb{};   ///< hard device-TLB corruption (prob only)
 
     /**
      * Requester classes faults may hit. Opportunities from classes outside
@@ -114,6 +133,13 @@ class FaultPlan {
         static_cast<std::size_t>(FaultClass::kCount);
     std::array<FaultRate, kClasses> rates_;
     std::array<sim::Rng, kClasses> streams_;
+};
+
+/** One injected fault, as recorded in the injector's bounded event log. */
+struct FaultEvent {
+    sim::Cycle cycle = 0;
+    FaultClass cls = FaultClass::kCount;
+    sim::Cycle extra = 0;  ///< injected magnitude (0 for hard faults)
 };
 
 /** Intrusive registry node for one parked coroutine (see ParkGuard). */
@@ -176,6 +202,21 @@ class FaultInjector {
         return cycles_[static_cast<std::size_t>(c)];
     }
 
+    /**
+     * Deterministic jitter for the driver's retry backoff, drawn from a
+     * dedicated stream derived from the fault seed. Never shared with the
+     * injection streams: recovery retries cannot perturb what faults fire.
+     * Returns a value in [0, bound) (0 when bound <= 1).
+     */
+    sim::Cycle
+    recoveryJitter(sim::Cycle bound)
+    {
+        return bound > 1 ? recovery_rng_.below(bound) : 0;
+    }
+
+    /** Last recorded injections, oldest first (bounded ring, see kEventLog). */
+    std::vector<FaultEvent> recentFaults() const;
+
     /// @name Liveness bookkeeping (read by fault::Watchdog)
     /// @{
 
@@ -191,6 +232,23 @@ class FaultInjector {
 
     /** Park cycle of the longest-parked waiter; kCycleMax when none. */
     sim::Cycle oldestParkCycle() const;
+
+    /**
+     * Exclude waiters owned by @p owner (matched by stable address, the same
+     * object components hand their ParkGuards) from the watchdog's
+     * parked-waiter accounting. Used while a device is deliberately quiesced
+     * for recovery, and permanently once a queue degrades to the software
+     * path, so an intentional stall is not reported as a livelock.
+     */
+    void maskOwner(const std::string &owner);
+    void unmaskOwner(const std::string &owner);
+    bool ownerMasked(const std::string *owner) const;
+
+    /** parkedWaiters() excluding masked owners (what the watchdog uses). */
+    unsigned unmaskedParkedWaiters() const;
+
+    /** oldestParkCycle() excluding masked owners (what the watchdog uses). */
+    sim::Cycle oldestUnmaskedParkCycle() const;
 
     /**
      * The structured diagnostic: parked-waiter list (who/where/since),
@@ -246,8 +304,47 @@ class FaultInjector {
     unsigned parked_count_ = 0;
     std::vector<Diagnostic> diagnostics_;
 
+    /** Owners (stable name addresses) excluded from watchdog accounting. */
+    std::vector<const std::string *> masked_owners_;
+
+    /** Bounded ring of recent injections for self-contained hang reports. */
+    static constexpr std::size_t kEventLog = 16;
+    std::array<FaultEvent, kEventLog> event_log_{};
+    std::uint64_t event_count_ = 0;
+
+    /** Dedicated stream for driver retry-backoff jitter (see recoveryJitter). */
+    sim::Rng recovery_rng_;
+
     /// Lazily-created trace track for fault instants.
     trace::TraceManager::TrackId tr_track_ = trace::TraceManager::kNone;
+};
+
+/**
+ * RAII owner mask: while alive, ParkGuards naming @p owner are invisible to
+ * the watchdog. Held by the driver across a recovery (quiesce -> reset ->
+ * replay) so the deliberately-stalled device never trips the stall bound.
+ */
+class OwnerMaskGuard {
+  public:
+    OwnerMaskGuard(sim::EventQueue &eq, const std::string &owner)
+        : fi_(eq.faultInjector()), owner_(&owner)
+    {
+        if (fi_)
+            fi_->maskOwner(owner);
+    }
+
+    OwnerMaskGuard(const OwnerMaskGuard &) = delete;
+    OwnerMaskGuard &operator=(const OwnerMaskGuard &) = delete;
+
+    ~OwnerMaskGuard()
+    {
+        if (fi_)
+            fi_->unmaskOwner(*owner_);
+    }
+
+  private:
+    FaultInjector *fi_ = nullptr;
+    const std::string *owner_ = nullptr;
 };
 
 /**

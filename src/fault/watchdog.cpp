@@ -42,9 +42,12 @@ Watchdog::run(sim::Cycle max_cycles)
         if (eq_.now() >= max_cycles)
             return false;
         const FaultInjector *fi = eq_.faultInjector();
-        if (!fi || fi->parkedWaiters() == 0)
+        // Masked owners (a device deliberately quiesced for recovery, or a
+        // queue degraded to the software path) are intentional stalls, not
+        // livelocks: only unmasked waiters count toward the stall bound.
+        if (!fi || fi->unmaskedParkedWaiters() == 0)
             continue;
-        sim::Cycle oldest = fi->oldestParkCycle();
+        sim::Cycle oldest = fi->oldestUnmaskedParkCycle();
         if (oldest != sim::kCycleMax && eq_.now() - oldest >= cfg_.stall_bound) {
             failDeadlock(eq_, sim::detail::formatString(
                 "liveness watchdog: a waiter has been parked for %llu cycles "

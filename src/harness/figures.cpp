@@ -81,6 +81,13 @@ applyFaultFlags(int &argc, char **argv)
         {"--fault-dram", "MAPLE_FAULT_DRAM"},
         {"--fault-tlb", "MAPLE_FAULT_TLB"},
         {"--fault-mmio", "MAPLE_FAULT_MMIO"},
+        {"--fault-hard-spad", "MAPLE_FAULT_HARD_SPAD"},
+        {"--fault-hard-tlb", "MAPLE_FAULT_HARD_TLB"},
+        {"--fault-recovery", "MAPLE_FAULT_RECOVERY"},
+        {"--fault-recovery-retries", "MAPLE_FAULT_RECOVERY_RETRIES"},
+        {"--fault-recovery-budget", "MAPLE_FAULT_RECOVERY_BUDGET"},
+        {"--fault-recovery-backoff", "MAPLE_FAULT_RECOVERY_BACKOFF"},
+        {"--fault-recovery-timeout", "MAPLE_FAULT_RECOVERY_TIMEOUT"},
         {"--watchdog", "MAPLE_WATCHDOG"},
         {"--watchdog-stall-bound", "MAPLE_WATCHDOG_STALL_BOUND"},
     };

@@ -99,6 +99,15 @@ void applyTraceFlags(int &argc, char **argv);
  *   --fault-dram=<prob[:cycles]>    DRAM latency spikes
  *   --fault-tlb=<prob>              device-TLB miss storms
  *   --fault-mmio=<prob[:cycles]>    delayed MMIO responses
+ *   --fault-hard-spad=<prob>        hard faults: scratchpad fetch corruption
+ *   --fault-hard-tlb=<prob>         hard faults: device-TLB corruption
+ *   --fault-recovery=<0|1>          enable the OS recovery driver
+ *                                   (MapleApi::*Reliable ops route through it)
+ *   --fault-recovery-retries=<n>    timed-out retries before escalating
+ *   --fault-recovery-budget=<n>     recoveries per queue before it degrades
+ *                                   to the software-queue fallback
+ *   --fault-recovery-backoff=<cyc>  base retry backoff (doubles, capped)
+ *   --fault-recovery-timeout=<cyc>  device-side produce/consume wait bound
  *   --watchdog=<0|1>                disable/enable the liveness watchdog
  *   --watchdog-stall-bound=<cycles> park age that counts as a deadlock
  */

@@ -88,9 +88,10 @@ Cache::invalidateAll()
 void
 Cache::prefetch(sim::Addr paddr)
 {
-    sim::spawn(request(MemRequest::make(eq_, RequesterClass::Prefetch,
-                                        params_.tile, lineBase(paddr),
-                                        kLineSize, AccessKind::Prefetch)));
+    sim::spawnDetached(eq_,
+                       request(MemRequest::make(eq_, RequesterClass::Prefetch,
+                                                params_.tile, lineBase(paddr),
+                                                kLineSize, AccessKind::Prefetch)));
 }
 
 sim::Task<void>
@@ -186,7 +187,7 @@ Cache::handleMiss(MemRequest req, sim::Addr line, bool &dropped)
         if (victim.dirty) {
             stats_.counter("writebacks").inc();
             // Writeback consumes downstream bandwidth but nobody waits on it.
-            sim::spawn(downstream_.request(
+            sim::spawnDetached(eq_, downstream_.request(
                 req.child(victim.tag, kLineSize, AccessKind::Write)));
         }
     }

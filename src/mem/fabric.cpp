@@ -96,7 +96,7 @@ Arbiter::admit(const MemRequest &req)
     ++waiting_count_;
     if (!pump_running_) {
         pump_running_ = true;
-        sim::spawn(pump());
+        sim::spawnDetached(eq_, pump());
     }
     co_await sig;
     wait_cycles_ += eq_.now() - enq;

@@ -226,6 +226,16 @@ spawnImpl(Task<void> task, std::shared_ptr<Join::State> st)
     st->done = true;
 }
 
+inline Detached
+spawnDetachedImpl(EventQueue &eq, Task<void> task)
+{
+    try {
+        co_await std::move(task);
+    } catch (...) {
+        eq.reportTaskError(std::current_exception());
+    }
+}
+
 }  // namespace detail
 
 /**
@@ -238,6 +248,19 @@ spawn(Task<void> task)
     Join join;
     detail::spawnImpl(std::move(task), join.state());
     return join;
+}
+
+/**
+ * Start @p task as a detached root coroutine whose Join nobody will poll
+ * (device-internal helpers: async scratchpad fills, LIMA workers, drain
+ * engines). An exception escaping the task is routed to
+ * EventQueue::reportTaskError and rethrown from the driving run() — with a
+ * plain discarded spawn() it would be swallowed with the Join.
+ */
+inline void
+spawnDetached(EventQueue &eq, Task<void> task)
+{
+    detail::spawnDetachedImpl(eq, std::move(task));
 }
 
 /**

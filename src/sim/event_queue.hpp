@@ -37,6 +37,7 @@
 #include <bit>
 #include <coroutine>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <utility>
@@ -177,6 +178,23 @@ class EventQueue {
     fault::FaultInjector *faultInjector() const { return fault_; }
 
     /**
+     * Record an exception that escaped a detached root coroutine (see
+     * sim::spawnDetached). The first error wins; run()/runOne() rethrow it
+     * as soon as the dispatching event returns, so a typed sim::FatalError
+     * thrown inside a device-internal task surfaces to the harness instead
+     * of hitting std::terminate in a detached frame.
+     */
+    void
+    reportTaskError(std::exception_ptr e)
+    {
+        if (!task_error_)
+            task_error_ = std::move(e);
+    }
+
+    /** Pending detached-task error, if any (cleared by the rethrow). */
+    bool hasTaskError() const { return task_error_ != nullptr; }
+
+    /**
      * Pop and execute the next event, advancing time.
      * @return false when the queue was empty.
      */
@@ -187,6 +205,7 @@ class EventQueue {
         if (!n)
             return false;
         dispatch(n);
+        rethrowTaskError();
         return true;
     }
 
@@ -226,10 +245,20 @@ class EventQueue {
             }
             popFromBucket(b);
             dispatch(n);
+            rethrowTaskError();
         }
     }
 
   private:
+    void
+    rethrowTaskError()
+    {
+        if (task_error_) {
+            std::exception_ptr e = std::exchange(task_error_, nullptr);
+            std::rethrow_exception(e);
+        }
+    }
+
     static constexpr size_t kWheelMask = kWheelHorizon - 1;
     static constexpr size_t kBitmapWords = kWheelHorizon / 64;
     static constexpr size_t kPoolChunk = 256;
@@ -439,6 +468,7 @@ class EventQueue {
     trace::TraceManager *tracer_ = nullptr;
     TraceHook trace_hook_ = nullptr;
     fault::FaultInjector *fault_ = nullptr;
+    std::exception_ptr task_error_;
 };
 
 }  // namespace maple::sim

@@ -39,6 +39,7 @@ stallCauseName(StallCause c)
       case StallCause::FaultDram:       return "fault_dram";
       case StallCause::FaultTlb:        return "fault_tlb";
       case StallCause::FaultMmio:       return "fault_mmio";
+      case StallCause::FaultRecovery:   return "fault_recovery";
       default:                          return "?";
     }
 }

@@ -61,6 +61,7 @@ enum class StallCause : std::uint8_t {
     FaultDram,      ///< injected DRAM latency spike
     FaultTlb,       ///< injected device-TLB miss storm (forced re-walk)
     FaultMmio,      ///< injected delayed MMIO response
+    FaultRecovery,  ///< hard-fault handling: quiesce/reset/replay downtime
     kCount
 };
 const char *stallCauseName(StallCause c);

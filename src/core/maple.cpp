@@ -28,6 +28,9 @@ Maple::Maple(sim::EventQueue &eq, MapleParams params, MapleWiring wiring)
                            static_cast<std::uint8_t>(MapleStatus::Ok));
     queue_timeout_.assign(params_.max_queues, 0);
     accept_count_.assign(params_.max_queues, 0);
+    err_.assign(params_.max_queues, ErrorState{});
+    quiesced_.assign(params_.max_queues, 0);
+    produce_inflight_q_.assign(params_.max_queues, 0);
     amo_addend_.assign(params_.max_queues, 0);
     amo_seq_alloc_.assign(params_.max_queues, 0);
     amo_seq_commit_.assign(params_.max_queues, 0);
@@ -125,17 +128,18 @@ Maple::applyQueueConfig(std::uint64_t payload)
 }
 
 void
-Maple::latchError(fault::FaultClass cause, sim::Addr addr)
+Maple::latchError(unsigned q, fault::FaultClass cause, sim::Addr addr)
 {
     bumpCounter(Counter::HardFaults);
-    ++err_.count;
-    if (!err_.valid) {
-        err_.valid = true;
-        err_.cause = cause;
-        err_.addr = addr;
-        err_.latched_at = eq_.now();
-        MAPLE_WARN("%s: hard fault latched: %s at 0x%llx (cycle %llu)",
-                   params_.name.c_str(), fault::faultClassName(cause),
+    ErrorState &err = err_[q];
+    ++err.count;
+    if (!err.valid) {
+        err.valid = true;
+        err.cause = cause;
+        err.addr = addr;
+        err.latched_at = eq_.now();
+        MAPLE_WARN("%s: hard fault latched on queue %u: %s at 0x%llx (cycle %llu)",
+                   params_.name.c_str(), q, fault::faultClassName(cause),
                    (unsigned long long)addr, (unsigned long long)eq_.now());
     }
     if (error_cb_)
@@ -152,7 +156,13 @@ Maple::deviceReset(unsigned q)
     ++queue_abort_epoch_[q];
     queues_[q].flushContents();
     mmu_.flush();
-    err_ = {};
+    err_[q] = {};
+    // Overwrite the queue's status registers too: a pre-reset Ok left
+    // behind by the last op must not be readable after the reset, or the
+    // driver would trust it, retire its journal front, and later deliver
+    // the replayed duplicate. Aborted tells the driver to retry/park.
+    queue_status_[q] = produce_status_[q] = consume_status_[q] =
+        static_cast<std::uint8_t>(MapleStatus::Aborted);
 }
 
 sim::Task<void>
@@ -249,7 +259,7 @@ Maple::produceData(unsigned q, std::uint64_t data)
     trace::LaneSpan span(tracer(), tr_produce_, "produce_data",
                          trace::Category::Maple);
     co_await pipeEnter(produce_free_);
-    if (quiesced_) {
+    if (quiesced_[q]) {
         produce_status_[q] = queue_status_[q] =
             static_cast<std::uint8_t>(MapleStatus::Quiesced);
         co_return;
@@ -273,7 +283,7 @@ Maple::producePtr(unsigned q, sim::Addr vaddr)
     trace::LaneSpan span(tracer(), tr_produce_, "produce_ptr",
                          trace::Category::Maple);
     co_await pipeEnter(produce_free_);
-    if (quiesced_) {
+    if (quiesced_[q]) {
         produce_status_[q] = queue_status_[q] =
             static_cast<std::uint8_t>(MapleStatus::Quiesced);
         co_return;
@@ -296,12 +306,14 @@ Maple::producePtr(unsigned q, sim::Addr vaddr)
         }
     }
     ++produce_inflight_;
+    ++produce_inflight_q_[q];
     if (params_.shared_pipeline_hazard)
         co_await acquirePipeHead();
     co_await pointerProduceInner(q, vaddr);
     if (params_.shared_pipeline_hazard)
         releasePipeHead();
     --produce_inflight_;
+    --produce_inflight_q_[q];
     sim::Signal wake = std::exchange(produce_buffer_wait_, sim::Signal{});
     wake.set(sim::Unit{});
 }
@@ -353,7 +365,7 @@ Maple::pointerProduceInner(unsigned q, sim::Addr vaddr)
     if (fault::FaultInjector *f = fault::active(eq_)) {
         if (f->inject(fault::FaultClass::HardTlb,
                       mem::RequesterClass::MapleProduce)) {
-            latchError(fault::FaultClass::HardTlb, vaddr);
+            latchError(q, fault::FaultClass::HardTlb, vaddr);
             mmu_.flush();
             if (generation == queue_generation_[q])
                 queue.fillSlotPoisoned(slot, 0);
@@ -374,22 +386,24 @@ Maple::pointerlessEnqueueWait(unsigned q)
     MAPLE_CHECK(queue.configured(), sim::QueueMisuseError,
                 "%s: produce to unconfigured queue %u", params_.name.c_str(), q);
     sim::Cycle wait_start = eq_.now();
-    const sim::Cycle timeout = queue_timeout_[q];
     const unsigned abort_epoch = queue_abort_epoch_[q];
     bool timed_out = false;
     {
         fault::ParkGuard park(eq_, "produce_full", params_.name, q);
-        if (timeout == 0) {
-            while (queue.full() && queue_abort_epoch_[q] == abort_epoch) {
+        while (queue.full() && queue_abort_epoch_[q] == abort_epoch) {
+            // Re-read the bound every wakeup: the recovery driver re-arms
+            // QueueTimeout (a reconfigure zeroes it) while ops are parked
+            // here, and the new bound must take effect on them — a produce
+            // parked forever on a poison-wedged queue would otherwise hold
+            // the in-flight count up and deadlock the recovery drain.
+            const sim::Cycle timeout = queue_timeout_[q];
+            if (timeout == 0) {
                 sim::Signal wait = queue.spaceSignal();
                 co_await wait;
-            }
-        } else {
-            // Timed wait: the hardware timeout counter ticks every cycle
-            // until space frees or the bound is hit.
-            const sim::Cycle deadline = wait_start + timeout;
-            while (queue.full() && queue_abort_epoch_[q] == abort_epoch) {
-                if (eq_.now() >= deadline) {
+            } else {
+                // Timed wait: the hardware timeout counter ticks every
+                // cycle until space frees or the bound is hit.
+                if (eq_.now() >= wait_start + timeout) {
                     timed_out = true;
                     break;
                 }
@@ -448,7 +462,7 @@ Maple::fetchIntoSlot(unsigned q, unsigned generation, unsigned slot,
     if (generation != queue_generation_[q])
         co_return;  // queue was closed/reconfigured while the fetch flew
     if (meta.fault_tags & fault::faultClassBit(fault::FaultClass::HardSpad)) {
-        latchError(fault::FaultClass::HardSpad, paddr);
+        latchError(q, fault::FaultClass::HardSpad, paddr);
         queues_[q].fillSlotPoisoned(slot, 0);
         co_return;
     }
@@ -463,7 +477,7 @@ Maple::produceAmoAdd(unsigned q, sim::Addr vaddr)
     trace::LaneSpan span(tracer(), tr_produce_, "produce_amo",
                          trace::Category::Maple);
     co_await pipeEnter(produce_free_);
-    if (quiesced_) {
+    if (quiesced_[q]) {
         produce_status_[q] = queue_status_[q] =
             static_cast<std::uint8_t>(MapleStatus::Quiesced);
         co_return;
@@ -485,10 +499,12 @@ Maple::produceAmoAdd(unsigned q, sim::Addr vaddr)
         }
     }
     ++produce_inflight_;
+    ++produce_inflight_q_[q];
     if (!co_await pointerlessEnqueueWait(q)) {
         // Timed out waiting for space: drop the op, but release the buffer
         // slot so later produces are not starved by a dead one.
         --produce_inflight_;
+        --produce_inflight_q_[q];
         sim::Signal timeout_wake = std::exchange(produce_buffer_wait_, sim::Signal{});
         timeout_wake.set(sim::Unit{});
         co_return;
@@ -546,6 +562,7 @@ Maple::produceAmoAdd(unsigned q, sim::Addr vaddr)
     sim::Signal commit_wake = std::exchange(amo_commit_wait_, sim::Signal{});
     commit_wake.set(sim::Unit{});
     --produce_inflight_;
+    --produce_inflight_q_[q];
     sim::Signal wake = std::exchange(produce_buffer_wait_, sim::Signal{});
     wake.set(sim::Unit{});
 }
@@ -583,7 +600,7 @@ Maple::consume(unsigned q, bool pair)
     // produces -- including produces parked on a full queue (deadlock).
     co_await pipeEnter(params_.shared_pipeline_hazard ? produce_free_
                                                       : consume_free_);
-    if (quiesced_) {
+    if (quiesced_[q]) {
         consume_status_[q] = queue_status_[q] =
             static_cast<std::uint8_t>(MapleStatus::Quiesced);
         co_return 0;
@@ -603,22 +620,20 @@ Maple::consume(unsigned q, bool pair)
 
     const unsigned needed = pair ? 2 : 1;
     sim::Cycle wait_start = eq_.now();
-    const sim::Cycle timeout = queue_timeout_[q];
     const unsigned abort_epoch = queue_abort_epoch_[q];
     bool timed_out = false;
     {
         fault::ParkGuard park(eq_, "consume_empty", params_.name, q);
-        if (timeout == 0) {
-            while (!queue.headValid(needed) &&
-                   queue_abort_epoch_[q] == abort_epoch) {
+        while (!queue.headValid(needed) &&
+               queue_abort_epoch_[q] == abort_epoch) {
+            // Re-read the bound every wakeup (see pointerlessEnqueueWait):
+            // a QueueTimeout store must take effect on parked consumes too.
+            const sim::Cycle timeout = queue_timeout_[q];
+            if (timeout == 0) {
                 sim::Signal wait = queue.dataSignal();
                 co_await wait;
-            }
-        } else {
-            const sim::Cycle deadline = wait_start + timeout;
-            while (!queue.headValid(needed) &&
-                   queue_abort_epoch_[q] == abort_epoch) {
-                if (eq_.now() >= deadline) {
+            } else {
+                if (eq_.now() >= wait_start + timeout) {
                     timed_out = true;
                     break;
                 }
@@ -684,7 +699,7 @@ Maple::consumePoll(unsigned q)
                          trace::Category::Maple);
     co_await pipeEnter(params_.shared_pipeline_hazard ? produce_free_
                                                       : consume_free_);
-    if (quiesced_) {
+    if (quiesced_[q]) {
         consume_status_[q] = queue_status_[q] =
             static_cast<std::uint8_t>(MapleStatus::Quiesced);
         co_return 0;
@@ -742,13 +757,13 @@ Maple::configLoad(unsigned q, LoadOp op, unsigned raw_op)
       case LoadOp::QueueStatus:
         co_return queue_status_[q];
       case LoadOp::ErrStatus:
-        co_return (err_.valid ? 1u : 0u) | (quiesced_ ? 2u : 0u) |
-            (std::uint64_t(err_.count & 0xff) << 8) |
-            (std::uint64_t(produce_inflight_ & 0xffff) << 16);
+        co_return (err_[q].valid ? 1u : 0u) | (quiesced_[q] ? 2u : 0u) |
+            (std::uint64_t(err_[q].count & 0xff) << 8) |
+            (std::uint64_t(produce_inflight_q_[q] & 0xffff) << 16);
       case LoadOp::ErrCause:
-        co_return static_cast<std::uint64_t>(err_.cause);
+        co_return static_cast<std::uint64_t>(err_[q].cause);
       case LoadOp::ErrAddr:
-        co_return err_.addr;
+        co_return err_[q].addr;
       case LoadOp::AcceptCount:
         co_return accept_count_[q];
       case LoadOp::ProduceStatus:
@@ -817,9 +832,14 @@ Maple::configStore(unsigned q, StoreOp op, std::uint64_t data)
         co_return;
       case StoreOp::QueueTimeout:
         queue_timeout_[q] = data;
+        // Wake the queue's parked waiters so the new bound takes effect on
+        // them: they re-read the register, re-check their predicate, and
+        // either re-park under the new deadline or time out. Without the
+        // kick, an op parked with bound 0 would never observe the re-arm.
+        queues_[q].pulseWaiters();
         co_return;
       case StoreOp::Quiesce:
-        quiesced_ = data != 0;
+        quiesced_[q] = data != 0 ? 1 : 0;
         co_return;
       case StoreOp::DeviceReset:
         deviceReset(q);

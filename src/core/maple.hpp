@@ -101,9 +101,11 @@ class Maple : public soc::MmioDevice {
     }
 
     /**
-     * Architectural error state latched on the first hard fault. Later hard
-     * faults only bump the count; the first cause/address stick until
-     * StoreOp::DeviceReset clears the latch.
+     * Architectural error state latched per queue on the first hard fault
+     * that hits it. Later hard faults on the same queue only bump the count;
+     * the first cause/address stick until StoreOp::DeviceReset on that queue
+     * clears the latch. Per-queue so resetting one queue cannot clear the
+     * latched fault of another (the driver's escalation check depends on it).
      */
     struct ErrorState {
         bool valid = false;
@@ -113,9 +115,9 @@ class Maple : public soc::MmioDevice {
         sim::Cycle latched_at = 0;   ///< cycle of the first latched fault
     };
 
-    const ErrorState &errorState() const { return err_; }
-    bool errorLatched() const { return err_.valid; }
-    bool quiesced() const { return quiesced_; }
+    const ErrorState &errorState(unsigned q) const { return err_.at(q); }
+    bool errorLatched(unsigned q) const { return err_.at(q).valid; }
+    bool quiesced(unsigned q) const { return quiesced_.at(q) != 0; }
 
     /**
      * Notification hook invoked on every hard-fault latch — the simulation
@@ -186,10 +188,10 @@ class Maple : public soc::MmioDevice {
     sim::Task<void> pipeEnter(sim::Cycle &next_free);
 
     /**
-     * Latch a hard fault into the architectural error registers (first
-     * cause/addr win, count always bumps) and fire the error callback.
+     * Latch a hard fault into queue @p q's architectural error registers
+     * (first cause/addr win, count always bumps) and fire the error callback.
      */
-    void latchError(fault::FaultClass cause, sim::Addr addr);
+    void latchError(unsigned q, fault::FaultClass cause, sim::Addr addr);
 
     /** StoreOp::DeviceReset backend: see the ISA comment for semantics. */
     void deviceReset(unsigned q);
@@ -243,8 +245,11 @@ class Maple : public soc::MmioDevice {
     std::vector<sim::Cycle> queue_timeout_;
 
     // Architectural error reporting + recovery control (see maple_isa.hpp).
-    ErrorState err_;
-    bool quiesced_ = false;
+    // Both are per queue: a recovery quiesces/resets only its own queue, so
+    // concurrent recoveries on different queues cannot void each other's
+    // quiesce window or clear each other's latched fault.
+    std::vector<ErrorState> err_;
+    std::vector<std::uint8_t> quiesced_;
     std::vector<std::uint64_t> accept_count_;
     ErrorCallback error_cb_;
 
@@ -261,8 +266,12 @@ class Maple : public soc::MmioDevice {
     sim::Cycle mmio_release_ = 0;
     unsigned mmio_pending_ = 0;
 
-    // Produce buffer backpressure.
+    // Produce buffer backpressure. The buffer (and its global count) is
+    // shared by all queues; the per-queue counts feed ErrStatus so a
+    // recovery drains only its own queue's in-flight produces instead of
+    // waiting on traffic to queues it did not quiesce.
     unsigned produce_inflight_ = 0;
+    std::vector<unsigned> produce_inflight_q_;
     sim::Signal produce_buffer_wait_;
 
     // Shared-pipeline ablation state.

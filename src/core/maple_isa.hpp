@@ -32,10 +32,12 @@ enum class LoadOp : std::uint8_t {
     QueueConfig = 5,   ///< debug: (capacity << 8) | entry_bytes
     ConsumePoll = 6,   ///< non-blocking consume: pops if ready, else status
     QueueStatus = 7,   ///< software-visible status of the last queue op
-    // Architectural error-reporting registers (read by the recovery driver):
+    // Architectural error-reporting registers (read by the recovery driver).
+    // All are per queue: the addressed queue's latch, quiesce and in-flight
+    // state, so concurrent recoveries on different queues stay independent.
     ErrStatus = 8,     ///< packed: bit0 error latched, bit1 quiesced,
                        ///< bits[15:8] error count, bits[31:16] produce ops
-                       ///< still in flight inside the device
+                       ///< still in flight on the queue
     ErrCause = 9,      ///< FaultClass of the first latched hard fault
     ErrAddr = 10,      ///< faulting address (vaddr/paddr) of that fault
     AcceptCount = 11,  ///< per-queue count of accepted produce-class ops;
@@ -66,15 +68,20 @@ enum class StoreOp : std::uint8_t {
     AmoAddend = 10,    ///< latch the per-queue addend for ProduceAmoAdd
     ProduceAmoAdd = 11,///< payload is a vaddr: fetch-and-add (addend reg),
                        ///< old value lands in the queue in program order
-    QueueTimeout = 12, ///< per-queue wait bound in cycles (0 = block forever)
+    QueueTimeout = 12, ///< per-queue wait bound in cycles (0 = block forever);
+                       ///< takes effect on already-parked ops too (the store
+                       ///< wakes them to re-read the bound)
     // Recovery control (driven by the OS-layer driver, os/maple_driver):
     Quiesce = 13,      ///< payload 1: stop accepting produce/consume-class
-                       ///< ops (they return MapleStatus::Quiesced); payload
-                       ///< 0: resume. The config pipeline stays live.
+                       ///< ops on the queue (they return
+                       ///< MapleStatus::Quiesced); payload 0: resume. Other
+                       ///< queues and the config pipeline stay live.
     DeviceReset = 14,  ///< per-queue reset: drop queue contents (geometry and
                        ///< binding preserved), abort parked waiters and
                        ///< in-flight fills, flush the device TLB, clear the
-                       ///< error latch. Counters and AcceptCount survive.
+                       ///< queue's error latch and overwrite its status
+                       ///< registers with Aborted (a stale pre-reset Ok must
+                       ///< not survive). Counters and AcceptCount survive.
 };
 
 /**

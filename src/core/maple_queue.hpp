@@ -192,6 +192,19 @@ class MapleQueue {
     /// @{
     sim::Signal spaceSignal() const { return space_; }
     sim::Signal dataSignal() const { return data_sig_; }
+
+    /**
+     * Spuriously wake every parked waiter so it re-evaluates its predicate.
+     * Used when queue state other than occupancy changes under a waiter
+     * (e.g. StoreOp::QueueTimeout re-arms the wait bound); waiters that find
+     * their condition unchanged simply re-park in the same FIFO order.
+     */
+    void
+    pulseWaiters()
+    {
+        wakeSpace();
+        wakeData();
+    }
     /// @}
 
   private:

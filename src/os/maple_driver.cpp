@@ -183,7 +183,13 @@ MapleDriver::consume(cpu::Core &core, unsigned q)
 
         switch (static_cast<core::MapleStatus>(st)) {
         case core::MapleStatus::Ok:
-            // The oldest journaled produce has now been delivered.
+            // The oldest journaled produce has now been delivered. Trusting
+            // Ok here is sound across concurrent recoveries because
+            // DeviceReset overwrites ConsumeStatus with Aborted: if a
+            // recovery ran between the Consume load and this status read,
+            // we see Aborted (discard v, retry — the replay regenerates the
+            // entry), never a stale pre-reset Ok that would pop the journal
+            // and let the replayed duplicate be delivered again.
             if (!qs.journal.empty())
                 qs.journal.pop_front();
             co_return v;
@@ -244,7 +250,20 @@ MapleDriver::recover(cpu::Core &core, unsigned q)
     co_await core.store(storeAddr(q, core::StoreOp::Quiesce), 1);
     co_await core.storeFence();
 
-    // 2. Drain: wait until no produce is in flight inside the device.
+    //    Re-arm the op timeout through the still-live config pipeline.
+    //    ensureTimeout armed it once, but an application INIT since then
+    //    zeroes the register behind the latch — and a produce parked with
+    //    bound 0 on this (wedged) queue would hold its in-flight count up
+    //    forever, deadlocking the drain below. The store also wakes parked
+    //    waiters so the new bound takes effect on them.
+    co_await core.store(storeAddr(q, core::StoreOp::QueueTimeout),
+                        cfg_.op_timeout);
+    co_await core.storeFence();
+    qs.timeout_set = true;
+
+    // 2. Drain: wait until no produce is in flight on this queue (ErrStatus
+    //    reports the per-queue count, so other queues' traffic — including a
+    //    concurrent recovery — cannot stall or unstick this one).
     for (;;) {
         std::uint64_t err =
             co_await core.load(loadAddr(q, core::LoadOp::ErrStatus));
@@ -348,8 +367,8 @@ MapleDriver::degrade(cpu::Core &core, unsigned q)
     stats_.counter("degraded_queues").inc();
 
     // Publish the degradation before releasing the device so no op can slip
-    // back onto the hardware path, then close the binding and unquiesce for
-    // the sake of the device's other queues.
+    // back onto the hardware path, then close the binding and lift this
+    // queue's quiesce so the device ends in a sane (if unused) state.
     qs.degraded = true;
     co_await core.store(storeAddr(q, core::StoreOp::Close), 0);
     co_await core.store(storeAddr(q, core::StoreOp::Quiesce), 0);

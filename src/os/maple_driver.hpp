@@ -5,13 +5,18 @@
  *
  * The device (core::Maple) gives the driver an architectural contract:
  *
- *  - hard faults latch sticky error registers (LoadOp::ErrStatus/ErrCause/
- *    ErrAddr) and poison the affected queue entries, which consumes surface
- *    as MapleStatus::Poisoned instead of data;
- *  - StoreOp::Quiesce stops the produce/consume pipelines (ops drop with
- *    MapleStatus::Quiesced) while the config pipeline stays live;
+ *  - hard faults latch sticky per-queue error registers (LoadOp::ErrStatus/
+ *    ErrCause/ErrAddr) and poison the affected queue entries, which consumes
+ *    surface as MapleStatus::Poisoned instead of data;
+ *  - StoreOp::Quiesce stops one queue's produce/consume ops (they drop with
+ *    MapleStatus::Quiesced) while the config pipeline stays live; quiesce,
+ *    error state and the in-flight count are all per queue, so recoveries
+ *    on different queues proceed independently;
  *  - StoreOp::DeviceReset drops one queue's contents, aborts parked waiters
- *    (MapleStatus::Aborted), flushes the device TLB and clears the latch;
+ *    (MapleStatus::Aborted), flushes the device TLB, clears the queue's
+ *    latch and overwrites its status registers with Aborted — a stale
+ *    pre-reset Ok can never be read back after a reset, which is what makes
+ *    the journal's exactly-once accounting sound under concurrent recovery;
  *  - LoadOp::AcceptCount survives the reset, so software can tell whether
  *    an in-flight produce landed before or after the reset.
  *

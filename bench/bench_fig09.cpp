@@ -12,8 +12,9 @@
 using namespace maple;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string grid_json = harness::applyGridJsonFlag(argc, argv);
     auto workloads = app::allWorkloads();
     app::RunConfig base;
     base.threads = 1;
@@ -23,6 +24,7 @@ main()
                                          app::Technique::SwPrefetch,
                                          app::Technique::LimaPrefetch};
     harness::Grid grid = harness::runGrid(workloads, techs, base);
+    harness::writeGridJson(grid_json, "fig09", grid);
     auto names = harness::workloadNames(workloads);
 
     printSpeedupTable(

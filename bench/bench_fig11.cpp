@@ -13,8 +13,9 @@
 using namespace maple;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string grid_json = harness::applyGridJsonFlag(argc, argv);
     auto workloads = app::allWorkloads();
     app::RunConfig base;
     base.threads = 1;
@@ -24,6 +25,7 @@ main()
                                          app::Technique::SwPrefetch,
                                          app::Technique::LimaPrefetch};
     harness::Grid grid = harness::runGrid(workloads, techs, base);
+    harness::writeGridJson(grid_json, "fig11", grid);
     auto names = harness::workloadNames(workloads);
 
     printMetricTable(

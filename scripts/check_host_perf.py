@@ -4,6 +4,8 @@
 Usage:
     check_host_perf.py <baseline.json> <current.json>... [max_regression]
                        [--limit name=ratio ...]
+                       [--history bench/BENCH_host_perf.history.json]
+                       [--markdown trajectory.md]
 
 Fails (exit 1) if any benchmark's events/second dropped by more than its
 limit. The default limit (max_regression, 5x) is generous and tolerates
@@ -17,8 +19,16 @@ Several current.json files (from repeated runs) may be given; each
 benchmark scores its best run. A tight limit on a single noisy --quick
 run would flake; a true regression slows every repetition, so best-of-N
 keeps the gate honest while screening out scheduler noise.
+
+--history appends this run's best-of-N numbers (plus commit and timestamp)
+to a JSON history file, and --markdown renders the perf trajectory -- one
+row per recorded run, one column per benchmark -- so simulator-throughput
+drift is visible across commits, not just against the single baseline.
 """
+import datetime
 import json
+import os
+import subprocess
 import sys
 
 
@@ -29,7 +39,7 @@ def load(path):
 
 
 def parse_args(argv):
-    positional, limits = [], {}
+    positional, limits, opts = [], {}, {"history": None, "markdown": None}
     it = iter(argv)
     for arg in it:
         if arg == "--limit" or arg.startswith("--limit="):
@@ -38,13 +48,74 @@ def parse_args(argv):
                 sys.exit("--limit expects name=ratio (e.g. maple_spmv=1.15)")
             name, ratio = spec.split("=", 1)
             limits[name] = float(ratio)
+        elif arg == "--history" or arg.startswith("--history="):
+            opts["history"] = (arg.split("=", 1)[1] if "=" in arg
+                               else next(it, None))
+            if not opts["history"]:
+                sys.exit("--history expects a path")
+        elif arg == "--markdown" or arg.startswith("--markdown="):
+            opts["markdown"] = (arg.split("=", 1)[1] if "=" in arg
+                                else next(it, None))
+            if not opts["markdown"]:
+                sys.exit("--markdown expects a path")
         else:
             positional.append(arg)
-    return positional, limits
+    return positional, limits, opts
+
+
+def git_commit():
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], capture_output=True,
+            text=True, check=True).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def append_history(path, current):
+    """Append this run's best-of-N numbers; atomic tmp+rename like the
+    campaign's own result files, so an interrupted CI job can't truncate
+    the history."""
+    entries = []
+    if os.path.exists(path):
+        with open(path) as f:
+            entries = json.load(f)["runs"]
+    entries.append({
+        "commit": git_commit(),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc)
+                     .isoformat(timespec="seconds"),
+        "benchmarks": {name: round(eps, 1)
+                       for name, eps in sorted(current.items())},
+    })
+    tmp = path + ".tmp"
+    with open(tmp, "w") as f:
+        json.dump({"runs": entries}, f, indent=2)
+        f.write("\n")
+    os.rename(tmp, path)
+    print(f"appended run {len(entries)} to {path}")
+    return entries
+
+
+def write_trajectory(path, entries):
+    """Perf-trajectory table: one row per recorded run, Mev/s per column."""
+    names = sorted({n for e in entries for n in e["benchmarks"]})
+    with open(path, "w") as f:
+        f.write("# Host-performance trajectory\n\n")
+        f.write("| run | commit | date | " + " | ".join(names) + " |\n")
+        f.write("|---|---|---|" + "---:|" * len(names) + "\n")
+        for i, e in enumerate(entries, 1):
+            cells = []
+            for n in names:
+                eps = e["benchmarks"].get(n)
+                cells.append(f"{eps / 1e6:.2f}M" if eps is not None else "-")
+            date = e["timestamp"].split("T")[0]
+            f.write(f"| {i} | {e['commit']} | {date} | "
+                    + " | ".join(cells) + " |\n")
+    print(f"wrote {path}")
 
 
 def main():
-    positional, limits = parse_args(sys.argv[1:])
+    positional, limits, opts = parse_args(sys.argv[1:])
     if len(positional) < 2:
         sys.exit(__doc__)
     baseline = load(positional[0])
@@ -61,6 +132,12 @@ def main():
     for path in current_paths:
         for name, eps in load(path).items():
             current[name] = max(current.get(name, 0.0), eps)
+    if opts["history"]:
+        entries = append_history(opts["history"], current)
+        if opts["markdown"]:
+            write_trajectory(opts["markdown"], entries)
+    elif opts["markdown"]:
+        sys.exit("--markdown requires --history (it renders the history)")
     unknown = set(limits) - set(baseline)
     if unknown:
         sys.exit("--limit names not in baseline: " + ", ".join(sorted(unknown)))

@@ -1,43 +1,49 @@
 #!/usr/bin/env python3
-"""Fault-injection matrix: run the quickstart under every fault class.
+"""Fault-injection matrix, run through the campaign service.
 
 Usage: run_fault_matrix.py [path/to/quickstart] [--timeout SECONDS]
                            [--markdown summary.md] [--only transient|recovery]
+                           [--campaign build/tools/maple_campaign]
+                           [--out build/fault-matrix] [--workers N]
+                           [--no-cache]
 
-For each transient fault class (noc, dram, tlb, mmio) and for the
-all-classes-at-once combination, runs the quickstart example with
-deterministic fault injection enabled at an aggressive rate and asserts that
-the run
+The matrix definition and the expectations are unchanged from the original
+standalone runner; what moved is the execution engine. Each row becomes an
+"exec" job in a campaign spec: the campaign runner provides the worker
+processes, crash isolation, per-row timeouts, the double-run determinism
+check (stdout compared byte-for-byte) and the content-hashed result cache
+(rows re-run only when the quickstart binary or the knobs change). This
+script builds the spec, invokes maple_campaign, and applies the
+per-expectation checks to the manifest and the captured stdout/stderr.
 
-  * terminates within the timeout (the liveness watchdog must convert any
+Transient fault classes (noc, dram, tlb, mmio, all) must
+
+  * terminate within the timeout (the liveness watchdog must convert any
     wedge into a typed error rather than a hang),
-  * exits 0 with a PASS result check (transient faults are performance bugs,
+  * exit 0 with a PASS result check (transient faults are performance bugs,
     never correctness bugs), and
-  * is bit-identical to a second run with the same seed (stdout compared
-    byte-for-byte; determinism is the whole point of the seeded streams).
+  * be bit-identical across two runs with the same seed.
 
-Also checks that a faults-disabled run matches a plain run (the injector
-must not perturb the simulation when every rate is zero).
+A faults-disabled row must match a plain run, and every injection row must
+*differ* from it (a row indistinguishable from the clean run tested nothing).
 
-Hard-fault recovery campaigns (DESIGN.md section 10) extend the matrix:
-each hard-fault class runs with the OS recovery driver on and off.
+Hard-fault recovery campaigns (DESIGN.md section 10):
 
-  * recovery on: the run must complete with PASS, perform at least one
-    recovery, and (for the low-budget row) degrade to the software queue
-    while still delivering exact results;
-  * recovery off: a hard fault wedges the queue, so the expected outcome is
-    the watchdog's typed liveness error -- a timeout (hang) still fails.
+  * recover  -- completes, PASS, >=1 recovery, 0 degraded queues
+  * degrade  -- completes, PASS, >=1 recovery, >=1 degraded queue
+  * wedge    -- hard fault without recovery: typed liveness error (nonzero
+                exit or signal, deadlock report on stderr), NOT a hang and
+                NOT a PASS
 
 --markdown writes a summary table of every campaign for CI artifacts.
 """
 import argparse
+import json
 import os
 import re
 import subprocess
 import sys
 
-# Aggressive-but-survivable rates: every class fires many times during the
-# ~400k-cycle quickstart without starving it past the watchdog stall bound.
 MATRIX = [
     ("none", {}),
     ("noc", {"MAPLE_FAULT_NOC": "0.01:64"}),
@@ -52,12 +58,6 @@ MATRIX = [
     }),
 ]
 
-# Hard-fault recovery campaigns: (name, knobs, expectation, timeout-or-None).
-# Expectations:
-#   recover  -- completes, PASS, >=1 recovery, 0 degraded queues
-#   degrade  -- completes, PASS, >=1 recovery, >=1 degraded queue
-#   wedge    -- hard fault without recovery: typed liveness error (nonzero
-#               exit, deadlock report on stderr), NOT a hang and NOT a PASS
 RECOVERY = "MAPLE_FAULT_RECOVERY"
 RECOVERY_MATRIX = [
     ("hard-spad/recover",
@@ -75,137 +75,131 @@ RECOVERY_MATRIX = [
 ]
 
 RECOVERY_LINE = re.compile(
-    rb"recovery: (\d+) recoveries, (\d+) replayed ops, "
-    rb"(\d+) poisoned responses, (\d+) degraded queues")
+    r"recovery: (\d+) recoveries, (\d+) replayed ops, "
+    r"(\d+) poisoned responses, (\d+) degraded queues")
 
 
-def run_once(binary, extra_env, timeout):
-    env = dict(os.environ)
-    # Scrub knobs from the ambient environment so rows are self-contained.
-    for k in list(env):
-        if k.startswith("MAPLE_FAULT") or k.startswith("MAPLE_WATCHDOG"):
-            del env[k]
-    env.update(extra_env)
-    return subprocess.run(
-        [binary], env=env, timeout=timeout,
-        stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+def job_name(row_name):
+    """Row names become job names and file names; no path separators."""
+    return row_name.replace("/", "_")
+
+
+def build_rows(only):
+    rows = []
+    if only != "recovery":
+        rows += [(name, knobs, "complete", None) for name, knobs in MATRIX]
+    if only != "transient":
+        rows += RECOVERY_MATRIX
+    return rows
+
+
+def build_spec(binary, rows, timeout, workers):
+    jobs = []
+    for name, knobs, _expect, row_timeout in rows:
+        env = dict(knobs)
+        if knobs:
+            env["MAPLE_FAULT_SEED"] = "42"
+        jobs.append({
+            "type": "exec",
+            "name": job_name(name),
+            "argv": [os.path.abspath(binary)],
+            "env": env,
+            "timeout_s": row_timeout or timeout,
+        })
+    return {"name": "fault-matrix", "workers": workers, "runs": 2,
+            "timeout_s": timeout, "jobs": jobs}
+
+
+def run_campaign(args, spec):
+    os.makedirs(args.out, exist_ok=True)
+    spec_path = os.path.join(args.out, "spec.json")
+    with open(spec_path, "w") as f:
+        json.dump(spec, f, indent=2)
+    # Scrub fault/watchdog knobs from the ambient environment so rows see
+    # exactly their own env.
+    env = {k: v for k, v in os.environ.items()
+           if not k.startswith("MAPLE_FAULT")
+           and not k.startswith("MAPLE_WATCHDOG")}
+    cmd = [args.campaign, "run", spec_path, "--out", args.out,
+           "--workers", str(spec["workers"])]
+    if args.no_cache:
+        cmd.append("--no-cache")
+    proc = subprocess.run(cmd, env=env)
+    if proc.returncode != 0:
+        sys.exit(f"maple_campaign failed with exit {proc.returncode}")
+    with open(os.path.join(args.out, "manifest.json")) as f:
+        manifest = json.load(f)
+    return {j["name"]: j for j in manifest["jobs"]}
+
+
+def job_output(out_dir, name, stream):
+    path = os.path.join(out_dir, "jobs", job_name(name) + "." + stream)
+    try:
+        with open(path, "rb") as f:
+            return f.read()
+    except FileNotFoundError:
+        return b""
 
 
 def parse_recovery(stdout):
-    m = RECOVERY_LINE.search(stdout)
+    m = RECOVERY_LINE.search(stdout.decode(errors="replace"))
     return tuple(int(g) for g in m.groups()) if m else None
 
 
-def transient_rows(binary, timeout, failures):
-    rows = []
-    baseline_stdout = None
-    for name, knobs in MATRIX:
-        env = dict(knobs)
-        if name != "none":
-            env["MAPLE_FAULT_SEED"] = "42"
-        try:
-            first = run_once(binary, env, timeout)
-            second = run_once(binary, env, timeout)
-        except subprocess.TimeoutExpired:
-            failures.append(f"{name}: timed out after {timeout}s "
-                            "(watchdog failed to fire?)")
-            print(f"FAIL {name:20} timeout")
-            rows.append((name, knobs, "complete", "timeout", None))
-            continue
+def check_row(name, expect, entry, stdout, stderr, baseline_stdout):
+    """Expectation checks; returns a list of problems (empty = row ok)."""
+    problems = []
+    status = entry["status"]
+    deterministic = entry.get("deterministic")
+    if status == "timeout":
+        return [f"timed out (watchdog failed to convert the wedge?)"]
+    if deterministic is False:
+        problems.append("same seed, different output (non-deterministic)")
 
-        problems = []
-        if first.returncode != 0:
-            tail = first.stderr.decode(errors="replace").strip().splitlines()
-            problems.append(f"exit {first.returncode}"
-                            + (f" ({tail[-1]})" if tail else ""))
-        if b"result check: PASS" not in first.stdout:
-            problems.append("result check not PASS")
-        if first.stdout != second.stdout:
-            problems.append("same seed, different stdout (non-deterministic)")
-        if name == "none":
-            baseline_stdout = first.stdout
-        elif baseline_stdout is not None and first.stdout == baseline_stdout:
-            # An injection run indistinguishable from the clean run means the
-            # class never actually fired -- the row tested nothing.
-            problems.append("identical to faults-disabled run (no faults fired)")
+    if expect == "wedge":
+        # Must die with the watchdog's typed report, quickly: a recorded
+        # failure or crash, never an "ok" completion.
+        if status not in ("failed", "crashed"):
+            problems.append("completed despite an unrecovered hard fault")
+        if b"deadlock" not in stderr:
+            problems.append("no deadlock report on stderr")
+        return problems
 
-        status = "FAIL" if problems else "ok"
-        print(f"{status:4} {name:20} " + ("; ".join(problems) or
-              first.stdout.decode(errors="replace").splitlines()[-1].strip()))
-        if problems:
-            failures.append(f"{name}: " + "; ".join(problems))
-        rows.append((name, knobs, "complete",
-                     "FAIL" if problems else "ok", parse_recovery(first.stdout)))
-    return rows
+    completed = status in ("ok", "cached")
+    if not completed and entry.get("exit_code", 0) != 0:
+        tail = stderr.decode(errors="replace").strip().splitlines()
+        problems.append(f"exit {entry['exit_code']}"
+                        + (f" ({tail[-1]})" if tail else ""))
+    elif not completed:
+        problems.append(f"status {status}: {entry.get('diagnostics', '')}")
+    if b"result check: PASS" not in stdout:
+        problems.append("result check not PASS")
+    if name != "none" and baseline_stdout is not None \
+            and stdout == baseline_stdout:
+        problems.append("identical to faults-disabled run (no faults fired)")
 
-
-def recovery_rows(binary, default_timeout, failures):
-    rows = []
-    for name, knobs, expect, row_timeout in RECOVERY_MATRIX:
-        env = dict(knobs)
-        env["MAPLE_FAULT_SEED"] = "42"
-        timeout = row_timeout or default_timeout
-        try:
-            first = run_once(binary, env, timeout)
-            second = run_once(binary, env, timeout)
-        except subprocess.TimeoutExpired:
-            failures.append(f"{name}: timed out after {timeout}s "
-                            "(hung instead of failing typed)")
-            print(f"FAIL {name:20} timeout")
-            rows.append((name, knobs, expect, "timeout", None))
-            continue
-
-        problems = []
-        stats = parse_recovery(first.stdout)
-        if expect == "wedge":
-            # The run must die with the watchdog's typed report, quickly.
-            if first.returncode == 0:
-                problems.append("completed despite an unrecovered hard fault")
-            if b"deadlock" not in first.stderr:
-                problems.append("no deadlock report on stderr")
-            if first.returncode != second.returncode:
-                problems.append("same seed, different exit (non-deterministic)")
+    stats = parse_recovery(stdout)
+    if expect in ("recover", "degrade"):
+        if stats is None:
+            problems.append("no recovery summary line in stdout")
         else:
-            if first.returncode != 0:
-                tail = first.stderr.decode(errors="replace").strip().splitlines()
-                problems.append(f"exit {first.returncode}"
-                                + (f" ({tail[-1]})" if tail else ""))
-            if b"result check: PASS" not in first.stdout:
-                problems.append("result check not PASS")
-            if first.stdout != second.stdout:
-                problems.append("same seed, different stdout (non-deterministic)")
-            if stats is None:
-                problems.append("no recovery summary line in stdout")
-            else:
-                recoveries, _replayed, _poisoned, degraded = stats
-                if recoveries == 0:
-                    problems.append("no recoveries fired (rate too low?)")
-                if expect == "degrade" and degraded == 0:
-                    problems.append("expected >=1 degraded queue")
-                if expect == "recover" and degraded != 0:
-                    problems.append("degraded despite a generous budget")
-
-        status = "FAIL" if problems else "ok"
-        detail = "; ".join(problems)
-        if not detail:
-            detail = (f"recoveries={stats[0]} replayed={stats[1]} "
-                      f"degraded={stats[3]}" if stats else
-                      "typed liveness error, as expected")
-        print(f"{status:4} {name:20} {detail}")
-        if problems:
-            failures.append(f"{name}: " + "; ".join(problems))
-        rows.append((name, knobs, expect,
-                     "FAIL" if problems else "ok", stats))
-    return rows
+            recoveries, _replayed, _poisoned, degraded = stats
+            if recoveries == 0:
+                problems.append("no recoveries fired (rate too low?)")
+            if expect == "degrade" and degraded == 0:
+                problems.append("expected >=1 degraded queue")
+            if expect == "recover" and degraded != 0:
+                problems.append("degraded despite a generous budget")
+    return problems
 
 
-def write_markdown(path, rows):
+def write_markdown(path, table):
     with open(path, "w") as f:
         f.write("# Fault-injection & recovery matrix\n\n")
         f.write("| campaign | knobs | expectation | status | recoveries "
                 "| replayed | poisoned | degraded |\n")
         f.write("|---|---|---|---|---|---|---|---|\n")
-        for name, knobs, expect, status, stats in rows:
+        for name, knobs, expect, status, stats in table:
             knob_str = " ".join(
                 f"{k.removeprefix('MAPLE_FAULT_').lower()}={v}"
                 for k, v in sorted(knobs.items())) or "(none)"
@@ -223,17 +217,48 @@ def main():
     ap.add_argument("--markdown", help="write a summary table for CI artifacts")
     ap.add_argument("--only", choices=["transient", "recovery"],
                     help="run just one half of the matrix")
+    ap.add_argument("--campaign", default="build/tools/maple_campaign",
+                    help="path to the campaign runner binary")
+    ap.add_argument("--out", default="build/fault-matrix",
+                    help="campaign output directory (manifest, cache, logs)")
+    ap.add_argument("--workers", type=int, default=2)
+    ap.add_argument("--no-cache", action="store_true",
+                    help="always re-run rows even when cached")
     args = ap.parse_args()
 
+    rows = build_rows(args.only)
+    spec = build_spec(args.binary, rows, args.timeout, args.workers)
+    entries = run_campaign(args, spec)
+
+    baseline_stdout = None
+    if any(name == "none" for name, *_ in rows):
+        baseline_stdout = job_output(args.out, "none", "stdout")
+
     failures = []
-    rows = []
-    if args.only != "recovery":
-        rows += transient_rows(args.binary, args.timeout, failures)
-    if args.only != "transient":
-        rows += recovery_rows(args.binary, args.timeout, failures)
+    table = []
+    for name, knobs, expect, _row_timeout in rows:
+        entry = entries[job_name(name)]
+        stdout = job_output(args.out, name, "stdout")
+        stderr = job_output(args.out, name, "stderr")
+        problems = check_row(name, expect, entry, stdout, stderr,
+                             baseline_stdout)
+        stats = parse_recovery(stdout)
+        status = "FAIL" if problems else "ok"
+        detail = "; ".join(problems)
+        if not detail:
+            cached = " (cached)" if entry.get("cache_hit") else ""
+            detail = (f"recoveries={stats[0]} replayed={stats[1]} "
+                      f"degraded={stats[3]}{cached}" if stats else
+                      (stdout.decode(errors="replace").splitlines()[-1].strip()
+                       if stdout.strip() else "typed liveness error")
+                      + cached)
+        print(f"{status:4} {name:20} {detail}")
+        if problems:
+            failures.append(f"{name}: " + "; ".join(problems))
+        table.append((name, knobs, expect, status, stats))
 
     if args.markdown:
-        write_markdown(args.markdown, rows)
+        write_markdown(args.markdown, table)
     if failures:
         sys.exit("fault matrix failed:\n" + "\n".join(failures))
     print("fault matrix ok")

@@ -1,0 +1,103 @@
+#include "campaign/cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "ckpt/snapshot.hpp"
+
+namespace maple::campaign {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t
+fnvBytes(std::uint64_t h, const void *data, size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+std::uint64_t
+fnvStr(std::uint64_t h, const std::string &s)
+{
+    return fnvBytes(h, s.data(), s.size());
+}
+
+/** Content hash of the running binary; the "code version" of a result. */
+std::uint64_t
+selfExeHash()
+{
+    static const std::uint64_t h = fileContentHash("/proc/self/exe");
+    return h;
+}
+
+}  // namespace
+
+std::uint64_t
+fileContentHash(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f.good())
+        return 0;
+    std::uint64_t h = kFnvOffset;
+    char buf[1 << 16];
+    while (f.read(buf, sizeof buf) || f.gcount() > 0)
+        h = fnvBytes(h, buf, static_cast<size_t>(f.gcount()));
+    return h;
+}
+
+ResultCache::ResultCache(std::string dir, bool enabled)
+    : dir_(std::move(dir)), enabled_(enabled)
+{
+}
+
+std::string
+ResultCache::keyFor(const Job &job) const
+{
+    std::uint64_t h = kFnvOffset;
+    h = fnvBytes(h, &kCacheVersion, sizeof kCacheVersion);
+    h = fnvBytes(h, &ckpt::kFormatVersion, sizeof ckpt::kFormatVersion);
+    h = fnvStr(h, job.type);
+    h = fnvStr(h, json::dump(job.spec));
+    std::uint64_t self = selfExeHash();
+    h = fnvBytes(h, &self, sizeof self);
+    if (job.type == "exec") {
+        const std::string bin = job.spec.get("argv")->asArray()[0].asString();
+        std::uint64_t bh = fileContentHash(bin);
+        h = fnvBytes(h, &bh, sizeof bh);
+    }
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx", (unsigned long long)h);
+    return hex;
+}
+
+std::optional<json::Value>
+ResultCache::load(const std::string &key) const
+{
+    if (!enabled_)
+        return std::nullopt;
+    const std::string path = dir_ + "/" + key + ".json";
+    if (!std::filesystem::exists(path))
+        return std::nullopt;
+    try {
+        return json::parseFile(path);
+    } catch (const json::JsonError &) {
+        return std::nullopt;  // torn/corrupt entry: treat as a miss
+    }
+}
+
+void
+ResultCache::store(const std::string &key, const json::Value &result) const
+{
+    std::filesystem::create_directories(dir_);
+    json::writeFile(dir_ + "/" + key + ".json", result);
+}
+
+}  // namespace maple::campaign

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Content-hashed result cache for campaign jobs.
+ *
+ * A job's cache key hashes everything its result can depend on:
+ *  - the canonical JSON of the job spec (config + seed + variant axes);
+ *  - the cache format version and the snapshot format version;
+ *  - the running campaign binary's content (code version: any rebuild of
+ *    the simulator invalidates scenario results);
+ *  - for exec jobs, the content of the executed binary.
+ *
+ * Entries are one JSON file per key, written atomically (tmp + rename), so
+ * concurrent workers and interrupted campaigns never leave torn entries --
+ * at worst a result is recomputed.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "campaign/spec.hpp"
+
+namespace maple::campaign {
+
+/** Bump when the cached-result schema or key derivation changes. */
+constexpr std::uint32_t kCacheVersion = 1;
+
+class ResultCache {
+  public:
+    /** @p dir is created on first store; @p enabled=false disables lookups. */
+    ResultCache(std::string dir, bool enabled);
+
+    /** Stable hex cache key for @p job (see file comment for inputs). */
+    std::string keyFor(const Job &job) const;
+
+    /** Cached result document, or nullopt on miss / disabled / parse error. */
+    std::optional<json::Value> load(const std::string &key) const;
+
+    /** Atomically persist @p result under @p key. */
+    void store(const std::string &key, const json::Value &result) const;
+
+    bool enabled() const { return enabled_; }
+    const std::string &dir() const { return dir_; }
+
+  private:
+    std::string dir_;
+    bool enabled_;
+};
+
+/** FNV-1a over a file's bytes (0 when unreadable). Exposed for tests. */
+std::uint64_t fileContentHash(const std::string &path);
+
+}  // namespace maple::campaign

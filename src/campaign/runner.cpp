@@ -1,0 +1,545 @@
+#include "campaign/runner.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "campaign/cache.hpp"
+#include "ckpt/snapshot.hpp"
+#include "harness/scenario.hpp"
+#include "soc/soc.hpp"
+
+namespace maple::campaign {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+/** Environment variable naming a job that must crash (CI fault injection). */
+constexpr const char *kCrashJobEnv = "MAPLE_CAMPAIGN_CRASH_JOB";
+
+struct JobState {
+    const Job *job = nullptr;
+    std::string cache_key;
+    std::string warm_image;  ///< scenario jobs: warm-image path ("" = cold)
+    double timeout_s = 0;
+
+    pid_t pid = -1;
+    unsigned phase = 0;  ///< exec jobs run once per phase (determinism)
+    Clock::time_point started;
+    bool timed_out = false;
+    int first_exit = 0;  ///< exec: phase-0 exit code
+
+    std::string status;  ///< ok | failed | crashed | timeout | cached
+    int exit_code = 0;
+    int term_signal = 0;
+    double host_seconds = 0.0;
+    bool cache_hit = false;
+    std::optional<bool> deterministic;
+    std::string diagnostics;
+    json::Value result;  ///< the job's result document (null if none)
+};
+
+std::string
+readTail(const std::string &path, size_t max_bytes = 2000)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f.good())
+        return "";
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    std::string s = ss.str();
+    if (s.size() > max_bytes)
+        s = "..." + s.substr(s.size() - max_bytes);
+    return s;
+}
+
+std::string
+readAll(const std::string &path, size_t max_bytes = 1 << 16)
+{
+    std::ifstream f(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    std::string s = ss.str();
+    if (s.size() > max_bytes)
+        s.resize(max_bytes);
+    return s;
+}
+
+void
+writeText(const std::string &path, const std::string &text)
+{
+    std::ofstream f(path, std::ios::trunc | std::ios::binary);
+    f << text;
+}
+
+void
+redirectTo(const std::string &out_path, const std::string &err_path)
+{
+    int out = ::open(out_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    int err = ::open(err_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (out >= 0)
+        ::dup2(out, STDOUT_FILENO);
+    if (err >= 0)
+        ::dup2(err, STDERR_FILENO);
+    if (out >= 0)
+        ::close(out);
+    if (err >= 0)
+        ::close(err);
+}
+
+void
+maybeInjectCrash(const std::string &job_name)
+{
+    const char *crash = std::getenv(kCrashJobEnv);
+    if (crash && job_name == crash) {
+        std::fprintf(stderr, "injected crash (%s=%s)\n", kCrashJobEnv, crash);
+        ::raise(SIGSEGV);
+    }
+}
+
+/** One scenario execution: restore the warm image, or warm from cold. */
+struct ScenarioRun {
+    json::Value result;
+    std::uint64_t executed_cycles = 0;
+    bool restored = false;
+};
+
+ScenarioRun
+runScenarioOnce(const harness::ScenarioSpec &ss, const std::string &warm_image)
+{
+    if (!warm_image.empty()) {
+        std::ifstream f(warm_image, std::ios::binary);
+        if (f.good()) {
+            soc::Soc soc(harness::scenarioSocConfig(ss));
+            bool restored = true;
+            try {
+                soc.restore(f);
+            } catch (const ckpt::SnapshotError &e) {
+                std::fprintf(stderr,
+                             "warm-image restore failed (%s); cold run\n",
+                             e.what());
+                restored = false;
+            }
+            if (restored) {
+                const sim::Cycle base = soc.eq().now();
+                harness::ScenarioResult r = harness::measureScenario(soc, ss);
+                return {harness::scenarioResultJson(r), r.end_cycle - base,
+                        true};
+            }
+        }
+    }
+    soc::Soc soc(harness::scenarioSocConfig(ss));
+    harness::warmScenario(soc, ss);
+    harness::ScenarioResult r = harness::measureScenario(soc, ss);
+    return {harness::scenarioResultJson(r), r.end_cycle, false};
+}
+
+/**
+ * Scenario-job child body. Exit codes: 0 ok, 2 exception, 3 invalid result,
+ * 4 nondeterministic.
+ */
+[[noreturn]] void
+scenarioChild(const JobState &st, unsigned runs, const ResultCache &cache,
+              const std::string &result_path)
+{
+    maybeInjectCrash(st.job->name);
+    int code = 0;
+    try {
+        harness::ScenarioSpec ss = harness::parseScenarioSpec(st.job->spec);
+        ScenarioRun r1 = runScenarioOnce(ss, st.warm_image);
+        std::uint64_t executed = r1.executed_cycles;
+        std::optional<bool> deterministic;
+        if (runs >= 2) {
+            ScenarioRun r2 = runScenarioOnce(ss, st.warm_image);
+            executed += r2.executed_cycles;
+            deterministic = json::dump(r1.result) == json::dump(r2.result);
+        }
+
+        json::Object doc;
+        doc.emplace_back("job", st.job->spec);
+        doc.emplace_back("cache_key", json::Value(st.cache_key));
+        doc.emplace_back("result", r1.result);
+        doc.emplace_back("deterministic",
+                         deterministic ? json::Value(*deterministic)
+                                       : json::Value(nullptr));
+        doc.emplace_back("simulated_cycles", json::Value(executed));
+        doc.emplace_back("restored_from_warm_image", json::Value(r1.restored));
+        json::Value v(std::move(doc));
+        json::writeFile(result_path, v);
+
+        const bool valid = r1.result.getBool("valid", false);
+        if (!valid)
+            code = 3;
+        else if (deterministic && !*deterministic)
+            code = 4;
+        else
+            cache.store(st.cache_key, v);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "job failed: %s\n", e.what());
+        code = 2;
+    }
+    std::fflush(nullptr);
+    ::_exit(code);
+}
+
+/** Exec-job child body: apply env, redirect, exec the argv. */
+[[noreturn]] void
+execChild(const JobState &st, const std::string &out_path,
+          const std::string &err_path)
+{
+    redirectTo(out_path, err_path);
+    maybeInjectCrash(st.job->name);
+    if (const json::Value *env = st.job->spec.get("env")) {
+        for (const auto &[k, v] : env->asObject()) {
+            std::string val = v.isString() ? v.asString() : json::dump(v);
+            ::setenv(k.c_str(), val.c_str(), 1);
+        }
+    }
+    const json::Array &argv_json = st.job->spec.get("argv")->asArray();
+    std::vector<std::string> argv_s;
+    argv_s.reserve(argv_json.size());
+    for (const json::Value &a : argv_json)
+        argv_s.push_back(a.isString() ? a.asString() : json::dump(a));
+    std::vector<char *> argv;
+    argv.reserve(argv_s.size() + 1);
+    for (std::string &a : argv_s)
+        argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execvp(argv[0], argv.data());
+    std::fprintf(stderr, "exec %s: %s\n", argv[0], std::strerror(errno));
+    ::_exit(127);
+}
+
+std::string
+hex64(std::uint64_t h)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx", (unsigned long long)h);
+    return buf;
+}
+
+std::uint64_t
+fnvString(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+}  // namespace
+
+int
+runCampaign(const CampaignSpec &spec, const RunnerOptions &opts)
+{
+    const std::string out = opts.out_dir;
+    const std::string jobs_dir = out + "/jobs";
+    const std::string warm_dir = out + "/warm";
+    fs::create_directories(jobs_dir);
+    fs::create_directories(warm_dir);
+    ResultCache cache(out + "/cache", opts.use_cache);
+    const unsigned workers = opts.workers ? opts.workers : spec.workers;
+
+    std::vector<JobState> states(spec.jobs.size());
+    unsigned warmups_run = 0;
+
+    // Cache probe, then warm-image preparation for the jobs that will run.
+    // Warm images are keyed by the scenario's warm key: every variant of one
+    // dataset/SoC shape shares a single warm simulation.
+    std::map<std::string, std::string> warm_paths;
+    for (size_t i = 0; i < spec.jobs.size(); ++i) {
+        JobState &st = states[i];
+        st.job = &spec.jobs[i];
+        st.cache_key = cache.keyFor(*st.job);
+        st.timeout_s = st.job->spec.getDouble("timeout_s", spec.timeout_s);
+        if (auto hit = cache.load(st.cache_key)) {
+            st.status = "cached";
+            st.cache_hit = true;
+            st.result = std::move(*hit);
+            json::writeFile(jobs_dir + "/" + st.job->name + ".json",
+                            st.result);
+            if (st.job->type == "exec") {
+                // Re-materialize captured output for downstream scripts.
+                writeText(jobs_dir + "/" + st.job->name + ".stdout",
+                          st.result.getString("stdout", ""));
+                writeText(jobs_dir + "/" + st.job->name + ".stderr",
+                          st.result.getString("stderr", ""));
+            }
+            if (const json::Value *d = st.result.get("deterministic"))
+                if (d->isBool())
+                    st.deterministic = d->asBool();
+            continue;
+        }
+        if (st.job->type != "scenario")
+            continue;
+        harness::ScenarioSpec ss = harness::parseScenarioSpec(st.job->spec);
+        const std::string wk = json::dump(harness::scenarioWarmKey(ss));
+        auto it = warm_paths.find(wk);
+        if (it == warm_paths.end()) {
+            const std::string path =
+                warm_dir + "/" + hex64(fnvString(wk)) + ".img";
+            soc::Soc soc(harness::scenarioSocConfig(ss));
+            harness::warmScenario(soc, ss);
+            std::ofstream f(path, std::ios::binary | std::ios::trunc);
+            soc.snapshot(f);
+            ++warmups_run;
+            it = warm_paths.emplace(wk, path).first;
+        }
+        st.warm_image = it->second;
+    }
+
+    // Schedule: fork up to `workers` children, poll with WNOHANG, enforce
+    // per-job deadlines. Exec jobs with runs=2 get a second phase (a second
+    // process) and a byte-compare of the captured stdout.
+    std::vector<size_t> pending;
+    for (size_t i = 0; i < states.size(); ++i)
+        if (states[i].status.empty())
+            pending.push_back(i);
+    std::vector<size_t> running;
+
+    auto stdoutPath = [&](const JobState &st, unsigned phase) {
+        std::string p = jobs_dir + "/" + st.job->name + ".stdout";
+        return phase ? p + "." + std::to_string(phase) : p;
+    };
+    auto stderrPath = [&](const JobState &st, unsigned phase) {
+        std::string p = jobs_dir + "/" + st.job->name + ".stderr";
+        return phase ? p + "." + std::to_string(phase) : p;
+    };
+
+    auto launch = [&](size_t i) {
+        JobState &st = states[i];
+        st.started = Clock::now();
+        pid_t pid = ::fork();
+        MAPLE_CHECK(pid >= 0, sim::FatalError, "fork failed: %s",
+                    std::strerror(errno));
+        if (pid == 0) {
+            if (st.job->type == "scenario") {
+                redirectTo(stdoutPath(st, 0), stderrPath(st, 0));
+                scenarioChild(st, spec.runs, cache,
+                              jobs_dir + "/" + st.job->name + ".json");
+            }
+            execChild(st, stdoutPath(st, st.phase), stderrPath(st, st.phase));
+        }
+        st.pid = pid;
+        running.push_back(i);
+    };
+
+    auto finishExec = [&](JobState &st) {
+        const auto expect = st.job->spec.getInt("expect_exit", 0);
+        json::Object doc;
+        doc.emplace_back("job", st.job->spec);
+        doc.emplace_back("cache_key", json::Value(st.cache_key));
+        doc.emplace_back("exit_code", json::Value(st.exit_code));
+        doc.emplace_back("deterministic",
+                         st.deterministic ? json::Value(*st.deterministic)
+                                          : json::Value(nullptr));
+        doc.emplace_back("stdout",
+                         json::Value(readAll(stdoutPath(st, 0))));
+        doc.emplace_back("stderr",
+                         json::Value(readAll(stderrPath(st, 0))));
+        st.result = json::Value(std::move(doc));
+        json::writeFile(jobs_dir + "/" + st.job->name + ".json", st.result);
+        if (st.status.empty())
+            st.status = st.exit_code == expect ? "ok" : "failed";
+        if (st.status == "ok" && !(st.deterministic && !*st.deterministic))
+            cache.store(st.cache_key, st.result);
+    };
+
+    auto reap = [&](size_t i, int wstatus) {
+        JobState &st = states[i];
+        st.pid = -1;
+        st.host_seconds += std::chrono::duration<double>(Clock::now() -
+                                                         st.started)
+                               .count();
+        if (st.timed_out) {
+            st.status = "timeout";
+            st.diagnostics = "killed after exceeding the per-job timeout";
+        } else if (WIFSIGNALED(wstatus)) {
+            st.status = "crashed";
+            st.term_signal = WTERMSIG(wstatus);
+            st.diagnostics = "terminated by signal " +
+                             std::to_string(st.term_signal) + "; stderr: " +
+                             readTail(stderrPath(st, st.phase));
+        } else {
+            st.exit_code = WEXITSTATUS(wstatus);
+        }
+
+        if (st.job->type == "scenario") {
+            if (st.status.empty()) {
+                switch (st.exit_code) {
+                case 0: st.status = "ok"; break;
+                case 3:
+                    st.status = "failed";
+                    st.diagnostics = "result failed validation";
+                    break;
+                case 4:
+                    st.status = "failed";
+                    st.diagnostics = "nondeterministic across repeat runs";
+                    break;
+                default:
+                    st.status = "failed";
+                    st.diagnostics = "exit code " +
+                                     std::to_string(st.exit_code) +
+                                     "; stderr: " +
+                                     readTail(stderrPath(st, 0));
+                }
+            }
+            const std::string rp = jobs_dir + "/" + st.job->name + ".json";
+            if (fs::exists(rp)) {
+                try {
+                    st.result = json::parseFile(rp);
+                    if (const json::Value *d = st.result.get("deterministic"))
+                        if (d->isBool())
+                            st.deterministic = d->asBool();
+                } catch (const json::JsonError &) {
+                }
+            }
+            return;
+        }
+
+        // Exec job: maybe run phase 2 for the determinism double-run.
+        if (st.status.empty() && spec.runs >= 2 && st.phase == 0) {
+            st.first_exit = st.exit_code;
+            st.phase = 1;
+            launch(i);
+            return;
+        }
+        if (st.phase == 1 && st.status.empty())
+            st.deterministic = st.exit_code == st.first_exit &&
+                               readAll(stdoutPath(st, 0)) ==
+                                   readAll(stdoutPath(st, 1));
+        finishExec(st);
+    };
+
+    while (!pending.empty() || !running.empty()) {
+        while (!pending.empty() && running.size() < workers) {
+            size_t i = pending.back();
+            pending.pop_back();
+            launch(i);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        for (size_t r = 0; r < running.size();) {
+            size_t i = running[r];
+            JobState &st = states[i];
+            int wstatus = 0;
+            pid_t got = ::waitpid(st.pid, &wstatus, WNOHANG);
+            if (got == st.pid) {
+                running.erase(running.begin() + static_cast<long>(r));
+                reap(i, wstatus);  // may relaunch (exec phase 2)
+                continue;
+            }
+            const double elapsed =
+                std::chrono::duration<double>(Clock::now() - st.started)
+                    .count();
+            if (!st.timed_out && elapsed > st.timeout_s) {
+                st.timed_out = true;
+                ::kill(st.pid, SIGKILL);
+            }
+            ++r;
+        }
+    }
+
+    // Manifest + report.
+    unsigned ok = 0, failed = 0, cached = 0;
+    std::uint64_t simulated_cycles = 0;
+    json::Array rows;
+    for (const JobState &st : states) {
+        if (st.status == "ok")
+            ++ok;
+        else if (st.status == "cached")
+            ++cached;
+        else
+            ++failed;
+        std::uint64_t cycles = 0;
+        if (!st.cache_hit && !st.result.isNull())
+            cycles = static_cast<std::uint64_t>(
+                st.result.getInt("simulated_cycles", 0));
+        simulated_cycles += cycles;
+
+        json::Object row;
+        row.emplace_back("name", json::Value(st.job->name));
+        row.emplace_back("type", json::Value(st.job->type));
+        row.emplace_back("status", json::Value(st.status));
+        row.emplace_back("cache_key", json::Value(st.cache_key));
+        row.emplace_back("cache_hit", json::Value(st.cache_hit));
+        row.emplace_back("exit_code", json::Value(st.exit_code));
+        row.emplace_back("signal", json::Value(st.term_signal));
+        row.emplace_back("host_seconds", json::Value(st.host_seconds));
+        row.emplace_back("simulated_cycles", json::Value(cycles));
+        row.emplace_back("deterministic",
+                         st.deterministic ? json::Value(*st.deterministic)
+                                          : json::Value(nullptr));
+        row.emplace_back("result",
+                         json::Value("jobs/" + st.job->name + ".json"));
+        row.emplace_back("diagnostics", json::Value(st.diagnostics));
+        rows.push_back(json::Value(std::move(row)));
+    }
+
+    json::Object totals;
+    totals.emplace_back("jobs", json::Value(states.size()));
+    totals.emplace_back("ok", json::Value(ok));
+    totals.emplace_back("failed", json::Value(failed));
+    totals.emplace_back("cached", json::Value(cached));
+    totals.emplace_back("warmups_run", json::Value(warmups_run));
+    totals.emplace_back("cache_hits", json::Value(cached));
+    totals.emplace_back("simulated_cycles", json::Value(simulated_cycles));
+
+    json::Object manifest;
+    manifest.emplace_back("campaign", json::Value(spec.name));
+    manifest.emplace_back("workers", json::Value(workers));
+    manifest.emplace_back("runs", json::Value(spec.runs));
+    manifest.emplace_back("totals", json::Value(std::move(totals)));
+    manifest.emplace_back("jobs", json::Value(std::move(rows)));
+    json::writeFile(out + "/manifest.json", json::Value(std::move(manifest)));
+
+    {
+        std::ofstream md(out + "/report.md", std::ios::trunc);
+        md << "# Campaign: " << spec.name << "\n\n"
+           << "- jobs: " << states.size() << " (ok " << ok << ", cached "
+           << cached << ", failed " << failed << ")\n"
+           << "- warm simulations: " << warmups_run << "\n"
+           << "- simulated cycles: " << simulated_cycles << "\n\n"
+           << "| job | status | cycles | valid | deterministic | cache |\n"
+           << "|---|---|---:|---|---|---|\n";
+        for (const JobState &st : states) {
+            std::string valid = "-";
+            std::uint64_t cycles = 0;
+            if (const json::Value *r = st.result.get("result")) {
+                valid = r->getBool("valid", false) ? "yes" : "NO";
+                cycles = static_cast<std::uint64_t>(r->getInt("cycles", 0));
+            }
+            md << "| " << st.job->name << " | " << st.status << " | "
+               << cycles << " | " << valid << " | "
+               << (st.deterministic ? (*st.deterministic ? "yes" : "NO")
+                                    : "-")
+               << " | " << (st.cache_hit ? "hit" : "miss") << " |\n";
+        }
+    }
+
+    std::fprintf(stderr,
+                 "campaign %s: %zu jobs, %u ok, %u cached, %u failed "
+                 "(%u warmups, %llu simulated cycles) -> %s\n",
+                 spec.name.c_str(), states.size(), ok, cached, failed,
+                 warmups_run, (unsigned long long)simulated_cycles,
+                 out.c_str());
+    return failed > 0 && opts.strict ? 1 : 0;
+}
+
+}  // namespace maple::campaign

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Crash-isolated campaign runner.
+ *
+ * The parent process never simulates a measured job: every job runs in a
+ * forked child (scenario jobs) or a forked-and-exec'd binary (exec jobs),
+ * so a segfault, FatalError abort or runaway loop in one job becomes a
+ * recorded failure with diagnostics -- never a dead campaign. Up to
+ * `workers` children run concurrently; the parent polls them with
+ * waitpid(WNOHANG), enforcing per-job wall-clock timeouts.
+ *
+ * Scenario jobs fan out from warm images: the parent warms one SoC per
+ * distinct warm key (dataset + SoC structure), snapshots it once, and each
+ * variant child restores the image and runs only the measured phase. A child
+ * that cannot restore (missing/mismatched image) falls back to a cold
+ * warm+measure run -- correctness never depends on the image, only speed.
+ *
+ * Fault injection for CI: when the environment variable
+ * MAPLE_CAMPAIGN_CRASH_JOB names a job, that child raises SIGSEGV instead
+ * of running -- the campaign must complete with exactly that job marked
+ * "crashed".
+ */
+#pragma once
+
+#include <string>
+
+#include "campaign/spec.hpp"
+
+namespace maple::campaign {
+
+struct RunnerOptions {
+    std::string out_dir = "campaign-out";
+    unsigned workers = 0;    ///< 0 = take the spec's value
+    bool use_cache = true;
+    bool strict = false;     ///< non-zero exit when any job fails
+};
+
+/**
+ * Run the campaign. Writes per-job results under <out>/jobs/, the cache
+ * under <out>/cache/, warm images under <out>/warm/, plus <out>/manifest.json
+ * and <out>/report.md.
+ *
+ * @return process exit code: 0 when the campaign completed (even with failed
+ * jobs, unless opts.strict), 1 on campaign-level errors.
+ */
+int runCampaign(const CampaignSpec &spec, const RunnerOptions &opts);
+
+}  // namespace maple::campaign

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Campaign specification: a JSON document describing a set of jobs to run.
+ *
+ * Two job types:
+ *  - "scenario": an in-process simulation (harness/scenario.hpp), the type
+ *    that supports warm-image fan-out and double-run determinism checks;
+ *  - "exec": an arbitrary child binary (argv + env), the type the fault
+ *    matrix runs through the campaign service.
+ *
+ * Jobs come from a cartesian expansion -- "base" (a scenario job object)
+ * crossed with "axes" (member name -> list of values) and "seeds" -- plus an
+ * explicit "jobs" array appended verbatim. Expanded job names encode their
+ * axis values ("technique=maple,queue_entries=8,seed=1") so manifests read
+ * without cross-referencing.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/json.hpp"
+
+namespace maple::campaign {
+
+namespace json = harness::json;
+
+struct Job {
+    std::string name;   ///< unique within the campaign
+    std::string type;   ///< "scenario" or "exec"
+    json::Value spec;   ///< the full job object (canonical form is dump())
+};
+
+struct CampaignSpec {
+    std::string name = "campaign";
+    unsigned workers = 2;    ///< max concurrent jobs (overridable on the CLI)
+    unsigned runs = 1;       ///< 2 = run twice and require identical results
+    double timeout_s = 300;  ///< per-job wall-clock budget
+    std::vector<Job> jobs;
+};
+
+/**
+ * Parse and expand a campaign document. Scenario jobs are validated eagerly
+ * (a typo fails the whole campaign at parse time, not one job at run time).
+ * Throws json::JsonError on malformed input or duplicate job names.
+ */
+CampaignSpec parseCampaignSpec(const json::Value &doc);
+
+}  // namespace maple::campaign

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Zero-dependency binary serialization primitives for the snapshot/restore
+ * subsystem (src/ckpt). A snapshot is a stream of little-endian fixed-width
+ * scalars framed into tagged sections; Sink writes, Source reads and
+ * validates. Every multi-byte value is written byte-by-byte so the format is
+ * identical across host endianness and ABI.
+ *
+ * Design rules:
+ *  - doubles travel as IEEE-754 bit patterns (std::bit_cast), never text, so
+ *    restore-then-run is bit-identical to an uninterrupted run;
+ *  - containers are always length-prefixed (u64 count);
+ *  - a Source that runs dry or reads a malformed length throws SnapshotError
+ *    (a sim::FatalError), never silently truncates.
+ */
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/error.hpp"
+
+namespace maple::ckpt {
+
+/** Malformed, truncated, or incompatible snapshot data. */
+class SnapshotError : public sim::FatalError {
+  public:
+    using sim::FatalError::FatalError;
+};
+
+/** Binary writer over a std::ostream. */
+class Sink {
+  public:
+    explicit Sink(std::ostream &os) : os_(os) {}
+
+    void
+    u8(std::uint8_t v)
+    {
+        os_.put(static_cast<char>(v));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            u8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            u8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void b(bool v) { u8(v ? 1 : 0); }
+
+    /** IEEE-754 bit pattern, not text: exact round trip. */
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        os_.write(s.data(), static_cast<std::streamsize>(s.size()));
+    }
+
+    void
+    bytes(const void *data, std::size_t n)
+    {
+        os_.write(static_cast<const char *>(data),
+                  static_cast<std::streamsize>(n));
+    }
+
+    void
+    vecU64(const std::vector<std::uint64_t> &v)
+    {
+        u64(v.size());
+        for (std::uint64_t x : v)
+            u64(x);
+    }
+
+    bool good() const { return os_.good(); }
+    std::ostream &stream() { return os_; }
+
+  private:
+    std::ostream &os_;
+};
+
+/** Binary reader over a std::istream; throws SnapshotError on underrun. */
+class Source {
+  public:
+    explicit Source(std::istream &is) : is_(is) {}
+
+    std::uint8_t
+    u8()
+    {
+        int c = is_.get();
+        if (c == std::char_traits<char>::eof())
+            MAPLE_THROW(SnapshotError, "snapshot truncated");
+        return static_cast<std::uint8_t>(c);
+    }
+
+    std::uint32_t
+    u32()
+    {
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+        return v;
+    }
+
+    bool b() { return u8() != 0; }
+
+    double f64() { return std::bit_cast<double>(u64()); }
+
+    std::string
+    str()
+    {
+        std::uint64_t n = u64();
+        checkLength(n);
+        std::string s(n, '\0');
+        readExact(s.data(), n);
+        return s;
+    }
+
+    void
+    bytes(void *data, std::size_t n)
+    {
+        readExact(static_cast<char *>(data), n);
+    }
+
+    std::vector<std::uint64_t>
+    vecU64()
+    {
+        std::uint64_t n = u64();
+        checkLength(n);
+        std::vector<std::uint64_t> v(n);
+        for (auto &x : v)
+            x = u64();
+        return v;
+    }
+
+    /** Skip @p n payload bytes (unknown section tags). */
+    void
+    skip(std::uint64_t n)
+    {
+        is_.ignore(static_cast<std::streamsize>(n));
+        if (!is_ && !is_.eof())
+            MAPLE_THROW(SnapshotError, "snapshot truncated during skip");
+        if (static_cast<std::uint64_t>(is_.gcount()) != n)
+            MAPLE_THROW(SnapshotError, "snapshot truncated during skip");
+    }
+
+    /** True at a clean end of stream (used by the section loop). */
+    bool
+    atEof()
+    {
+        return is_.peek() == std::char_traits<char>::eof();
+    }
+
+    std::istream &stream() { return is_; }
+
+  private:
+    void
+    readExact(char *dst, std::size_t n)
+    {
+        is_.read(dst, static_cast<std::streamsize>(n));
+        if (static_cast<std::size_t>(is_.gcount()) != n)
+            MAPLE_THROW(SnapshotError, "snapshot truncated");
+    }
+
+    static void
+    checkLength(std::uint64_t n)
+    {
+        // A length prefix far beyond any plausible snapshot means the stream
+        // is corrupt; fail before trying to allocate it.
+        if (n > (1ull << 40))
+            MAPLE_THROW(SnapshotError,
+                        "implausible snapshot length %llu (corrupt stream?)",
+                        (unsigned long long)n);
+    }
+
+    std::istream &is_;
+};
+
+/**
+ * Tagged-section framing: each section is {u32 tag, u64 payload_len,
+ * payload}. A reader switches on the tag and must either consume exactly
+ * payload_len bytes or skip() them — unknown tags are skippable, so a
+ * snapshot taken with tracing enabled restores into a Soc without a tracer.
+ */
+class SectionWriter {
+  public:
+    /**
+     * Buffers the section payload so the length prefix can be emitted before
+     * it; sections are small relative to raw memory pages, which are written
+     * through bytes() in one pass.
+     */
+    SectionWriter(Sink &out, std::uint32_t tag) : out_(out), tag_(tag) {}
+
+    Sink &sink() { return payload_sink_; }
+
+    void
+    finish()
+    {
+        out_.u32(tag_);
+        const std::string body = buf_.str();
+        out_.u64(body.size());
+        out_.bytes(body.data(), body.size());
+    }
+
+  private:
+    Sink &out_;
+    std::uint32_t tag_;
+    std::ostringstream buf_;
+    Sink payload_sink_{buf_};
+};
+
+}  // namespace maple::ckpt

@@ -140,6 +140,15 @@ class Maple : public soc::MmioDevice {
     }
     sim::StatGroup &stats() { return stats_; }
 
+    /**
+     * Snapshot support (src/ckpt). Only valid at a quiesced point: no
+     * produce in flight, no op parked at the MMIO boundary, no queued LIMA
+     * commands. The error callback and driver fault handler are host-side
+     * and re-installed by the attach path after restore.
+     */
+    void saveState(ckpt::Sink &out) const;
+    void loadState(ckpt::Source &in);
+
   private:
     struct LimaCmd {
         sim::Addr a_base, b_base;

@@ -115,6 +115,35 @@ class Core {
     };
     RoundTrip mmioRoundTrip(sim::TileId device_tile) const;
 
+    /**
+     * Snapshot support. Only valid at a quiesced point: the store buffer has
+     * drained (no background stores in flight), so the restorable state is
+     * the MMU/TLB plus the counters.
+     */
+    void
+    saveState(ckpt::Sink &out) const
+    {
+        MAPLE_ASSERT(store_buffer_used_ == 0,
+                     "snapshot with undrained store buffer");
+        mmu_.saveState(out);
+        stats_.saveState(out);
+        load_latency_.saveState(out);
+        // Cached trace-track handle: the tracer's track table round-trips,
+        // so the id must too or a restored core would mint a duplicate.
+        out.u32(tr_track_);
+    }
+
+    void
+    loadState(ckpt::Source &in)
+    {
+        MAPLE_ASSERT(store_buffer_used_ == 0,
+                     "restore with undrained store buffer");
+        mmu_.loadState(in);
+        stats_.loadState(in);
+        load_latency_.loadState(in);
+        tr_track_ = in.u32();
+    }
+
   private:
     sim::Task<std::uint64_t> mmioLoad(const soc::AddressMap::Window &w,
                                       sim::Addr paddr, unsigned size);

@@ -1,6 +1,7 @@
 #include "fault/fault.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -339,6 +340,103 @@ FaultInjector::livenessReport() const
     if (trace::TraceManager *t = eq_.tracer())
         os << t->stallReport();
     return os.str();
+}
+
+namespace {
+
+void
+fnvMix(std::uint64_t &h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xffu;
+        h *= 0x100000001b3ull;
+    }
+}
+
+void
+fnvMixRate(std::uint64_t &h, const FaultRate &r)
+{
+    fnvMix(h, std::bit_cast<std::uint64_t>(r.prob));
+    fnvMix(h, r.max_extra);
+}
+
+}  // namespace
+
+std::uint64_t
+FaultInjector::configFingerprint() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    fnvMix(h, cfg_.seed);
+    fnvMix(h, cfg_.class_mask);
+    fnvMixRate(h, cfg_.noc);
+    fnvMixRate(h, cfg_.dram);
+    fnvMixRate(h, cfg_.tlb);
+    fnvMixRate(h, cfg_.mmio);
+    fnvMixRate(h, cfg_.hard_spad);
+    fnvMixRate(h, cfg_.hard_tlb);
+    return h;
+}
+
+void
+FaultInjector::saveState(ckpt::Sink &out) const
+{
+    MAPLE_ASSERT(parked_count_ == 0 && masked_owners_.empty(),
+                 "snapshot with parked waiters or masked owners");
+    out.u64(configFingerprint());
+    plan_.saveState(out);
+    for (std::uint64_t c : counts_)
+        out.u64(c);
+    for (std::uint64_t c : cycles_)
+        out.u64(c);
+    for (const FaultEvent &e : event_log_) {
+        out.u64(e.cycle);
+        out.u32(static_cast<std::uint32_t>(e.cls));
+        out.u64(e.extra);
+    }
+    out.u64(event_count_);
+    for (std::uint64_t w : recovery_rng_.state())
+        out.u64(w);
+    out.u32(tr_track_);  // cached trace-track id (tracer table round-trips)
+}
+
+void
+FaultInjector::loadState(ckpt::Source &in)
+{
+    MAPLE_ASSERT(parked_count_ == 0 && masked_owners_.empty(),
+                 "restore with parked waiters or masked owners");
+    const bool same_plan = in.u64() == configFingerprint();
+    // Always consume the section; apply it only when the restoring injector
+    // runs the identical fault configuration. A campaign variant with a
+    // different plan keeps its freshly-seeded streams.
+    FaultPlan plan(cfg_);
+    plan.loadState(in);
+    decltype(counts_) counts{};
+    decltype(cycles_) cycles{};
+    for (std::uint64_t &c : counts)
+        c = in.u64();
+    for (std::uint64_t &c : cycles)
+        c = in.u64();
+    decltype(event_log_) log{};
+    for (FaultEvent &e : log) {
+        e.cycle = in.u64();
+        e.cls = static_cast<FaultClass>(in.u32());
+        e.extra = in.u64();
+    }
+    std::uint64_t event_count = in.u64();
+    sim::Rng::State rec{};
+    for (std::uint64_t &w : rec)
+        w = in.u64();
+    // The trace-track handle tracks the tracer's table, which round-trips
+    // independently of the fault plan: restore it unconditionally.
+    tr_track_ = in.u32();
+    if (!same_plan)
+        return;
+    plan_ = plan;
+    counts_ = counts;
+    cycles_ = cycles;
+    event_log_ = log;
+    event_count_ = event_count;
+    recovery_rng_.setState(rec);
 }
 
 }  // namespace maple::fault

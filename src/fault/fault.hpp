@@ -128,6 +128,27 @@ class FaultPlan {
      */
     sim::Cycle draw(FaultClass c);
 
+    /** Snapshot support: stream positions only (rates come from config). */
+    void
+    saveState(ckpt::Sink &out) const
+    {
+        for (const sim::Rng &r : streams_) {
+            for (std::uint64_t w : r.state())
+                out.u64(w);
+        }
+    }
+
+    void
+    loadState(ckpt::Source &in)
+    {
+        for (sim::Rng &r : streams_) {
+            sim::Rng::State st;
+            for (std::uint64_t &w : st)
+                w = in.u64();
+            r.setState(st);
+        }
+    }
+
   private:
     static constexpr std::size_t kClasses =
         static_cast<std::size_t>(FaultClass::kCount);
@@ -258,6 +279,20 @@ class FaultInjector {
     std::string livenessReport() const;
 
     /// @}
+
+    /**
+     * Snapshot support (src/ckpt). Stream positions, counters and the event
+     * log round-trip only when the restoring injector runs the *same* fault
+     * configuration (seed, rates, class mask): a snapshot is also a valid
+     * warm image for campaigns that vary the fault plan per variant, in
+     * which case the restored injector keeps its fresh streams. Parked
+     * waiters and owner masks must be empty at both ends (quiesced SoC).
+     */
+    void saveState(ckpt::Sink &out) const;
+    void loadState(ckpt::Source &in);
+
+    /** Hash of the injection-relevant configuration (seed, rates, mask). */
+    std::uint64_t configFingerprint() const;
 
   private:
     friend class ParkGuard;

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "harness/stats_io.hpp"
 #include "sim/stats.hpp"
 
 namespace maple::harness {
@@ -60,6 +61,48 @@ stripFlagsToEnv(int &argc, char **argv, const Flag *flags, size_t num_flags)
 }
 
 }  // namespace
+
+std::string
+applyGridJsonFlag(int &argc, char **argv)
+{
+    std::string path;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--json", 6) == 0) {
+            const char *value = nullptr;
+            if (arg[6] == '=')
+                value = arg + 7;
+            else if (arg[6] == '\0' && i + 1 < argc)
+                value = argv[++i];
+            if (!value || !*value) {
+                std::fprintf(stderr, "--json requires a value\n");
+                std::exit(2);
+            }
+            path = value;
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    return path;
+}
+
+void
+writeGridJson(const std::string &path, const std::string &bench,
+              const Grid &grid)
+{
+    if (path.empty())
+        return;
+    json::Value doc = gridToJson(grid);
+    json::Object out;
+    out.emplace_back("bench", json::Value(bench));
+    for (auto &kv : doc.asObject())
+        out.push_back(std::move(kv));
+    json::writeFile(path, json::Value(std::move(out)));
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+}
 
 void
 applyTraceFlags(int &argc, char **argv)

@@ -41,6 +41,13 @@ class Grid {
         return it->second.result;
     }
 
+    /** All cells, sorted by (workload, technique) -- for serialization. */
+    const std::map<std::pair<std::string, std::string>, Cell> &
+    cells() const
+    {
+        return cells_;
+    }
+
   private:
     std::map<std::pair<std::string, std::string>, Cell> cells_;
 };
@@ -88,6 +95,20 @@ workloadNames(const std::vector<std::unique_ptr<app::Workload>> &ws);
  * Multi-SoC binaries get one trace file per SoC (".1", ".2"... suffixes).
  */
 void applyTraceFlags(int &argc, char **argv);
+
+/**
+ * Strip `--json=<path>` (or `--json <path>`) from argv and return the path,
+ * empty when absent. Figure benches pass the result to writeGridJson so
+ * their tables are also available machine-readably.
+ */
+std::string applyGridJsonFlag(int &argc, char **argv);
+
+/**
+ * Write the grid through the canonical serializer (harness/stats_io.hpp):
+ * {"bench": <name>, "cells": [<RunResult>...]}. No-op when @p path is empty.
+ */
+void writeGridJson(const std::string &path, const std::string &bench,
+                   const Grid &grid);
 
 /**
  * Strip the fault-injection & watchdog flags from argv and latch them into

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "harness/stats_io.hpp"
 #include "sim/log.hpp"
 
 namespace maple::harness {
@@ -24,24 +25,7 @@ void
 HostPerfReport::writeJson(const std::string &path,
                           const std::string &bench_name, bool quick) const
 {
-    FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
-        MAPLE_FATAL("cannot write %s", path.c_str());
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"quick\": %s,\n"
-                    "  \"benchmarks\": [\n",
-                 bench_name.c_str(), quick ? "true" : "false");
-    for (size_t i = 0; i < samples_.size(); ++i) {
-        const PerfSample &s = samples_[i];
-        std::fprintf(f,
-                     "    {\"name\": \"%s\", \"events\": %llu, "
-                     "\"sim_cycles\": %llu, \"host_seconds\": %.6f, "
-                     "\"events_per_sec\": %.1f}%s\n",
-                     s.name.c_str(), (unsigned long long)s.events,
-                     (unsigned long long)s.sim_cycles, s.host_seconds,
-                     s.eventsPerSec(), i + 1 < samples_.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
+    json::writeFile(path, hostPerfToJson(samples_, bench_name, quick));
     std::fprintf(stderr, "wrote %s (%zu benchmarks)\n", path.c_str(),
                  samples_.size());
 }

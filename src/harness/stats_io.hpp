@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Canonical JSON serialization for simulator statistics and harness results.
+ *
+ * Every stats artifact the repo emits -- StatGroup dumps, per-run results,
+ * figure-bench grids and the host-perf report -- is built as a json::Value
+ * here and written through harness/json.hpp, so there is exactly one place
+ * that defines field names and one writer that defines formatting. The
+ * schemas are locked by round-trip tests (tests/test_campaign.cpp); changing
+ * a key here is a format change and must bump the consumers (scripts/,
+ * campaign cache) together with the test.
+ */
+#pragma once
+
+#include <vector>
+
+#include "harness/json.hpp"
+#include "sim/stats.hpp"
+#include "workloads/workload.hpp"
+
+namespace maple::harness {
+
+class Grid;
+struct PerfSample;
+
+/**
+ * StatGroup -> {"name", "counters": {n: v}, "averages": {n: {mean, count,
+ * min, max}}, "histograms": {n: {width, total, max, buckets: [...]}}}.
+ * Map iteration order (sorted by name) keeps output canonical.
+ */
+json::Value statsToJson(const sim::StatGroup &g);
+
+/** One workload run, every RunResult field, fixed key order. */
+json::Value runResultToJson(const app::RunResult &r);
+
+/** Inverse of runResultToJson (cache hits reload stored results). */
+app::RunResult runResultFromJson(const json::Value &v);
+
+/**
+ * Host-perf report document: {"bench", "quick", "benchmarks": [{"name",
+ * "events", "sim_cycles", "host_seconds", "events_per_sec"}]} -- the schema
+ * scripts/check_host_perf.py consumes.
+ */
+json::Value hostPerfToJson(const std::vector<PerfSample> &samples,
+                           const std::string &bench_name, bool quick);
+
+/**
+ * Figure-bench grid as {"cells": [runResultToJson...]} in the grid's sorted
+ * (workload, technique) order.
+ */
+json::Value gridToJson(const Grid &grid);
+
+}  // namespace maple::harness

@@ -56,6 +56,53 @@ class Cache : public Port {
     /** MSHRs currently tracking an in-flight fill (telemetry probe). */
     std::size_t mshrsInUse() const { return mshrs_.size(); }
 
+    /**
+     * Snapshot support. Only valid at a quiesced point: with no in-flight
+     * fills the MSHR table is empty and the restorable state is the tag
+     * array, the LRU clock and the stats.
+     */
+    void
+    saveState(ckpt::Sink &out) const
+    {
+        MAPLE_ASSERT(mshrs_.empty(), "snapshot with in-flight cache fills");
+        out.u64(num_sets_);
+        out.u64(params_.assoc);
+        for (const auto &set : sets_) {
+            for (const Way &w : set) {
+                out.u64(w.tag);
+                out.b(w.valid);
+                out.b(w.dirty);
+                out.u64(w.lru);
+            }
+        }
+        out.u64(lru_clock_);
+        stats_.saveState(out);
+        out.u32(tr_miss_);  // cached lane-group id (tracer table round-trips)
+    }
+
+    void
+    loadState(ckpt::Source &in)
+    {
+        MAPLE_ASSERT(mshrs_.empty(), "restore with in-flight cache fills");
+        std::uint64_t sets = in.u64();
+        std::uint64_t assoc = in.u64();
+        MAPLE_CHECK(sets == num_sets_ && assoc == params_.assoc,
+                    ckpt::SnapshotError,
+                    "cache geometry mismatch in snapshot (%s)",
+                    params_.name.c_str());
+        for (auto &set : sets_) {
+            for (Way &w : set) {
+                w.tag = in.u64();
+                w.valid = in.b();
+                w.dirty = in.b();
+                w.lru = in.u64();
+            }
+        }
+        lru_clock_ = in.u64();
+        stats_.loadState(in);
+        tr_miss_ = in.u32();
+    }
+
   private:
     struct Way {
         sim::Addr tag = 0;

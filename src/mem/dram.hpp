@@ -91,6 +91,39 @@ class Dram : public Port {
 
     Arbiter *arbiter() { return arb_.get(); }
 
+    /** Snapshot support (quiesced: no access in flight holds a channel). */
+    void
+    saveState(ckpt::Sink &out) const
+    {
+        out.u64(channel_free_.size());
+        for (sim::Cycle c : channel_free_)
+            out.u64(c);
+        reads_.saveState(out);
+        queue_wait_.saveState(out);
+        stats_.saveState(out);
+        out.b(arb_ != nullptr);
+        if (arb_)
+            arb_->saveState(out);
+    }
+
+    void
+    loadState(ckpt::Source &in)
+    {
+        std::uint64_t channels = in.u64();
+        MAPLE_CHECK(channels == channel_free_.size(), ckpt::SnapshotError,
+                    "DRAM channel-count mismatch in snapshot");
+        for (sim::Cycle &c : channel_free_)
+            c = in.u64();
+        reads_.loadState(in);
+        queue_wait_.loadState(in);
+        stats_.loadState(in);
+        bool had_arb = in.b();
+        MAPLE_CHECK(had_arb == (arb_ != nullptr), ckpt::SnapshotError,
+                    "DRAM arbitration-policy mismatch in snapshot");
+        if (arb_)
+            arb_->loadState(in);
+    }
+
   private:
     sim::EventQueue &eq_;
     DramParams params_;

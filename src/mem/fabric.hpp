@@ -70,6 +70,33 @@ class Arbiter {
     /** Cycles requests spent queued at this stage, summed over requests. */
     sim::Cycle waitCycles() const { return wait_cycles_; }
 
+    /** Snapshot support; requires no queued waiters (quiesced SoC). */
+    void
+    saveState(ckpt::Sink &out) const
+    {
+        MAPLE_ASSERT(waiting_count_ == 0 && !pump_running_,
+                     "snapshot with queued arbiter waiters");
+        out.u32(rr_next_);
+        out.u64(next_free_);
+        for (std::uint64_t g : grants_)
+            out.u64(g);
+        out.u64(total_grants_);
+        out.u64(wait_cycles_);
+    }
+
+    void
+    loadState(ckpt::Source &in)
+    {
+        MAPLE_ASSERT(waiting_count_ == 0 && !pump_running_,
+                     "restore with queued arbiter waiters");
+        rr_next_ = in.u32();
+        next_free_ = in.u64();
+        for (std::uint64_t &g : grants_)
+            g = in.u64();
+        total_grants_ = in.u64();
+        wait_cycles_ = in.u64();
+    }
+
   private:
     struct Waiter {
         sim::Signal sig;
@@ -153,6 +180,32 @@ class PortInterposer : public Port {
     std::uint64_t classRequests(RequesterClass c) const
     {
         return reqs_[static_cast<std::size_t>(c)]->value();
+    }
+
+    /**
+     * Snapshot support. The stats StatGroup is restored in place (the
+     * lat_/bytes_/reqs_ borrowed pointers stay valid); the arbiter, when
+     * present, carries its own grant bookkeeping.
+     */
+    void
+    saveState(ckpt::Sink &out) const
+    {
+        stats_.saveState(out);
+        out.b(arb_ != nullptr);
+        if (arb_)
+            arb_->saveState(out);
+    }
+
+    void
+    loadState(ckpt::Source &in)
+    {
+        stats_.loadState(in);
+        bool had_arb = in.b();
+        MAPLE_CHECK(had_arb == (arb_ != nullptr), ckpt::SnapshotError,
+                    "arbitration-policy mismatch in snapshot (%s)",
+                    name_.c_str());
+        if (arb_)
+            arb_->loadState(in);
     }
 
   private:

@@ -43,10 +43,16 @@ class Mmu {
     {
     }
 
-    /** Point the MMU at an address space (root page-table frame). */
+    /**
+     * Point the MMU at an address space (root page-table frame). Re-pointing
+     * at the *same* root is a no-op: post-restore re-attachment must not
+     * flush a TLB whose warmed contents were just restored.
+     */
     void
     setRoot(sim::Addr root_paddr)
     {
+        if (root_ == root_paddr)
+            return;
         root_ = root_paddr;
         tlb_.flush();
     }
@@ -91,6 +97,29 @@ class Mmu {
     Tlb &tlb() { return tlb_; }
     std::uint64_t walks() const { return walks_.value(); }
     std::uint64_t faults() const { return faults_.value(); }
+
+    /**
+     * Snapshot support. The fault handler is host-side std::function state
+     * and is not serialized: restore re-installs it via the same attach path
+     * that installed it originally.
+     */
+    void
+    saveState(ckpt::Sink &out) const
+    {
+        out.u64(root_);
+        tlb_.saveState(out);
+        walks_.saveState(out);
+        faults_.saveState(out);
+    }
+
+    void
+    loadState(ckpt::Source &in)
+    {
+        root_ = in.u64();
+        tlb_.loadState(in);
+        walks_.loadState(in);
+        faults_.loadState(in);
+    }
 
   private:
     /** Timed three-level walk; nullopt when any level is invalid. */

@@ -104,6 +104,19 @@ class PageTable {
     /** Number of page-table pages allocated (for the area/footprint stats). */
     size_t tablePages() const { return table_pages_; }
 
+    /**
+     * Snapshot support: point this table at a root frame restored from a
+     * snapshot. The table *contents* live in simulated physical memory and
+     * are restored with it; only the host-side root pointer and page count
+     * need adopting.
+     */
+    void
+    adoptState(sim::Addr root, size_t table_pages)
+    {
+        root_ = root;
+        table_pages_ = table_pages;
+    }
+
   private:
     sim::Addr pteAddr(sim::Addr table, sim::Addr vaddr, unsigned level) const;
 

@@ -8,10 +8,13 @@
  */
 #pragma once
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
+#include "ckpt/serial.hpp"
 #include "sim/log.hpp"
 #include "sim/types.hpp"
 
@@ -98,6 +101,41 @@ class PhysicalMemory {
 
     /** Number of physical pages actually materialized. */
     size_t residentPages() const { return pages_.size(); }
+
+    /**
+     * Snapshot support: pages are written sorted by base address so the
+     * byte stream is independent of unordered_map iteration order.
+     * loadState() drops every resident page first — the restored image
+     * replaces anything a freshly-constructed Soc scribbled into memory.
+     */
+    void
+    saveState(ckpt::Sink &out) const
+    {
+        out.u64(size_);
+        std::vector<sim::Addr> bases;
+        bases.reserve(pages_.size());
+        for (const auto &[base, pg] : pages_)
+            bases.push_back(base);
+        std::sort(bases.begin(), bases.end());
+        out.u64(bases.size());
+        for (sim::Addr base : bases) {
+            out.u64(base);
+            out.bytes(pages_.at(base)->data, kPageSize);
+        }
+    }
+
+    void
+    loadState(ckpt::Source &in)
+    {
+        size_ = in.u64();
+        pages_.clear();
+        for (std::uint64_t n = in.u64(); n > 0; --n) {
+            sim::Addr base = in.u64();
+            auto pg = std::make_unique<Page>();
+            in.bytes(pg->data, kPageSize);
+            pages_[base] = std::move(pg);
+        }
+    }
 
   private:
     struct Page {

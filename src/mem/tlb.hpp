@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iterator>
 #include <list>
 #include <optional>
 #include <unordered_map>
@@ -84,6 +85,40 @@ class Tlb {
     size_t capacity() const { return capacity_; }
     std::uint64_t hits() const { return hits_.value(); }
     std::uint64_t misses() const { return misses_.value(); }
+
+    /** Snapshot support: entries in LRU order (front = most recent). */
+    void
+    saveState(ckpt::Sink &out) const
+    {
+        out.u64(capacity_);
+        out.u64(lru_.size());
+        for (const Entry &e : lru_) {
+            out.u64(e.vpn);
+            out.u64(e.pte.raw);
+        }
+        hits_.saveState(out);
+        misses_.saveState(out);
+        evictions_.saveState(out);
+        shootdowns_.saveState(out);
+    }
+
+    void
+    loadState(ckpt::Source &in)
+    {
+        capacity_ = in.u64();
+        lru_.clear();
+        map_.clear();
+        for (std::uint64_t n = in.u64(); n > 0; --n) {
+            sim::Addr vpn = in.u64();
+            Pte pte{in.u64()};
+            lru_.push_back(Entry{vpn, pte});
+            map_[vpn] = std::prev(lru_.end());
+        }
+        hits_.loadState(in);
+        misses_.loadState(in);
+        evictions_.loadState(in);
+        shootdowns_.loadState(in);
+    }
 
   private:
     struct Entry {

@@ -145,6 +145,39 @@ class Mesh {
         return class_flits_[static_cast<std::size_t>(cls)];
     }
 
+    /** Snapshot support: link reservations and traffic counters. */
+    void
+    saveState(ckpt::Sink &out) const
+    {
+        out.u64(link_free_.size());
+        for (sim::Cycle c : link_free_)
+            out.u64(c);
+        out.vecU64(link_flits_);
+        for (std::uint64_t f : class_flits_)
+            out.u64(f);
+        packets_.saveState(out);
+        flits_.saveState(out);
+        latency_.saveState(out);
+    }
+
+    void
+    loadState(ckpt::Source &in)
+    {
+        std::uint64_t links = in.u64();
+        MAPLE_CHECK(links == link_free_.size(), ckpt::SnapshotError,
+                    "mesh geometry mismatch in snapshot");
+        for (sim::Cycle &c : link_free_)
+            c = in.u64();
+        link_flits_ = in.vecU64();
+        MAPLE_CHECK(link_flits_.size() == links, ckpt::SnapshotError,
+                    "mesh link-counter mismatch in snapshot");
+        for (std::uint64_t &f : class_flits_)
+            f = in.u64();
+        packets_.loadState(in);
+        flits_.loadState(in);
+        latency_.loadState(in);
+    }
+
   private:
     static constexpr unsigned kEast = 0, kWest = 1, kNorth = 2, kSouth = 3;
 

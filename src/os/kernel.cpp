@@ -51,10 +51,18 @@ sim::Addr
 Process::mapMmio(sim::Addr mmio_paddr, sim::Addr bytes)
 {
     MAPLE_ASSERT((mmio_paddr & mem::kPageMask) == 0, "MMIO pages are aligned");
+    // Idempotent: re-mapping a device page already in this space (the
+    // post-restore re-attachment path) returns the existing window instead
+    // of burning a fresh one.
+    for (const MmioMap &m : mmio_maps_) {
+        if (m.paddr == mmio_paddr && m.bytes == bytes)
+            return m.vaddr;
+    }
     sim::Addr base = mmio_next_;
     for (sim::Addr off = 0; off < bytes; off += mem::kPageSize)
         pt_.map(base + off, mmio_paddr + off, /*writable=*/true);
     mmio_next_ += bytes + mem::kPageSize;
+    mmio_maps_.push_back(MmioMap{mmio_paddr, base, bytes});
     return base;
 }
 
@@ -64,6 +72,17 @@ Process::owns(sim::Addr vaddr) const
     return std::any_of(regions_.begin(), regions_.end(), [vaddr](const Region &r) {
         return vaddr >= r.base && vaddr < r.base + r.size;
     });
+}
+
+sim::Addr
+Process::regionBase(const std::string &tag) const
+{
+    for (const Region &r : regions_) {
+        if (r.tag == tag)
+            return r.base;
+    }
+    MAPLE_FATAL("process %s has no region tagged \"%s\"", name_.c_str(),
+                tag.c_str());
 }
 
 bool
@@ -91,8 +110,63 @@ void
 Process::attachMmu(mem::Mmu *mmu)
 {
     MAPLE_ASSERT(mmu != nullptr);
-    mmus_.push_back(mmu);
+    // Idempotent for the post-restore re-attachment path; setRoot() is also
+    // a no-op when the MMU already points at this space, so a restored TLB
+    // keeps its warmed contents.
+    if (std::find(mmus_.begin(), mmus_.end(), mmu) == mmus_.end())
+        mmus_.push_back(mmu);
     mmu->setRoot(pt_.rootPaddr());
+}
+
+void
+Process::saveState(ckpt::Sink &out) const
+{
+    out.str(name_);
+    out.u64(pt_.rootPaddr());
+    out.u64(pt_.tablePages());
+    out.u64(regions_.size());
+    for (const Region &r : regions_) {
+        out.u64(r.base);
+        out.u64(r.size);
+        out.str(r.tag);
+        out.b(r.lazy);
+    }
+    out.u64(mmio_maps_.size());
+    for (const MmioMap &m : mmio_maps_) {
+        out.u64(m.paddr);
+        out.u64(m.vaddr);
+        out.u64(m.bytes);
+    }
+    out.u64(heap_next_);
+    out.u64(mmio_next_);
+}
+
+void
+Process::loadState(ckpt::Source &in)
+{
+    name_ = in.str();
+    sim::Addr root = in.u64();
+    size_t table_pages = in.u64();
+    pt_.adoptState(root, table_pages);
+    regions_.clear();
+    for (std::uint64_t n = in.u64(); n > 0; --n) {
+        Region r;
+        r.base = in.u64();
+        r.size = in.u64();
+        r.tag = in.str();
+        r.lazy = in.b();
+        regions_.push_back(std::move(r));
+    }
+    mmio_maps_.clear();
+    for (std::uint64_t n = in.u64(); n > 0; --n) {
+        MmioMap m;
+        m.paddr = in.u64();
+        m.vaddr = in.u64();
+        m.bytes = in.u64();
+        mmio_maps_.push_back(m);
+    }
+    heap_next_ = in.u64();
+    mmio_next_ = in.u64();
 }
 
 void

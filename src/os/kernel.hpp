@@ -45,6 +45,20 @@ class FrameAllocator {
 
     sim::Addr allocated() const { return next_; }
 
+    /**
+     * Snapshot support: rewind/advance the bump pointer to a restored
+     * watermark. Called after all restore-time allocations (page-table
+     * roots of re-created processes) so the next frame handed out matches
+     * the snapshotted machine exactly.
+     */
+    void
+    setNext(sim::Addr next)
+    {
+        MAPLE_ASSERT((next & mem::kPageMask) == 0 && next <= end_,
+                     "bad frame-allocator watermark");
+        next_ = next;
+    }
+
   private:
     sim::Addr next_;
     sim::Addr end_;
@@ -72,6 +86,14 @@ class Process {
 
     /** True iff @p vaddr falls in a reserved (alloc'd) region. */
     bool owns(sim::Addr vaddr) const;
+
+    /**
+     * Base address of the first region allocated with @p tag. Regions (and
+     * their tags) round-trip through snapshots, so a restored process can
+     * recover dataset addresses without re-running allocation.
+     * Fatal when no region carries the tag.
+     */
+    sim::Addr regionBase(const std::string &tag) const;
 
     /**
      * Demand-map the page containing @p vaddr (used by the fault path).
@@ -111,6 +133,14 @@ class Process {
     /** Register an MMU caching this process's translations (shootdowns). */
     void attachMmu(mem::Mmu *mmu);
 
+    /**
+     * Snapshot support. The attached-MMU list is host wiring and is rebuilt
+     * by the restore path's re-attachment; everything else (page-table root,
+     * regions, bump pointers, recorded MMIO windows) round-trips.
+     */
+    void saveState(ckpt::Sink &out) const;
+    void loadState(ckpt::Source &in);
+
   private:
     struct Region {
         sim::Addr base;
@@ -119,12 +149,20 @@ class Process {
         bool lazy;
     };
 
+    /** A device page mapped into this space (mapMmio bookkeeping). */
+    struct MmioMap {
+        sim::Addr paddr;
+        sim::Addr vaddr;
+        sim::Addr bytes;
+    };
+
     sim::Addr allocRegion(size_t bytes, const char *tag, bool lazy);
 
     Kernel &kernel_;
     std::string name_;
     mem::PageTable pt_;
     std::vector<Region> regions_;
+    std::vector<MmioMap> mmio_maps_;
     std::vector<mem::Mmu *> mmus_;
     sim::Addr heap_next_;
     sim::Addr mmio_next_;
@@ -170,6 +208,46 @@ class Kernel {
     }
 
     std::uint64_t faultsServiced() const { return faults_serviced_.value(); }
+
+    /**
+     * Snapshot support. loadState() re-creates every process by name (each
+     * re-created page table burns fresh frames and scribbles its root page;
+     * both are corrected afterwards — the frame watermark is restored last,
+     * and PhysicalMemory is restored after the kernel, wiping the scribbles)
+     * then adopts the per-process state.
+     */
+    void
+    saveState(ckpt::Sink &out) const
+    {
+        out.u64(procs_.size());
+        for (const auto &p : procs_)
+            p->saveState(out);
+        out.u64(frames_.allocated());
+        faults_serviced_.saveState(out);
+    }
+
+    void
+    loadState(ckpt::Source &in)
+    {
+        procs_.clear();
+        for (std::uint64_t n = in.u64(); n > 0; --n) {
+            procs_.push_back(std::make_unique<Process>(*this, ""));
+            procs_.back()->loadState(in);
+        }
+        frames_.setNext(in.u64());
+        faults_serviced_.loadState(in);
+    }
+
+    /** Processes in creation order (restore-time re-attachment). */
+    std::vector<Process *>
+    processes()
+    {
+        std::vector<Process *> out;
+        out.reserve(procs_.size());
+        for (auto &p : procs_)
+            out.push_back(p.get());
+        return out;
+    }
 
   private:
     sim::EventQueue &eq_;

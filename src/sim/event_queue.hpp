@@ -195,6 +195,39 @@ class EventQueue {
     bool hasTaskError() const { return task_error_ != nullptr; }
 
     /**
+     * Engine bookkeeping captured by snapshot/restore (src/ckpt). Only valid
+     * at a quiesced point: with zero pending events there are no live wheel
+     * buckets, overflow nodes or coroutine frames to serialize, so the
+     * engine's whole restorable state is these four words.
+     */
+    struct EngineState {
+        Cycle now = 0;
+        std::uint64_t seq = 0;
+        std::uint64_t executed = 0;
+        std::uint64_t next_ticket = 1;
+    };
+
+    EngineState
+    engineState() const
+    {
+        MAPLE_ASSERT(pending() == 0,
+                     "engineState() requires a quiesced event queue");
+        return EngineState{now_, seq_, executed_, next_ticket_};
+    }
+
+    void
+    setEngineState(const EngineState &st)
+    {
+        MAPLE_ASSERT(pending() == 0,
+                     "setEngineState() requires a quiesced event queue");
+        MAPLE_ASSERT(st.now >= now_, "restoring time backwards");
+        now_ = st.now;
+        seq_ = st.seq;
+        executed_ = st.executed;
+        next_ticket_ = st.next_ticket;
+    }
+
+    /**
      * Pop and execute the next event, advancing time.
      * @return false when the queue was empty.
      */

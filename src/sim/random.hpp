@@ -6,6 +6,7 @@
  */
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace maple::sim {
@@ -53,6 +54,25 @@ class Rng {
     uniform()
     {
         return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /**
+     * Full generator state, exposed for snapshot/restore: setState() resumes
+     * the stream at exactly the draw where state() captured it.
+     */
+    using State = std::array<std::uint64_t, 4>;
+
+    State
+    state() const
+    {
+        return State{s_[0], s_[1], s_[2], s_[3]};
+    }
+
+    void
+    setState(const State &st)
+    {
+        for (int i = 0; i < 4; ++i)
+            s_[i] = st[static_cast<std::size_t>(i)];
     }
 
   private:

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/serial.hpp"
 #include "sim/log.hpp"
 
 namespace maple::sim {
@@ -22,6 +23,9 @@ class Counter {
     void inc(std::uint64_t n = 1) { value_ += n; }
     std::uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
+
+    void saveState(ckpt::Sink &out) const { out.u64(value_); }
+    void loadState(ckpt::Source &in) { value_ = in.u64(); }
 
   private:
     std::uint64_t value_ = 0;
@@ -51,6 +55,24 @@ class Average {
         count_ = 0;
         min_ = std::numeric_limits<double>::infinity();
         max_ = -std::numeric_limits<double>::infinity();
+    }
+
+    void
+    saveState(ckpt::Sink &out) const
+    {
+        out.f64(sum_);
+        out.u64(count_);
+        out.f64(min_);
+        out.f64(max_);
+    }
+
+    void
+    loadState(ckpt::Source &in)
+    {
+        sum_ = in.f64();
+        count_ = in.u64();
+        min_ = in.f64();
+        max_ = in.f64();
     }
 
   private:
@@ -118,6 +140,24 @@ class Histogram {
         max_ = 0.0;
     }
 
+    void
+    saveState(ckpt::Sink &out) const
+    {
+        out.f64(width_);
+        out.vecU64(counts_);
+        out.u64(total_);
+        out.f64(max_);
+    }
+
+    void
+    loadState(ckpt::Source &in)
+    {
+        width_ = in.f64();
+        counts_ = in.vecU64();
+        total_ = in.u64();
+        max_ = in.f64();
+    }
+
   private:
     double width_;
     std::vector<std::uint64_t> counts_;
@@ -170,6 +210,49 @@ class StatGroup {
     }
 
     std::string dump() const;
+
+    /**
+     * Snapshot support. loadState() must never erase map entries: hardware
+     * models hold borrowed pointers into this group's maps (e.g. Dram's
+     * per-class latency histograms), so entries are found-or-created and
+     * overwritten in place.
+     */
+    void
+    saveState(ckpt::Sink &out) const
+    {
+        out.u64(counters_.size());
+        for (const auto &[k, c] : counters_) {
+            out.str(k);
+            c.saveState(out);
+        }
+        out.u64(averages_.size());
+        for (const auto &[k, a] : averages_) {
+            out.str(k);
+            a.saveState(out);
+        }
+        out.u64(histograms_.size());
+        for (const auto &[k, h] : histograms_) {
+            out.str(k);
+            h.saveState(out);
+        }
+    }
+
+    void
+    loadState(ckpt::Source &in)
+    {
+        for (std::uint64_t n = in.u64(); n > 0; --n) {
+            std::string k = in.str();
+            counters_[k].loadState(in);
+        }
+        for (std::uint64_t n = in.u64(); n > 0; --n) {
+            std::string k = in.str();
+            averages_[k].loadState(in);
+        }
+        for (std::uint64_t n = in.u64(); n > 0; --n) {
+            std::string k = in.str();
+            histograms_.try_emplace(k).first->second.loadState(in);
+        }
+    }
 
   private:
     std::string name_;

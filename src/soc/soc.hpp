@@ -10,6 +10,7 @@
  */
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -126,6 +127,33 @@ class Soc {
      * any exception stored in the given joins. Returns total cycles elapsed.
      */
     sim::Cycle run(std::vector<sim::Join> joins, sim::Cycle max_cycles = sim::kCycleMax);
+
+    /// @name Deterministic snapshot/restore (implemented in src/ckpt)
+    /// @{
+
+    /**
+     * Serialize full simulator state to @p out. Only valid at a quiesced
+     * point (event queue drained, no parked waiters — i.e. between run()
+     * phases): coroutine frames are not serializable, so a snapshot captures
+     * the machine between simulated activity, with warm caches/TLBs, queue
+     * contents, advanced RNG streams, stats and trace buffers intact.
+     * Throws ckpt::SnapshotError when the SoC is not quiescent.
+     */
+    void snapshot(std::ostream &out);
+
+    /**
+     * Restore a snapshot into this freshly-constructed Soc. The stream's
+     * config hash must match this SoC's structural configuration (core/
+     * MAPLE counts, cache geometry, DRAM/mesh/arbitration parameters) or
+     * ckpt::SnapshotError is thrown. After restore, resumed runs are
+     * byte-identical to an uninterrupted simulation. Host-side wiring that
+     * MMIO attach paths install (driver fault handlers, error callbacks)
+     * must be re-installed by re-running the attach calls; those paths are
+     * idempotent against restored state.
+     */
+    void restore(std::istream &in);
+
+    /// @}
 
   private:
     /** Register the telemetry probes once all components exist. */

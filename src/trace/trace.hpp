@@ -32,12 +32,14 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <iosfwd>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "ckpt/serial.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/types.hpp"
 
@@ -189,6 +191,17 @@ class TraceManager {
     /** EventQueue trampoline: drives sampling as simulated time advances. */
     static void onAdvance(TraceManager *t, sim::Cycle now) { t->advanceTo(now); }
 
+    /**
+     * Snapshot support (src/ckpt). Event/span names are string literals in
+     * the live tracer; the snapshot carries them through a string table and
+     * restore interns them into an owned pool, so a restored trace writes
+     * byte-identical JSON/CSV. Probe *functions* are host-side and must
+     * already be registered (in the same order) by the restoring Soc; only
+     * their sampled values round-trip.
+     */
+    void saveState(ckpt::Sink &out) const;
+    void loadState(ckpt::Source &in);
+
   private:
     struct Event {
         TrackId tid;
@@ -239,6 +252,9 @@ class TraceManager {
     std::vector<Probe> probes_;
     std::vector<sim::Cycle> sample_times_;
     sim::Cycle next_sample_;
+
+    /** Names interned by loadState() (stable addresses, owned). */
+    std::deque<std::string> interned_names_;
 
     std::array<std::uint64_t, static_cast<std::size_t>(StallCause::kCount)>
         stall_cycles_{};

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Campaign service CLI.
+ *
+ *   maple_campaign run spec.json --out DIR [--workers N] [--no-cache]
+ *                                [--strict]
+ *
+ * Reads a campaign spec (see src/campaign/spec.hpp for the format), runs
+ * every job crash-isolated across N worker processes, and writes
+ * DIR/manifest.json, DIR/report.md, per-job results under DIR/jobs/ and the
+ * content-hashed result cache under DIR/cache/.
+ *
+ * Exit code 0 means the campaign itself completed -- individual job
+ * failures are recorded in the manifest, not escalated, unless --strict.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: maple_campaign run SPEC.json [--out DIR] "
+                 "[--workers N] [--no-cache] [--strict]\n");
+    return 2;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace maple;
+
+    if (argc < 3 || std::strcmp(argv[1], "run") != 0)
+        return usage();
+    const std::string spec_path = argv[2];
+    campaign::RunnerOptions opts;
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--out")
+            opts.out_dir = value();
+        else if (arg == "--workers")
+            opts.workers = static_cast<unsigned>(std::atoi(value()));
+        else if (arg == "--no-cache")
+            opts.use_cache = false;
+        else if (arg == "--strict")
+            opts.strict = true;
+        else
+            return usage();
+    }
+
+    try {
+        campaign::CampaignSpec spec = campaign::parseCampaignSpec(
+            harness::json::parseFile(spec_path));
+        return campaign::runCampaign(spec, opts);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "maple_campaign: %s\n", e.what());
+        return 1;
+    }
+}

@@ -12,6 +12,21 @@
  *   4. maple_spmv      — a full bench_fig08-style MAPLE-decoupled SPMV run
  *                        (cores, caches, TLBs, MAPLE pipeline, NoC, DRAM).
  *
+ * Two sharded tiers scale with host threads (--threads=N or
+ * --threads-sweep=1,2,4 emit one sample per count, distinguished by the
+ * "threads" JSON field):
+ *
+ *   5. grid_spmv       — a 4-chip SocGrid each running a doall SPMV
+ *                        scenario: embarrassingly-parallel domains, the
+ *                        campaign-throughput shape.
+ *   6. sharded_noc     — 4 mesh domains exchanging cross-domain requests at
+ *                        a 32-cycle link latency: quantum-bound BSP sync and
+ *                        mailbox merging in the loop.
+ *
+ * Both sharded tiers assert that their simulated results are identical
+ * across every swept thread count, so the determinism contract is exercised
+ * on every perf run, not only in the unit tests.
+ *
  * Prints a table and writes BENCH_host_perf.json (override with
  * --out=<path>); --quick shrinks iteration counts to CI-smoke size. CI runs
  * `bench_host_perf --quick` on every push and fails on gross regression
@@ -22,9 +37,13 @@
 #include <vector>
 
 #include "harness/host_perf.hpp"
+#include "harness/scenario.hpp"
+#include "mem/shard_port.hpp"
 #include "noc/mesh.hpp"
 #include "sim/coro.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/sharded.hpp"
+#include "soc/grid.hpp"
 #include "workloads/workload.hpp"
 
 using namespace maple;
@@ -123,6 +142,134 @@ mapleSpmv(bool quick)
     return {"maple_spmv", r.sim_events, r.cycles, secs};
 }
 
+/** Simulated-outcome fingerprint of a sharded run: must not vary with the
+ *  host thread count. */
+struct ShardFingerprint {
+    std::vector<std::uint64_t> words;
+
+    bool operator==(const ShardFingerprint &) const = default;
+};
+
+/** 4 independent chips each running a doall SPMV scenario (campaign shape). */
+harness::PerfSample
+gridSpmv(unsigned threads, bool quick, ShardFingerprint &fp)
+{
+    constexpr unsigned kChips = 4;
+    harness::ScenarioSpec spec;
+    spec.rows = quick ? 256 : 1024;
+    soc::SocConfig proto = soc::SocConfig::fpga();
+    proto.name = "grid";
+    soc::SocGridConfig gc = soc::SocGridConfig::uniform(proto, kChips);
+    gc.host_threads = threads;
+    soc::SocGrid grid(gc);
+    for (unsigned i = 0; i < grid.size(); ++i) {
+        harness::ScenarioSpec s = spec;
+        s.seed = spec.seed + i;  // distinct dataset per chip
+        harness::warmScenario(grid.soc(i), s);
+    }
+
+    const std::uint64_t base_events = grid.engine().executed();
+    std::vector<sim::Join> joins;
+    harness::WallTimer t;
+    std::vector<sim::Cycle> starts;
+    for (unsigned i = 0; i < grid.size(); ++i) {
+        harness::ScenarioSpec s = spec;
+        s.seed = spec.seed + i;
+        starts.push_back(grid.soc(i).eq().now());
+        for (sim::Join &j : harness::spawnScenarioDoall(grid.soc(i), s))
+            joins.push_back(std::move(j));
+    }
+    sim::Cycle cycles = grid.run(std::move(joins));
+    harness::PerfSample sample{"grid_spmv",
+                               grid.engine().executed() - base_events, cycles,
+                               t.seconds(), threads};
+    fp.words.clear();
+    for (unsigned i = 0; i < grid.size(); ++i) {
+        harness::ScenarioSpec s = spec;
+        s.seed = spec.seed + i;
+        harness::ScenarioResult r =
+            harness::collectScenarioResult(grid.soc(i), s, starts[i]);
+        MAPLE_ASSERT(r.result.valid, "grid_spmv checksum mismatch");
+        fp.words.push_back(r.result.checksum);
+        fp.words.push_back(r.end_cycle);
+        fp.words.push_back(grid.soc(i).eq().executed());
+    }
+    return sample;
+}
+
+/** 4 mesh domains coupled by 32-cycle cross-domain links: BSP sync and
+ *  mailbox merge on the hot path. */
+harness::PerfSample
+shardedNoc(unsigned threads, int transits_per_flow, ShardFingerprint &fp)
+{
+    constexpr unsigned kDomains = 4;
+    constexpr sim::Cycle kLink = 32;
+    sim::ShardedEngine engine;
+    std::vector<std::unique_ptr<sim::EventQueue>> eqs;
+    std::vector<std::unique_ptr<noc::Mesh>> meshes;
+    std::vector<std::unique_ptr<mem::FixedLatencyMem>> mems;
+    for (unsigned d = 0; d < kDomains; ++d) {
+        eqs.push_back(std::make_unique<sim::EventQueue>());
+        engine.addDomain(*eqs.back(), "noc." + std::to_string(d));
+        noc::MeshParams mp;
+        mp.width = 4;
+        mp.height = 4;
+        meshes.push_back(std::make_unique<noc::Mesh>(*eqs.back(), mp));
+        mems.push_back(std::make_unique<mem::FixedLatencyMem>(*eqs.back(), 8));
+    }
+    std::vector<std::unique_ptr<mem::CrossDomainPort>> links;
+    for (unsigned d = 0; d < kDomains; ++d) {
+        unsigned n = (d + 1) % kDomains;
+        links.push_back(std::make_unique<mem::CrossDomainPort>(
+            engine, d, *eqs[d], n, *eqs[n], *mems[n], kLink));
+    }
+
+    auto meshFlow = [&](unsigned d, unsigned f) -> sim::Task<void> {
+        noc::Mesh &mesh = *meshes[d];
+        const unsigned tiles = mesh.numTiles();
+        for (int i = 0; i < transits_per_flow; ++i) {
+            sim::TileId src = (f * 7 + i) % tiles;
+            sim::TileId dst = (f * 13 + i * 5 + 1) % tiles;
+            if (src == dst)
+                dst = (dst + 1) % tiles;
+            co_await mesh.transit(src, dst, noc::flitsFor(16));
+        }
+    };
+    auto crossFlow = [&](unsigned d, unsigned f) -> sim::Task<void> {
+        sim::EventQueue &eq = *eqs[d];
+        for (int i = 0; i < transits_per_flow / 4; ++i) {
+            mem::MemRequest req = mem::MemRequest::make(
+                eq, mem::RequesterClass::Core, f % 16, 64 * i, 16,
+                mem::AccessKind::Read);
+            co_await links[d]->request(req);
+        }
+    };
+    std::vector<sim::Join> joins;
+    harness::WallTimer t;
+    for (unsigned d = 0; d < kDomains; ++d) {
+        for (unsigned f = 0; f < 32; ++f)
+            joins.push_back(sim::spawn(meshFlow(d, f)));
+        for (unsigned f = 0; f < 8; ++f)
+            joins.push_back(sim::spawn(crossFlow(d, f)));
+    }
+    sim::ShardedEngine::RunOptions ro;
+    ro.threads = threads;
+    bool drained = engine.run(ro);
+    harness::PerfSample sample{"sharded_noc", engine.executed(), eqs[0]->now(),
+                               t.seconds(), threads};
+    MAPLE_ASSERT(drained, "sharded_noc did not drain");
+    for (sim::Join &j : joins)
+        j.get();
+    fp.words.clear();
+    for (unsigned d = 0; d < kDomains; ++d) {
+        fp.words.push_back(eqs[d]->now());
+        fp.words.push_back(eqs[d]->executed());
+        fp.words.push_back(meshes[d]->flitsSent());
+    }
+    fp.words.push_back(engine.messagesMerged());
+    return sample;
+}
+
 }  // namespace
 
 int
@@ -138,6 +285,25 @@ main(int argc, char **argv)
     report.add(coroDelay(coro_rounds));
     report.add(nocSaturation(noc_transits));
     report.add(mapleSpmv(opts.quick));
+
+    // Sharded tiers: one sample per swept thread count, with a cross-count
+    // determinism assertion (the simulated outcome must not move).
+    ShardFingerprint grid_ref, noc_ref;
+    for (size_t i = 0; i < opts.threads_sweep.size(); ++i) {
+        unsigned threads = opts.threads_sweep[i];
+        ShardFingerprint grid_fp, noc_fp;
+        report.add(gridSpmv(threads, opts.quick, grid_fp));
+        report.add(shardedNoc(threads, noc_transits / 4, noc_fp));
+        if (i == 0) {
+            grid_ref = grid_fp;
+            noc_ref = noc_fp;
+        } else {
+            MAPLE_ASSERT(grid_fp == grid_ref,
+                         "grid_spmv result varies with host threads");
+            MAPLE_ASSERT(noc_fp == noc_ref,
+                         "sharded_noc result varies with host threads");
+        }
+    }
     report.print();
     report.writeJson(opts.out_path, "bench_host_perf", opts.quick);
     return 0;

@@ -4,6 +4,7 @@
 Usage:
     check_host_perf.py <baseline.json> <current.json>... [max_regression]
                        [--limit name=ratio ...]
+                       [--min-scaling name=factor ...]
                        [--history bench/BENCH_host_perf.history.json]
                        [--markdown trajectory.md]
 
@@ -24,6 +25,14 @@ keeps the gate honest while screening out scheduler noise.
 to a JSON history file, and --markdown renders the perf trajectory -- one
 row per recorded run, one column per benchmark -- so simulator-throughput
 drift is visible across commits, not just against the single baseline.
+
+Benchmarks run with more than one host thread (bench_host_perf
+--threads-sweep) carry a "threads" field and are keyed "<name>@<N>t";
+single-thread entries keep the bare name, so existing baselines stay
+valid. The trajectory table gets a trailing "scaling" column showing each
+sharded benchmark's best multi-thread speedup over its own 1-thread run,
+and --min-scaling gates that speedup (e.g. --min-scaling grid_spmv=2.5
+fails unless some grid_spmv@Nt entry reaches 2.5x the 1-thread rate).
 """
 import datetime
 import json
@@ -32,14 +41,47 @@ import subprocess
 import sys
 
 
+def entry_key(bench):
+    """Stable key: bare name at 1 thread, "<name>@<N>t" beyond."""
+    threads = bench.get("threads", 1)
+    return bench["name"] if threads == 1 else f"{bench['name']}@{threads}t"
+
+
+def split_key(key):
+    """Inverse of entry_key: (name, threads)."""
+    if "@" in key and key.endswith("t"):
+        name, threads = key.rsplit("@", 1)
+        try:
+            return name, int(threads[:-1])
+        except ValueError:
+            pass
+    return key, 1
+
+
 def load(path):
     with open(path) as f:
-        return {b["name"]: b["events_per_sec"]
+        return {entry_key(b): b["events_per_sec"]
                 for b in json.load(f)["benchmarks"]}
 
 
+def scaling_of(current):
+    """{name: (speedup, threads)} for each benchmark with both a 1-thread
+    entry and at least one multi-thread entry: the best multi-thread rate
+    over the benchmark's own 1-thread rate."""
+    out = {}
+    for key, eps in current.items():
+        name, threads = split_key(key)
+        if threads == 1 or name not in current or current[name] <= 0:
+            continue
+        speedup = eps / current[name]
+        if name not in out or speedup > out[name][0]:
+            out[name] = (speedup, threads)
+    return out
+
+
 def parse_args(argv):
-    positional, limits, opts = [], {}, {"history": None, "markdown": None}
+    positional, limits, opts = [], {}, {
+        "history": None, "markdown": None, "min_scaling": {}}
     it = iter(argv)
     for arg in it:
         if arg == "--limit" or arg.startswith("--limit="):
@@ -48,6 +90,13 @@ def parse_args(argv):
                 sys.exit("--limit expects name=ratio (e.g. maple_spmv=1.15)")
             name, ratio = spec.split("=", 1)
             limits[name] = float(ratio)
+        elif arg == "--min-scaling" or arg.startswith("--min-scaling="):
+            spec = arg.split("=", 1)[1] if "=" in arg else next(it, None)
+            if not spec or "=" not in spec:
+                sys.exit("--min-scaling expects name=factor "
+                         "(e.g. grid_spmv=2.5)")
+            name, factor = spec.split("=", 1)
+            opts["min_scaling"][name] = float(factor)
         elif arg == "--history" or arg.startswith("--history="):
             opts["history"] = (arg.split("=", 1)[1] if "=" in arg
                                else next(it, None))
@@ -97,17 +146,23 @@ def append_history(path, current):
 
 
 def write_trajectory(path, entries):
-    """Perf-trajectory table: one row per recorded run, Mev/s per column."""
+    """Perf-trajectory table: one row per recorded run, Mev/s per column,
+    plus a trailing column with each run's multi-thread scaling."""
     names = sorted({n for e in entries for n in e["benchmarks"]})
     with open(path, "w") as f:
         f.write("# Host-performance trajectory\n\n")
-        f.write("| run | commit | date | " + " | ".join(names) + " |\n")
-        f.write("|---|---|---|" + "---:|" * len(names) + "\n")
+        f.write("| run | commit | date | " + " | ".join(names)
+                + " | scaling |\n")
+        f.write("|---|---|---|" + "---:|" * len(names) + "---|\n")
         for i, e in enumerate(entries, 1):
             cells = []
             for n in names:
                 eps = e["benchmarks"].get(n)
                 cells.append(f"{eps / 1e6:.2f}M" if eps is not None else "-")
+            scaling = scaling_of(e["benchmarks"])
+            cells.append(", ".join(
+                f"{n} x{s:.2f}@{t}t"
+                for n, (s, t) in sorted(scaling.items())) or "-")
             date = e["timestamp"].split("T")[0]
             f.write(f"| {i} | {e['commit']} | {date} | "
                     + " | ".join(cells) + " |\n")
@@ -158,6 +213,20 @@ def main():
             failures.append(
                 f"{name}: {eps:.0f} ev/s vs baseline {base_eps:.0f} "
                 f"({ratio:.1f}x slower, limit {limit:.1f}x)")
+    scaling = scaling_of(current)
+    for name, factor in sorted(opts["min_scaling"].items()):
+        got = scaling.get(name)
+        if got is None:
+            failures.append(f"{name}: no multi-thread entry to gate scaling")
+            continue
+        speedup, threads = got
+        status = "FAIL" if speedup < factor else "ok"
+        print(f"{status:4} {name:24} x{speedup:.2f} scaling @{threads}t "
+              f"(min x{factor:.2f})")
+        if speedup < factor:
+            failures.append(
+                f"{name}: x{speedup:.2f} scaling at {threads} threads, "
+                f"below the x{factor:.2f} floor")
     if failures:
         sys.exit("host-perf regression:\n" + "\n".join(failures))
     print("host-perf smoke ok")

@@ -3,7 +3,9 @@
  * Content-hashed result cache for campaign jobs.
  *
  * A job's cache key hashes everything its result can depend on:
- *  - the canonical JSON of the job spec (config + seed + variant axes);
+ *  - the canonical JSON of the job spec (config + seed + variant axes) —
+ *    minus "host_threads", which only changes how many host workers drive
+ *    the (deterministic) simulation, never its result;
  *  - the cache format version and the snapshot format version;
  *  - the running campaign binary's content (code version: any rebuild of
  *    the simulator invalidates scenario results);

@@ -108,6 +108,10 @@ maybeInjectCrash(const std::string &job_name)
     const char *crash = std::getenv(kCrashJobEnv);
     if (crash && job_name == crash) {
         std::fprintf(stderr, "injected crash (%s=%s)\n", kCrashJobEnv, crash);
+        // Sanitizer builds install their own SIGSEGV handler, which would
+        // turn this into a reported clean exit instead of a signal death;
+        // the parent must observe a real signal 11.
+        ::signal(SIGSEGV, SIG_DFL);
         ::raise(SIGSEGV);
     }
 }

@@ -41,21 +41,27 @@ Watchdog::run(sim::Cycle max_cycles)
             return true;
         if (eq_.now() >= max_cycles)
             return false;
-        const FaultInjector *fi = eq_.faultInjector();
-        // Masked owners (a device deliberately quiesced for recovery, or a
-        // queue degraded to the software path) are intentional stalls, not
-        // livelocks: only unmasked waiters count toward the stall bound.
-        if (!fi || fi->unmaskedParkedWaiters() == 0)
-            continue;
-        sim::Cycle oldest = fi->oldestUnmaskedParkCycle();
-        if (oldest != sim::kCycleMax && eq_.now() - oldest >= cfg_.stall_bound) {
-            failDeadlock(eq_, sim::detail::formatString(
-                "liveness watchdog: a waiter has been parked for %llu cycles "
-                "(stall bound %llu) at cycle %llu",
-                (unsigned long long)(eq_.now() - oldest),
-                (unsigned long long)cfg_.stall_bound,
-                (unsigned long long)eq_.now()));
-        }
+        checkStall(eq_, cfg_);
+    }
+}
+
+void
+Watchdog::checkStall(const sim::EventQueue &eq, const WatchdogConfig &cfg)
+{
+    const FaultInjector *fi = eq.faultInjector();
+    // Masked owners (a device deliberately quiesced for recovery, or a
+    // queue degraded to the software path) are intentional stalls, not
+    // livelocks: only unmasked waiters count toward the stall bound.
+    if (!fi || fi->unmaskedParkedWaiters() == 0)
+        return;
+    sim::Cycle oldest = fi->oldestUnmaskedParkCycle();
+    if (oldest != sim::kCycleMax && eq.now() - oldest >= cfg.stall_bound) {
+        failDeadlock(eq, sim::detail::formatString(
+            "liveness watchdog: a waiter has been parked for %llu cycles "
+            "(stall bound %llu) at cycle %llu",
+            (unsigned long long)(eq.now() - oldest),
+            (unsigned long long)cfg.stall_bound,
+            (unsigned long long)eq.now()));
     }
 }
 

@@ -72,6 +72,16 @@ class Watchdog {
     [[noreturn]] static void failDeadlock(const sim::EventQueue &eq,
                                           const std::string &summary);
 
+    /**
+     * The chunk-boundary stall check on its own: throws sim::DeadlockError
+     * when @p eq's oldest unmasked parked waiter is older than
+     * @p cfg.stall_bound. Shared between run() and the sharded engine's
+     * quantum-boundary hook (soc::Soc / soc::SocGrid), so both paths declare
+     * livelock by the same rule.
+     */
+    static void checkStall(const sim::EventQueue &eq,
+                           const WatchdogConfig &cfg);
+
   private:
     sim::EventQueue &eq_;
     WatchdogConfig cfg_;

@@ -21,6 +21,7 @@ struct PerfSample {
     std::uint64_t events = 0;      ///< kernel events executed
     std::uint64_t sim_cycles = 0;  ///< simulated cycles covered
     double host_seconds = 0.0;     ///< host wall time
+    unsigned threads = 1;          ///< host worker threads driving the run
 
     double
     eventsPerSec() const
@@ -80,11 +81,15 @@ class HostPerfReport {
 struct HostPerfOptions {
     bool quick = false;  ///< --quick: CI-sized iteration counts
     std::string out_path = "BENCH_host_perf.json";  ///< --out=<path>
+    /** Thread counts for the sharded tiers: --threads=N for one count,
+     *  --threads-sweep=1,2,4 for several (each emits its own sample). */
+    std::vector<unsigned> threads_sweep = {1};
 };
 
 /**
- * Parse --quick and --out=<path> (both --flag=value and --flag value forms)
- * out of argv, leaving unrelated flags for the caller.
+ * Parse --quick, --out=<path>, --threads=<n> and --threads-sweep=<list>
+ * (both --flag=value and --flag value forms) out of argv, leaving unrelated
+ * flags for the caller.
  */
 HostPerfOptions applyHostPerfFlags(int &argc, char **argv);
 

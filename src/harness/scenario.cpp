@@ -197,6 +197,10 @@ parseScenarioSpec(const json::Value &job)
                 s.technique.c_str());
     s.queue_entries = static_cast<unsigned>(
         job.getInt("queue_entries", s.queue_entries));
+    s.host_threads = static_cast<unsigned>(
+        job.getInt("host_threads", s.host_threads));
+    MAPLE_CHECK(s.host_threads >= 1, json::JsonError,
+                "host_threads must be >= 1");
     if (const json::Value *soc = job.get("soc")) {
         s.soc_preset = soc->getString("preset", s.soc_preset);
         MAPLE_CHECK(s.soc_preset == "fpga" || s.soc_preset == "simulated",
@@ -243,11 +247,12 @@ scenarioSocConfig(const ScenarioSpec &s)
                              : soc::SocConfig::fpga();
     cfg.name = "campaign-" + s.scenario;
     cfg.num_cores = s.num_cores;
+    cfg.host_threads = s.host_threads;
     return cfg;
 }
 
-void
-warmScenario(soc::Soc &soc, const ScenarioSpec &s)
+std::vector<sim::Join>
+spawnScenarioWarm(soc::Soc &soc, const ScenarioSpec &s)
 {
     SpmvData d = buildSpmv(s);
     os::Process &proc = soc.createProcess("campaign");
@@ -264,46 +269,44 @@ warmScenario(soc::Soc &soc, const ScenarioSpec &s)
     writeArray(proc, a.vals, d.vals);
     writeArray(proc, a.x, d.x);
 
-    if (s.warm_rows == 0)
-        return;
     std::vector<sim::Join> joins;
-    for (unsigned t = 0; t < soc.numCores(); ++t) {
+    for (unsigned t = 0; t < soc.numCores() && s.warm_rows > 0; ++t) {
         app::Chunk c = app::chunkOf(s.warm_rows, t, soc.numCores());
         if (c.begin < c.end)
             joins.push_back(sim::spawn(warmWorker(soc.core(t), a, c)));
     }
-    soc.run(joins);
+    return joins;
+}
+
+void
+warmScenario(soc::Soc &soc, const ScenarioSpec &s)
+{
+    std::vector<sim::Join> joins = spawnScenarioWarm(soc, s);
+    if (!joins.empty())
+        soc.run(std::move(joins));
+}
+
+std::vector<sim::Join>
+spawnScenarioDoall(soc::Soc &soc, const ScenarioSpec &s)
+{
+    MAPLE_CHECK(!soc.kernel().processes().empty(), sim::FatalError,
+                "scenario measure needs a warmed (or restored) SoC");
+    SpmvAddrs a = lookupAddrs(*soc.kernel().processes().front());
+    std::vector<sim::Join> joins;
+    for (unsigned t = 0; t < soc.numCores(); ++t) {
+        app::Chunk c = app::chunkOf(s.rows, t, soc.numCores());
+        if (c.begin < c.end)
+            joins.push_back(sim::spawn(doallWorker(soc.core(t), a, c)));
+    }
+    return joins;
 }
 
 ScenarioResult
-measureScenario(soc::Soc &soc, const ScenarioSpec &s)
+collectScenarioResult(soc::Soc &soc, const ScenarioSpec &s, sim::Cycle start)
 {
     SpmvData d = buildSpmv(s);
-    MAPLE_CHECK(!soc.kernel().processes().empty(), sim::FatalError,
-                "measureScenario needs a warmed (or restored) SoC");
     os::Process &proc = *soc.kernel().processes().front();
     SpmvAddrs a = lookupAddrs(proc);
-
-    const sim::Cycle start = soc.eq().now();
-    if (s.technique == "doall") {
-        std::vector<sim::Join> joins;
-        for (unsigned t = 0; t < soc.numCores(); ++t) {
-            app::Chunk c = app::chunkOf(s.rows, t, soc.numCores());
-            if (c.begin < c.end)
-                joins.push_back(sim::spawn(doallWorker(soc.core(t), a, c)));
-        }
-        soc.run(joins);
-    } else {
-        core::MapleApi api = core::MapleApi::attach(proc, soc.maple());
-        auto setup = [&](cpu::Core &c) -> sim::Task<void> {
-            co_await api.init(c, 1, s.queue_entries, 4);
-            bool ok = co_await api.open(c, 0);
-            MAPLE_ASSERT(ok, "campaign queue open failed");
-        };
-        soc.run({sim::spawn(setup(soc.core(0)))});
-        soc.run({sim::spawn(accessWorker(soc.core(0), api, a, s.rows)),
-                 sim::spawn(executeWorker(soc.core(1), api, a, s.rows))});
-    }
 
     ScenarioResult res;
     res.end_cycle = soc.eq().now();
@@ -318,6 +321,31 @@ measureScenario(soc::Soc &soc, const ScenarioSpec &s)
     res.result.valid = y == d.golden;
     app::collectCoreStats(soc, res.result);
     return res;
+}
+
+ScenarioResult
+measureScenario(soc::Soc &soc, const ScenarioSpec &s)
+{
+    MAPLE_CHECK(!soc.kernel().processes().empty(), sim::FatalError,
+                "measureScenario needs a warmed (or restored) SoC");
+    os::Process &proc = *soc.kernel().processes().front();
+    SpmvAddrs a = lookupAddrs(proc);
+
+    const sim::Cycle start = soc.eq().now();
+    if (s.technique == "doall") {
+        soc.run(spawnScenarioDoall(soc, s));
+    } else {
+        core::MapleApi api = core::MapleApi::attach(proc, soc.maple());
+        auto setup = [&](cpu::Core &c) -> sim::Task<void> {
+            co_await api.init(c, 1, s.queue_entries, 4);
+            bool ok = co_await api.open(c, 0);
+            MAPLE_ASSERT(ok, "campaign queue open failed");
+        };
+        soc.run({sim::spawn(setup(soc.core(0)))});
+        soc.run({sim::spawn(accessWorker(soc.core(0), api, a, s.rows)),
+                 sim::spawn(executeWorker(soc.core(1), api, a, s.rows))});
+    }
+    return collectScenarioResult(soc, s, start);
 }
 
 json::Value

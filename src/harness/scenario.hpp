@@ -47,6 +47,13 @@ struct ScenarioSpec {
     std::string technique = "doall";  ///< "doall" or "maple"
     unsigned queue_entries = 32;
     /// @}
+    /**
+     * Host worker threads driving the simulation (a campaign axis for
+     * thread-count sweeps). Pure host-side execution knob: results are
+     * byte-identical for any value, so it is excluded from the result-cache
+     * key (campaign/cache.cpp) — an N-thread job hits a 1-thread entry.
+     */
+    unsigned host_threads = 1;
 };
 
 /** Result of a measure() phase. */
@@ -85,6 +92,25 @@ void warmScenario(soc::Soc &soc, const ScenarioSpec &s);
  * validate against the host-computed golden result.
  */
 ScenarioResult measureScenario(soc::Soc &soc, const ScenarioSpec &s);
+
+/// @name Spawn-phase API (multi-SoC driving)
+/// A soc::SocGrid caller spawns each phase on every chip, then drives all
+/// chips through one grid run. warmScenario/measureScenario are these same
+/// pieces glued to a single Soc::run, so behavior is identical either way.
+/// @{
+
+/** Allocate + upload the dataset, spawn the warm workers; does not run. */
+std::vector<sim::Join> spawnScenarioWarm(soc::Soc &soc, const ScenarioSpec &s);
+
+/** Spawn the doall measure workers on a warmed/restored SoC; does not run. */
+std::vector<sim::Join> spawnScenarioDoall(soc::Soc &soc, const ScenarioSpec &s);
+
+/** Validate y against the recomputed golden and collect stats; @p start is
+ *  the SoC clock at measure begin. */
+ScenarioResult collectScenarioResult(soc::Soc &soc, const ScenarioSpec &s,
+                                     sim::Cycle start);
+
+/// @}
 
 /** Convenience: ScenarioResult as a JSON document (for result files). */
 json::Value scenarioResultJson(const ScenarioResult &r);

@@ -89,6 +89,7 @@ hostPerfToJson(const std::vector<PerfSample> &samples,
     for (const PerfSample &s : samples) {
         json::Object b;
         b.emplace_back("name", json::Value(s.name));
+        b.emplace_back("threads", json::Value(s.threads));
         b.emplace_back("events", json::Value(s.events));
         b.emplace_back("sim_cycles", json::Value(s.sim_cycles));
         b.emplace_back("host_seconds", json::Value(s.host_seconds));

@@ -117,6 +117,23 @@ class EventQueue {
     /** Number of pending events. */
     size_t pending() const { return wheel_count_ + overflow_.size(); }
 
+    /**
+     * Cycle of the earliest pending event, or kCycleMax when empty. A pure
+     * peek: no cascade, no time advance. The sharded engine (sim/sharded.hpp)
+     * uses it to skip idle gaps between bulk-synchronous quanta without
+     * perturbing the queue.
+     */
+    Cycle
+    nextEventCycle() const
+    {
+        Cycle next = kCycleMax;
+        if (wheel_count_ > 0)
+            next = buckets_[nextOccupiedBucket()].head->when;
+        if (!overflow_.empty() && overflow_.front()->when < next)
+            next = overflow_.front()->when;
+        return next;
+    }
+
     /** Total events executed so far (for microbenchmarks and stats). */
     std::uint64_t executed() const { return executed_; }
 

@@ -1,0 +1,279 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+
+#include "sim/error.hpp"
+#include "sim/log.hpp"
+
+namespace maple::sim {
+
+ShardedEngine::DomainId
+ShardedEngine::addDomain(EventQueue &eq, std::string name)
+{
+    MAPLE_CHECK(pendingMessages() == 0, ConfigError,
+                "addDomain with cross-domain messages in flight");
+    auto id = static_cast<DomainId>(domains_.size());
+    Domain d;
+    d.eq = &eq;
+    d.name = name.empty() ? "domain." + std::to_string(id) : std::move(name);
+    domains_.push_back(std::move(d));
+    // Pair boxes are indexed src*D+dst, so a domain-count change relays out
+    // the whole mailbox array (empty by the check above).
+    const size_t n = domains_.size();
+    boxes_.assign(n * n + n, Mailbox{});
+    return id;
+}
+
+void
+ShardedEngine::declareChannelLatency(Cycle min_latency)
+{
+    MAPLE_CHECK(min_latency >= 1, ConfigError,
+                "cross-domain channel needs a latency of at least one cycle "
+                "(zero-lookahead channels cannot be parallelized "
+                "conservatively)");
+    lookahead_ = std::min(lookahead_, min_latency);
+}
+
+ShardedEngine::Mailbox &
+ShardedEngine::box(DomainId src, DomainId dst)
+{
+    const size_t n = domains_.size();
+    MAPLE_CHECK(dst < n, ConfigError, "message to unknown domain %u", dst);
+    if (src == kExternalSrc)
+        return boxes_[n * n + dst];
+    MAPLE_CHECK(src < n, ConfigError, "message from unknown domain %u", src);
+    return boxes_[static_cast<size_t>(src) * n + dst];
+}
+
+void
+ShardedEngine::post(DomainId src, DomainId dst, Cycle when,
+                    EventQueue::Callback cb)
+{
+    // The conservative-lookahead contract: a message posted inside a window
+    // must land beyond it, so no domain's window can depend on what another
+    // domain does inside the same window.
+    if (in_window_) {
+        MAPLE_CHECK(when >= window_end_, ConfigError,
+                    "cross-domain message at cycle %llu violates the "
+                    "conservative window end %llu (declared channel latency "
+                    "too small for the quantum?)",
+                    (unsigned long long)when,
+                    (unsigned long long)window_end_);
+    } else if (dst < domains_.size() && when < domains_[dst].eq->now()) {
+        // Outside run() the domain clocks rest at their individual drain
+        // points, so a host-side post computed from a lagging domain's clock
+        // can predate the destination. Deliver it as early as the
+        // destination's clock allows — deterministic, since between-run
+        // clocks don't depend on the thread count. (In-window posts can
+        // never hit this: when >= window_end > bound >= every domain's now.)
+        when = domains_[dst].eq->now();
+    }
+    Mailbox &b = box(src, dst);
+    b.msgs.push_back(Message{when, b.next_seq++, std::move(cb)});
+}
+
+void
+ShardedEngine::deliverPending()
+{
+    const size_t n = domains_.size();
+    struct Pending {
+        Cycle when;
+        DomainId src;
+        std::uint64_t seq;
+        EventQueue::Callback cb;
+    };
+    std::vector<Pending> batch;
+    for (size_t dst = 0; dst < n; ++dst) {
+        batch.clear();
+        for (size_t src = 0; src < n + 1; ++src) {
+            DomainId sid = src == n ? kExternalSrc : static_cast<DomainId>(src);
+            Mailbox &b = box(sid, static_cast<DomainId>(dst));
+            for (Message &m : b.msgs)
+                batch.push_back(Pending{m.when, sid, m.seq, std::move(m.cb)});
+            b.msgs.clear();
+        }
+        if (batch.empty())
+            continue;
+        // The fixed cross-domain merge order: delivery cycle, then source
+        // domain, then the per-mailbox ticket. EventQueue ties break by
+        // insertion order, so scheduling in this order pins all same-cycle
+        // cross-domain interleaving independent of host thread count.
+        std::sort(batch.begin(), batch.end(),
+                  [](const Pending &a, const Pending &b2) {
+                      if (a.when != b2.when)
+                          return a.when < b2.when;
+                      if (a.src != b2.src)
+                          return a.src < b2.src;
+                      return a.seq < b2.seq;
+                  });
+        EventQueue &eq = *domains_[dst].eq;
+        for (Pending &p : batch) {
+            MAPLE_CHECK(p.when >= eq.now(), ConfigError,
+                        "cross-domain message delivered into the past "
+                        "(cycle %llu < domain now %llu)",
+                        (unsigned long long)p.when,
+                        (unsigned long long)eq.now());
+            eq.schedule(p.when, std::move(p.cb));
+            ++merged_;
+        }
+    }
+}
+
+size_t
+ShardedEngine::pendingMessages() const
+{
+    size_t pending = 0;
+    for (const Mailbox &b : boxes_)
+        pending += b.msgs.size();
+    return pending;
+}
+
+std::uint64_t
+ShardedEngine::executed() const
+{
+    std::uint64_t total = 0;
+    for (const Domain &d : domains_)
+        total += d.eq->executed();
+    return total;
+}
+
+void
+ShardedEngine::runDomain(Domain &d, Cycle bound)
+{
+    try {
+        d.eq->run(bound);
+    } catch (...) {
+        if (!d.error)
+            d.error = std::current_exception();
+    }
+}
+
+void
+ShardedEngine::rethrowDomainErrors()
+{
+    std::exception_ptr first;
+    for (Domain &d : domains_) {
+        if (d.error && !first)
+            first = d.error;
+        d.error = nullptr;
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+void
+ShardedEngine::runWindow(Cycle bound, unsigned threads)
+{
+    bound_ = bound;
+    window_end_ = bound == kCycleMax ? kCycleMax : bound + 1;
+    in_window_ = true;
+    if (threads <= 1 || domains_.size() == 1) {
+        // Sequential reference path: same domain order every time. No
+        // short-circuit on error — parallel windows always complete every
+        // domain, so the sequential path must too for bit-identity of the
+        // window's side effects.
+        for (Domain &d : domains_)
+            runDomain(d, bound);
+    } else {
+        claim_.store(0, std::memory_order_relaxed);
+        done_.store(0, std::memory_order_relaxed);
+        // Release-publish bound_/window_end_ to the workers.
+        epoch_.fetch_add(1, std::memory_order_release);
+        // The main thread is worker zero.
+        for (;;) {
+            unsigned d = claim_.fetch_add(1, std::memory_order_acq_rel);
+            if (d >= domains_.size())
+                break;
+            runDomain(domains_[d], bound);
+            done_.fetch_add(1, std::memory_order_release);
+        }
+        while (done_.load(std::memory_order_acquire) < domains_.size())
+            std::this_thread::yield();
+    }
+    in_window_ = false;
+}
+
+bool
+ShardedEngine::run(const RunOptions &opts)
+{
+    const unsigned n = numDomains();
+    MAPLE_CHECK(n > 0, ConfigError, "sharded run with no domains");
+    const Cycle q =
+        opts.quantum ? opts.quantum : std::min(lookahead_, Cycle{kDefaultQuantum});
+    MAPLE_CHECK(q >= 1 && q <= lookahead_, ConfigError,
+                "quantum %llu exceeds the declared lookahead %llu",
+                (unsigned long long)q, (unsigned long long)lookahead_);
+    const unsigned threads = std::min(std::max(opts.threads, 1u), n);
+
+    // Workers are pure accelerators: every window is driven to completion by
+    // the main thread's own claim loop, so results never depend on whether
+    // (or when) a worker picked up a domain. Spawned per run; the guard
+    // stops and joins them even when a hook or domain throws.
+    struct PoolGuard {
+        ShardedEngine *engine;
+        std::vector<std::thread> workers;
+
+        ~PoolGuard()
+        {
+            engine->stop_.store(true, std::memory_order_release);
+            for (std::thread &t : workers)
+                t.join();
+        }
+    } pool{this, {}};
+    if (threads > 1) {
+        stop_.store(false, std::memory_order_relaxed);
+        pool.workers.reserve(threads - 1);
+        for (unsigned t = 1; t < threads; ++t) {
+            pool.workers.emplace_back([this] {
+                std::uint64_t seen = epoch_.load(std::memory_order_acquire);
+                for (;;) {
+                    std::uint64_t e;
+                    while ((e = epoch_.load(std::memory_order_acquire)) ==
+                           seen) {
+                        if (stop_.load(std::memory_order_acquire))
+                            return;
+                        std::this_thread::yield();
+                    }
+                    seen = e;
+                    for (;;) {
+                        unsigned d =
+                            claim_.fetch_add(1, std::memory_order_acq_rel);
+                        if (d >= domains_.size())
+                            break;
+                        runDomain(domains_[d], bound_);
+                        done_.fetch_add(1, std::memory_order_release);
+                    }
+                }
+            });
+        }
+    }
+
+    deliverPending();
+    for (;;) {
+        Cycle next = kCycleMax;
+        for (const Domain &d : domains_)
+            next = std::min(next, d.eq->nextEventCycle());
+        if (next == kCycleMax)
+            return true;  // every queue drained, no messages in flight
+        if (next > opts.max_cycles) {
+            // Early stop: advance every non-drained domain's clock to the
+            // bound (EventQueue::run's continuous-time contract), so
+            // back-to-back runs see continuous time exactly like a plain
+            // eq.run(max_cycles) would.
+            for (Domain &d : domains_)
+                d.eq->run(opts.max_cycles);
+            rethrowDomainErrors();
+            return false;
+        }
+        Cycle bound = next > kCycleMax - (q - 1) ? kCycleMax : next + (q - 1);
+        bound = std::min(bound, opts.max_cycles);
+        runWindow(bound, threads);
+        ++quanta_;
+        rethrowDomainErrors();
+        if (boundary_hook_)
+            boundary_hook_(bound);
+        deliverPending();
+    }
+}
+
+}  // namespace maple::sim

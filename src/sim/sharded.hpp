@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Sharded multi-threaded simulation engine: conservative bulk-synchronous
+ * parallelism over per-domain EventQueue timing wheels.
+ *
+ * The SoC (or a grid of SoCs) is partitioned into *domains*, each owning its
+ * own EventQueue, coroutine frames and RNG streams. Domains never touch each
+ * other's state directly; the only cross-domain interaction is a *message*
+ * (an EventQueue::Callback plus an absolute delivery cycle) posted into a
+ * per-(src,dst) mailbox. The engine advances all domains in lock-step
+ * bulk-synchronous quanta:
+ *
+ *   1. Deliver every pending mailbox message into its target queue, in the
+ *      fixed order (delivery cycle, source domain, per-mailbox ticket). The
+ *      EventQueue breaks same-cycle ties by insertion order, so this merge
+ *      order — not thread scheduling — decides all cross-domain ordering.
+ *   2. Compute the next window [T, T+Q): T is the earliest pending event
+ *      across all domains, Q = min(lookahead, configured quantum).
+ *   3. Run every domain's queue through the window, one domain per worker
+ *      (claimed from an atomic counter; any assignment yields the same
+ *      per-domain event sequence). Messages posted during the window must
+ *      be scheduled at or after the window end (checked), which is what
+ *      makes the window race-free: nothing a domain does inside [T, T+Q)
+ *      can affect another domain inside the same window.
+ *   4. Barrier; surface any domain exception in domain-id order; invoke the
+ *      boundary hook (watchdog aggregation); repeat.
+ *
+ * Determinism: a domain's event sequence depends only on its own queue
+ * contents plus the merged messages, and the merge order is a pure function
+ * of (cycle, src domain, ticket). Host thread count and scheduling therefore
+ * cannot influence results: --threads=8 is byte-identical to --threads=1 by
+ * construction (and locked by tests/test_sharded.cpp).
+ *
+ * The conservative quantum bound Q <= lookahead is the classic
+ * null-message-free conservative synchronization of a topology with a known
+ * minimum cross-domain latency (here: the NoC/inter-chip link latency, in
+ * the spirit of Manticore's static BSP and Graphite's relaxed tile sync).
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/types.hpp"
+
+namespace maple::sim {
+
+class ShardedEngine {
+  public:
+    using DomainId = std::uint32_t;
+
+    /** Sentinel source for messages posted from outside any domain. */
+    static constexpr DomainId kExternalSrc = ~DomainId{0};
+
+    /** Default quantum when no channel bounds the lookahead (matches the
+     *  liveness watchdog's default check interval). */
+    static constexpr Cycle kDefaultQuantum = 1u << 16;
+
+    ShardedEngine() = default;
+    ShardedEngine(const ShardedEngine &) = delete;
+    ShardedEngine &operator=(const ShardedEngine &) = delete;
+
+    /**
+     * Register @p eq as a domain. The queue stays owned by the caller (a
+     * Soc's queue, a bench-local queue); the engine only drives it. Must not
+     * be called while run() is active.
+     */
+    DomainId addDomain(EventQueue &eq, std::string name = {});
+
+    unsigned numDomains() const { return static_cast<unsigned>(domains_.size()); }
+    EventQueue &domain(DomainId d) { return *domains_.at(d).eq; }
+    const std::string &domainName(DomainId d) const { return domains_.at(d).name; }
+
+    /**
+     * Declare a cross-domain channel whose messages always carry at least
+     * @p min_latency cycles between post time and delivery cycle. The
+     * quantum never exceeds the smallest declared latency, which is what
+     * guarantees a message posted inside a window lands beyond it.
+     */
+    void declareChannelLatency(Cycle min_latency);
+
+    /** The current lookahead bound (kCycleMax when no channel declared). */
+    Cycle lookahead() const { return lookahead_; }
+
+    /**
+     * Post a cross-domain message: run @p cb in domain @p dst's queue at
+     * absolute cycle @p when. Legal from the code of domain @p src while it
+     * executes a window (then @p when must be at or beyond the window end —
+     * checked, ConfigError), or from the host thread outside run(). Outside
+     * a window, a @p when behind the destination's clock (domain clocks
+     * rest at their individual drain points between runs) is clamped up to
+     * it. The callback executes on whichever host thread runs @p dst in the
+     * delivery window; it must only touch @p dst's state.
+     */
+    void post(DomainId src, DomainId dst, Cycle when, EventQueue::Callback cb);
+
+    /**
+     * Hook invoked single-threaded after every quantum with the window-end
+     * cycle just reached. Used for watchdog aggregation across domains; may
+     * throw (e.g. DeadlockError) to abort the run. Never invoked
+     * concurrently with domain execution.
+     */
+    using BoundaryHook = std::function<void(Cycle window_end)>;
+    void setBoundaryHook(BoundaryHook hook) { boundary_hook_ = std::move(hook); }
+
+    struct RunOptions {
+        unsigned threads = 1;        ///< host worker threads (clamped to domains)
+        Cycle max_cycles = kCycleMax; ///< stop once the next window would pass this
+        Cycle quantum = 0;           ///< 0 = auto: min(lookahead, kDefaultQuantum)
+    };
+
+    /**
+     * Advance all domains until every queue drains and no message is in
+     * flight (returns true), or until the next event lies beyond
+     * @p max_cycles (returns false; domains with pending events have
+     * advanced now() to the bound, mirroring EventQueue::run's early-stop
+     * contract). Byte-identical for any opts.threads.
+     */
+    bool run(const RunOptions &opts);
+    bool run() { return run(RunOptions{}); }
+
+    /// @name Telemetry
+    /// @{
+    std::uint64_t quanta() const { return quanta_; }
+    std::uint64_t messagesMerged() const { return merged_; }
+    size_t pendingMessages() const;
+    /** Sum of executed() over all domains. */
+    std::uint64_t executed() const;
+    /// @}
+
+  private:
+    struct Message {
+        Cycle when = 0;
+        std::uint64_t seq = 0;  ///< per-mailbox ticket (FIFO within a pair)
+        EventQueue::Callback cb;
+    };
+
+    /** SPSC mailbox for one (src,dst) pair: the src domain's thread appends
+     *  during a window, the merge phase (single-threaded, after the barrier)
+     *  drains it. The barrier provides the happens-before edge. */
+    struct Mailbox {
+        std::vector<Message> msgs;
+        std::uint64_t next_seq = 0;
+    };
+
+    struct Domain {
+        EventQueue *eq = nullptr;
+        std::string name;
+        std::exception_ptr error;  ///< first exception from the last window
+    };
+
+    Mailbox &box(DomainId src, DomainId dst);
+    void runDomain(Domain &d, Cycle bound);
+    void runWindow(Cycle bound, unsigned threads);
+    void deliverPending();
+    void rethrowDomainErrors();
+
+    std::vector<Domain> domains_;
+    /** numDomains()*numDomains() pair boxes + numDomains() external boxes. */
+    std::vector<Mailbox> boxes_;
+    Cycle lookahead_ = kCycleMax;
+    BoundaryHook boundary_hook_;
+
+    // Window state published to workers before each quantum (happens-before
+    // via the epoch counter below).
+    Cycle window_end_ = 0;   ///< first cycle beyond the running window
+    bool in_window_ = false;
+
+    // Worker handshake (see sharded.cpp for the protocol).
+    std::atomic<std::uint64_t> epoch_{0};
+    std::atomic<unsigned> claim_{0};
+    std::atomic<unsigned> done_{0};
+    std::atomic<bool> stop_{false};
+    Cycle bound_ = 0;
+
+    std::uint64_t quanta_ = 0;
+    std::uint64_t merged_ = 0;
+};
+
+}  // namespace maple::sim

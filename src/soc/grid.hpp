@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Multi-SoC grid: several complete SoCs (chips), each its own simulation
+ * domain with a private EventQueue, coroutine frames, RNG streams, tracer
+ * and fault injector, advanced concurrently by sim::ShardedEngine in
+ * conservative bulk-synchronous quanta bounded by the inter-chip link
+ * latency.
+ *
+ * The grid is the unit of host-side parallelism: a single SoC's mesh
+ * reserves links synchronously (zero lookahead), so the chip itself cannot
+ * be cut into concurrent domains without changing its timing — but chips
+ * only talk through explicit cross-domain link ports (mem/shard_port.hpp),
+ * whose declared latency bounds the engine's lookahead. Results are
+ * byte-identical for any host thread count; see sim/sharded.hpp for the
+ * determinism argument and DESIGN.md §12 for the partitioning rationale.
+ *
+ * Watchdog and checkpoint semantics carry over per chip: the engine's
+ * quantum-boundary hook applies each SoC's own watchdog stall rule, and
+ * snapshot()/restore() delegate to the member SoC at a quiesced boundary
+ * (where the mailboxes are provably empty, so the per-SoC snapshot format
+ * needs no extension).
+ */
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "mem/shard_port.hpp"
+#include "sim/error.hpp"
+#include "sim/sharded.hpp"
+#include "soc/soc.hpp"
+
+namespace maple::soc {
+
+struct SocGridConfig {
+    std::vector<SocConfig> socs;   ///< one chip per entry (= one domain)
+    /** Host worker threads (clamped to the chip count; MAPLE_THREADS env). */
+    unsigned host_threads = 1;
+    sim::Cycle link_latency = 32;  ///< per-direction inter-chip hop cost
+    sim::Cycle quantum = 0;        ///< 0 = auto (min(lookahead, default))
+
+    /** @p chips copies of @p proto, named "<proto.name>.<i>". */
+    static SocGridConfig uniform(const SocConfig &proto, unsigned chips);
+};
+
+class SocGrid {
+  public:
+    explicit SocGrid(SocGridConfig cfg);
+
+    unsigned size() const { return static_cast<unsigned>(socs_.size()); }
+    Soc &soc(unsigned i) { return *socs_.at(i); }
+    sim::ShardedEngine &engine() { return engine_; }
+    const SocGridConfig &config() const { return cfg_; }
+
+    /**
+     * Create (and own) a cross-chip port: requests issued on chip @p src
+     * execute against chip @p dst's LLC front-end, one link hop each way.
+     */
+    mem::CrossDomainPort &linkPort(unsigned src, unsigned dst);
+
+    /**
+     * Advance every chip until all queues drain (and all @p joins finished)
+     * or @p max_cycles. Same contract as Soc::run — DeadlockError on
+     * non-drain, per-chip watchdog stall checks at quantum boundaries —
+     * and byte-identical for any config().host_threads.
+     * Returns cycles elapsed on chip 0's clock.
+     */
+    sim::Cycle run(std::vector<sim::Join> joins,
+                   sim::Cycle max_cycles = sim::kCycleMax);
+
+    /**
+     * Snapshot chip @p i (requires a quiesced grid: no messages pending).
+     * Inline so only callers pull in Soc::snapshot's ckpt implementation —
+     * maple_soc itself cannot depend on maple_ckpt.
+     */
+    void
+    snapshot(unsigned i, std::ostream &out)
+    {
+        MAPLE_CHECK(engine_.pendingMessages() == 0, sim::FatalError,
+                    "grid snapshot with %zu cross-domain messages in flight",
+                    engine_.pendingMessages());
+        soc(i).snapshot(out);
+    }
+
+    /** Restore chip @p i from a per-SoC snapshot stream (same quiesced
+     *  requirement and ckpt-dependency note as snapshot()). */
+    void
+    restore(unsigned i, std::istream &in)
+    {
+        MAPLE_CHECK(engine_.pendingMessages() == 0, sim::FatalError,
+                    "grid restore with cross-domain messages in flight");
+        soc(i).restore(in);
+    }
+
+  private:
+    SocGridConfig cfg_;
+    sim::ShardedEngine engine_;
+    std::vector<std::unique_ptr<Soc>> socs_;
+    std::vector<std::unique_ptr<mem::CrossDomainPort>> links_;
+};
+
+}  // namespace maple::soc

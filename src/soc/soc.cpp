@@ -1,11 +1,28 @@
 #include "soc/soc.hpp"
 
 #include <cmath>
+#include <cstdlib>
 
 #include "sim/error.hpp"
 #include "sim/log.hpp"
+#include "sim/sharded.hpp"
 
 namespace maple::soc {
+
+unsigned
+hostThreadsFromEnv(unsigned fallback)
+{
+    const char *p = std::getenv("MAPLE_THREADS");
+    if (!p || !*p)
+        return fallback;
+    char *end = nullptr;
+    unsigned long v = std::strtoul(p, &end, 10);
+    if (!end || *end != '\0' || v < 1) {
+        MAPLE_WARN("ignoring bad MAPLE_THREADS '%s'", p);
+        return fallback;
+    }
+    return static_cast<unsigned>(v);
+}
 
 SocConfig
 SocConfig::fpga()
@@ -66,6 +83,7 @@ Soc::Soc(SocConfig cfg) : cfg_(std::move(cfg))
         tracer_ = std::make_unique<trace::TraceManager>(eq_, cfg_.trace);
     cfg_.fault.mergeEnv();
     cfg_.watchdog.mergeEnv();
+    cfg_.host_threads = hostThreadsFromEnv(cfg_.host_threads);
     fault_ = std::make_unique<fault::FaultInjector>(eq_, cfg_.fault);
 
     // Fabric arbitration knobs (MAPLE_LLC_ARB / MAPLE_DRAM_ARB, or the
@@ -241,8 +259,33 @@ sim::Cycle
 Soc::run(std::vector<sim::Join> joins, sim::Cycle max_cycles)
 {
     sim::Cycle start = eq_.now();
-    fault::Watchdog wd(eq_, cfg_.watchdog);
-    bool drained = wd.run(max_cycles);
+    bool drained;
+    if (cfg_.host_threads > 1) {
+        // The sharded-engine path: the whole SoC is one event domain (its
+        // mesh reserves links synchronously, so it cannot be cut without
+        // changing timing — see DESIGN.md §12), driven through the same
+        // chunked-run + stall-check protocol as the Watchdog. Event order
+        // and timing are identical to the legacy path; only the cycle at
+        // which a livelock is *diagnosed* can differ by up to one quantum,
+        // because the engine's windows start at the next pending event
+        // rather than at now().
+        sim::ShardedEngine engine;
+        engine.addDomain(eq_, cfg_.name);
+        if (cfg_.watchdog.enabled) {
+            engine.setBoundaryHook([this](sim::Cycle) {
+                fault::Watchdog::checkStall(eq_, cfg_.watchdog);
+            });
+        }
+        sim::ShardedEngine::RunOptions ro;
+        ro.threads = cfg_.host_threads;
+        ro.max_cycles = max_cycles;
+        if (cfg_.watchdog.enabled)
+            ro.quantum = cfg_.watchdog.check_interval;
+        drained = engine.run(ro);
+    } else {
+        fault::Watchdog wd(eq_, cfg_.watchdog);
+        drained = wd.run(max_cycles);
+    }
     for (const sim::Join &j : joins) {
         if (j.done())
             j.get();  // rethrows workload exceptions

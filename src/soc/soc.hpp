@@ -64,12 +64,23 @@ struct SocConfig {
     fault::FaultConfig fault{};      // off unless set or MAPLE_FAULT_* present
     fault::WatchdogConfig watchdog{}; // on by default; MAPLE_WATCHDOG=0 disables
 
+    /**
+     * Host worker threads driving run() (MAPLE_THREADS env, --threads in the
+     * harnesses). 1 keeps the historical single-threaded watchdog loop; > 1
+     * routes run() through the sharded engine (sim/sharded.hpp). Results are
+     * byte-identical either way — the knob only changes host-side execution.
+     */
+    unsigned host_threads = 1;
+
     /** Table 2: the FPGA-emulated OpenPiton+Ariane SoC (2 cores, 1 MAPLE). */
     static SocConfig fpga();
 
     /** Table 3: the simulator configuration used against prior work. */
     static SocConfig simulated(unsigned cores = 2);
 };
+
+/** @p fallback overlaid with MAPLE_THREADS when set and parseable (>= 1). */
+unsigned hostThreadsFromEnv(unsigned fallback);
 
 class Soc {
   public:

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <string_view>
@@ -337,7 +338,11 @@ namespace {
 std::string
 uniquePath(const std::string &path)
 {
+    // Process-wide, so guard it: sharded runs can flush tracers for several
+    // SoCs from different host worker threads.
+    static std::mutex mu;
     static std::map<std::string, unsigned> writes;
+    std::lock_guard<std::mutex> lock(mu);
     unsigned n = writes[path]++;
     if (n == 0)
         return path;

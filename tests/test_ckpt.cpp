@@ -308,6 +308,47 @@ TEST(Ckpt, RestoreThenRunIsByteIdenticalToUninterruptedRun)
     }
 }
 
+TEST(Ckpt, RestoreThenRunWithHostThreadsIsByteIdentical)
+{
+    // host_threads routes the run through the sharded engine but is not a
+    // structural config field (it doesn't enter configHash), so a snapshot
+    // taken at 1 thread restores into a 4-thread Soc — and the resumed run
+    // must still be byte-identical.
+    std::string warm_image, final_1;
+    sim::Cycle cycles_1 = 0;
+    GatherAddrs at;
+    {
+        soc::Soc soc(tracedConfig());
+        os::Process &proc = soc.createProcess("quickstart");
+        core::MapleApi api = core::MapleApi::attach(proc, soc.maple());
+        at = setupGather(soc, proc, api);
+        std::stringstream warm;
+        soc.snapshot(warm);
+        warm_image = warm.str();
+        runGather(soc, api, at);
+        cycles_1 = soc.eq().now();
+        std::stringstream fin;
+        soc.snapshot(fin);
+        final_1 = fin.str();
+    }
+    {
+        soc::SocConfig cfg = tracedConfig();
+        cfg.host_threads = 4;
+        soc::Soc soc(cfg);
+        std::istringstream warm(warm_image);
+        soc.restore(warm);
+        os::Process &proc = *soc.kernel().processes()[0];
+        core::MapleApi api = core::MapleApi::attach(proc, soc.maple());
+        runGather(soc, api, at);
+        EXPECT_EQ(soc.eq().now(), cycles_1);
+        checkGatherOutput(proc, at);
+        std::stringstream fin;
+        soc.snapshot(fin);
+        EXPECT_EQ(fin.str(), final_1)
+            << "host_threads=4 restore-then-run diverged from host_threads=1";
+    }
+}
+
 TEST(Ckpt, SnapshotDoesNotPerturbTheRun)
 {
     // Reference: run the gather with no snapshot anywhere.

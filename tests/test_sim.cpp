@@ -105,6 +105,55 @@ TEST(EventQueue, FarFutureEventsOverflowTheWheel)
     EXPECT_EQ(eq.now(), 3 * h + 5);
 }
 
+TEST(EventQueue, NextEventCyclePeeksWheelAndOverflow)
+{
+    // The sharded engine sizes its BSP windows off this peek; it must see
+    // the true minimum whether the head event sits in the wheel or parked
+    // in the overflow heap, without advancing anything.
+    EventQueue eq;
+    EXPECT_EQ(eq.nextEventCycle(), kCycleMax);
+
+    const Cycle h = EventQueue::kWheelHorizon;
+    eq.schedule(2 * h + 7, [] {});  // overflow only
+    EXPECT_EQ(eq.nextEventCycle(), 2 * h + 7);
+    eq.schedule(40, [] {});  // now the wheel holds the minimum
+    EXPECT_EQ(eq.nextEventCycle(), 40u);
+    EXPECT_EQ(eq.now(), 0u) << "peeking must not advance time";
+
+    EXPECT_FALSE(eq.run(100));
+    EXPECT_EQ(eq.nextEventCycle(), 2 * h + 7);
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(eq.nextEventCycle(), kCycleMax);
+}
+
+TEST(EventQueue, ChunkedRunsMatchOneShotRun)
+{
+    // The engine drives queues in quantum-sized chunks; a chunked run must
+    // execute the identical sequence as a single run().
+    auto seed = [](EventQueue &eq, std::vector<Cycle> &fired) {
+        for (Cycle c : {3u, 70u, 70u, 2'000u, 90'000u})
+            eq.schedule(c, [&] { fired.push_back(eq.now()); });
+        eq.schedule(10, [&eq, &fired] {
+            eq.scheduleIn(55, [&] { fired.push_back(eq.now()); });
+        });
+    };
+    EventQueue once;
+    std::vector<Cycle> once_fired;
+    seed(once, once_fired);
+    EXPECT_TRUE(once.run());
+
+    EventQueue chunked;
+    std::vector<Cycle> chunked_fired;
+    seed(chunked, chunked_fired);
+    Cycle bound = 0;
+    while (chunked.nextEventCycle() != kCycleMax) {
+        bound = chunked.nextEventCycle() + 64;
+        chunked.run(bound);
+    }
+    EXPECT_EQ(chunked_fired, once_fired);
+    EXPECT_EQ(chunked.executed(), once.executed());
+}
+
 TEST(EventQueue, OverflowAndDirectSameCycleKeepFifo)
 {
     // An event parked in the overflow heap was scheduled strictly earlier

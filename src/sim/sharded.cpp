@@ -175,17 +175,29 @@ ShardedEngine::runWindow(Cycle bound, unsigned threads)
         for (Domain &d : domains_)
             runDomain(d, bound);
     } else {
-        claim_.store(0, std::memory_order_relaxed);
+        // done_ must be reset before the new generation opens: workers only
+        // increment it after a successful generation-checked claim, and such
+        // claims exist only after the release store below, so this store is
+        // ordered before every done-increment of the new window — a
+        // straggler from the previous window cannot wipe a completion (its
+        // own final done-increment is what let the previous done-spin exit).
         done_.store(0, std::memory_order_relaxed);
-        // Release-publish bound_/window_end_ to the workers.
-        epoch_.fetch_add(1, std::memory_order_release);
-        // The main thread is worker zero.
-        for (;;) {
-            unsigned d = claim_.fetch_add(1, std::memory_order_acq_rel);
-            if (d >= domains_.size())
-                break;
-            runDomain(domains_[d], bound);
-            done_.fetch_add(1, std::memory_order_release);
+        // One release store publishes bound_/window_end_/in_window_ AND
+        // opens claiming for the new generation. The generation wraps after
+        // 2^32 windows; aliasing would need a worker parked across exactly
+        // that many windows while others make progress.
+        claim_.store(++window_gen_ << kClaimGenShift,
+                     std::memory_order_release);
+        // The main thread is worker zero. It owns the generation, so it
+        // claims without the generation check the workers need.
+        std::uint64_t c = claim_.load(std::memory_order_relaxed);
+        while ((c & kClaimIndexMask) < domains_.size()) {
+            if (claim_.compare_exchange_weak(c, c + 1,
+                                             std::memory_order_acq_rel)) {
+                runDomain(domains_[c & kClaimIndexMask], bound);
+                done_.fetch_add(1, std::memory_order_release);
+                c = claim_.load(std::memory_order_relaxed);
+            }
         }
         while (done_.load(std::memory_order_acquire) < domains_.size())
             std::this_thread::yield();
@@ -225,24 +237,36 @@ ShardedEngine::run(const RunOptions &opts)
         pool.workers.reserve(threads - 1);
         for (unsigned t = 1; t < threads; ++t) {
             pool.workers.emplace_back([this] {
-                std::uint64_t seen = epoch_.load(std::memory_order_acquire);
+                // A worker parks on the generation it has seen fully
+                // claimed and wakes when claim_ carries a newer one. The
+                // CAS that takes a claim validates the index against the
+                // SAME loaded word as its generation, and reads from the
+                // release sequence headed by runWindow's opening store, so
+                // the claim itself is the acquire of that window's
+                // bound_/window_end_ — a straggler still looping after the
+                // previous window completed either claims validly in the
+                // new window or parks; it can never consume a claim with
+                // stale window state or touch done_ outside its window.
+                std::uint64_t seen_gen =
+                    claim_.load(std::memory_order_acquire) >> kClaimGenShift;
                 for (;;) {
-                    std::uint64_t e;
-                    while ((e = epoch_.load(std::memory_order_acquire)) ==
-                           seen) {
+                    std::uint64_t c = claim_.load(std::memory_order_acquire);
+                    if ((c >> kClaimGenShift) == seen_gen) {
                         if (stop_.load(std::memory_order_acquire))
                             return;
                         std::this_thread::yield();
+                        continue;
                     }
-                    seen = e;
-                    for (;;) {
-                        unsigned d =
-                            claim_.fetch_add(1, std::memory_order_acq_rel);
-                        if (d >= domains_.size())
-                            break;
-                        runDomain(domains_[d], bound_);
-                        done_.fetch_add(1, std::memory_order_release);
+                    if ((c & kClaimIndexMask) >= domains_.size()) {
+                        seen_gen = c >> kClaimGenShift;  // exhausted: park
+                        continue;
                     }
+                    if (!claim_.compare_exchange_weak(
+                            c, c + 1, std::memory_order_acq_rel,
+                            std::memory_order_relaxed))
+                        continue;
+                    runDomain(domains_[c & kClaimIndexMask], bound_);
+                    done_.fetch_add(1, std::memory_order_release);
                 }
             });
         }

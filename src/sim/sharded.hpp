@@ -167,13 +167,21 @@ class ShardedEngine {
     BoundaryHook boundary_hook_;
 
     // Window state published to workers before each quantum (happens-before
-    // via the epoch counter below).
+    // via the generation-tagged claim word below).
     Cycle window_end_ = 0;   ///< first cycle beyond the running window
     bool in_window_ = false;
 
-    // Worker handshake (see sharded.cpp for the protocol).
-    std::atomic<std::uint64_t> epoch_{0};
-    std::atomic<unsigned> claim_{0};
+    // Worker handshake (see sharded.cpp for the protocol). claim_ packs
+    // (window generation << kClaimGenShift) | next-domain-index: the store
+    // that opens a generation release-publishes bound_/window_end_, and the
+    // CAS that takes a claim is the matching acquire, so a claim can never
+    // be consumed with stale window state. done_ counts completed domains
+    // of the current generation only (incremented strictly after a
+    // successful generation-checked claim).
+    static constexpr unsigned kClaimGenShift = 32;
+    static constexpr std::uint64_t kClaimIndexMask = 0xffffffffu;
+    std::atomic<std::uint64_t> claim_{0};
+    std::uint64_t window_gen_ = 0;  ///< main-thread-only generation source
     std::atomic<unsigned> done_{0};
     std::atomic<bool> stop_{false};
     Cycle bound_ = 0;

@@ -16,9 +16,10 @@
  *
  * Watchdog and checkpoint semantics carry over per chip: the engine's
  * quantum-boundary hook applies each SoC's own watchdog stall rule, and
- * snapshot()/restore() delegate to the member SoC at a quiesced boundary
- * (where the mailboxes are provably empty, so the per-SoC snapshot format
- * needs no extension).
+ * snapshot()/restore() delegate to the member SoC at a fully quiesced
+ * point (mailboxes empty and every chip's queue drained — checked — so no
+ * cross-chip request/response pair straddles the snapshot and the per-SoC
+ * snapshot format needs no extension).
  */
 #pragma once
 
@@ -70,16 +71,16 @@ class SocGrid {
                    sim::Cycle max_cycles = sim::kCycleMax);
 
     /**
-     * Snapshot chip @p i (requires a quiesced grid: no messages pending).
+     * Snapshot chip @p i. Requires a fully quiesced grid: no cross-domain
+     * messages in flight AND every chip's event queue drained (see
+     * requireQuiesced() for why mailboxes-empty alone is not enough).
      * Inline so only callers pull in Soc::snapshot's ckpt implementation —
      * maple_soc itself cannot depend on maple_ckpt.
      */
     void
     snapshot(unsigned i, std::ostream &out)
     {
-        MAPLE_CHECK(engine_.pendingMessages() == 0, sim::FatalError,
-                    "grid snapshot with %zu cross-domain messages in flight",
-                    engine_.pendingMessages());
+        requireQuiesced("snapshot");
         soc(i).snapshot(out);
     }
 
@@ -88,12 +89,36 @@ class SocGrid {
     void
     restore(unsigned i, std::istream &in)
     {
-        MAPLE_CHECK(engine_.pendingMessages() == 0, sim::FatalError,
-                    "grid restore with cross-domain messages in flight");
+        requireQuiesced("restore");
         soc(i).restore(in);
     }
 
   private:
+    /**
+     * Empty mailboxes are necessary but not sufficient for a per-chip
+     * snapshot/restore: a coroutine on chip A parked on a CrossDomainPort
+     * signal while the matching serve (or completion) task still sits in
+     * chip B's event queue passes the mailbox check, yet snapshotting or
+     * restoring either chip would silently break the cross-chip
+     * request/response pairing (an orphaned waiter, or a stale completion
+     * targeting a dead frame). Full quiescence — every domain's queue
+     * drained — is the precondition, for every chip, not just chip @p i.
+     */
+    void
+    requireQuiesced(const char *op)
+    {
+        MAPLE_CHECK(engine_.pendingMessages() == 0, sim::FatalError,
+                    "grid %s with %zu cross-domain messages in flight", op,
+                    engine_.pendingMessages());
+        for (sim::ShardedEngine::DomainId d = 0; d < engine_.numDomains();
+             ++d)
+            MAPLE_CHECK(engine_.domain(d).pending() == 0, sim::FatalError,
+                        "grid %s while domain '%s' has %zu pending events "
+                        "(grid not quiesced)",
+                        op, engine_.domainName(d).c_str(),
+                        engine_.domain(d).pending());
+    }
+
     SocGridConfig cfg_;
     sim::ShardedEngine engine_;
     std::vector<std::unique_ptr<Soc>> socs_;

@@ -1,7 +1,9 @@
 #include "soc/soc.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 
 #include "sim/error.hpp"
 #include "sim/log.hpp"
@@ -16,8 +18,13 @@ hostThreadsFromEnv(unsigned fallback)
     if (!p || !*p)
         return fallback;
     char *end = nullptr;
+    errno = 0;
     unsigned long v = std::strtoul(p, &end, 10);
-    if (!end || *end != '\0' || v < 1) {
+    // Range-check BEFORE the narrowing cast: 2^32 would otherwise truncate
+    // to 0 and silently select the single-threaded path, and strtoul
+    // reports overflow as ULONG_MAX + ERANGE rather than a parse failure.
+    if (!end || *end != '\0' || errno == ERANGE || v < 1 ||
+        v > std::numeric_limits<unsigned>::max()) {
         MAPLE_WARN("ignoring bad MAPLE_THREADS '%s'", p);
         return fallback;
     }

@@ -115,11 +115,13 @@ def run_campaign(args, spec):
     spec_path = os.path.join(args.out, "spec.json")
     with open(spec_path, "w") as f:
         json.dump(spec, f, indent=2)
-    # Scrub fault/watchdog knobs from the ambient environment so rows see
-    # exactly their own env.
+    # Scrub fault/watchdog/campaign knobs from the ambient environment so
+    # rows see exactly their own env (a leaked chaos plan or crash-injection
+    # variable would silently perturb every row).
     env = {k: v for k, v in os.environ.items()
            if not k.startswith("MAPLE_FAULT")
-           and not k.startswith("MAPLE_WATCHDOG")}
+           and not k.startswith("MAPLE_WATCHDOG")
+           and not k.startswith("MAPLE_CAMPAIGN")}
     cmd = [args.campaign, "run", spec_path, "--out", args.out,
            "--workers", str(spec["workers"])]
     if args.no_cache:

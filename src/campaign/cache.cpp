@@ -1,10 +1,13 @@
 #include "campaign/cache.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 
+#include "campaign/health.hpp"
 #include "ckpt/snapshot.hpp"
+#include "sim/error.hpp"
 
 namespace maple::campaign {
 
@@ -44,8 +47,8 @@ std::uint64_t
 fileContentHash(const std::string &path)
 {
     std::ifstream f(path, std::ios::binary);
-    if (!f.good())
-        return 0;
+    MAPLE_CHECK(f.good(), sim::ConfigError,
+                "cannot hash %s: file is unreadable", path.c_str());
     std::uint64_t h = kFnvOffset;
     char buf[1 << 16];
     while (f.read(buf, sizeof buf) || f.gcount() > 0)
@@ -99,18 +102,57 @@ ResultCache::load(const std::string &key) const
     const std::string path = dir_ + "/" + key + ".json";
     if (!std::filesystem::exists(path))
         return std::nullopt;
+    ChaosPlan::env().maybeSlowIo("cache-load:" + key);
+
+    // An entry is trusted only when it parses, carries the checksum
+    // wrapper, and the payload's canonical dump matches the recorded
+    // FNV-64. Anything else — torn write, bit rot, injected corruption,
+    // stale unwrapped format — is evicted so it cannot be served again.
+    const char *why = nullptr;
     try {
-        return json::parseFile(path);
+        json::Value entry = json::parseFile(path);
+        const json::Value *payload = entry.get("payload");
+        const std::string want_hex = entry.getString("fnv64", "");
+        if (!payload || want_hex.empty()) {
+            why = "missing checksum wrapper";
+        } else {
+            const std::uint64_t want =
+                std::strtoull(want_hex.c_str(), nullptr, 16);
+            const std::string dumped = json::dump(*payload);
+            const std::uint64_t got = fnvStr(kFnvOffset, dumped);
+            if (want != got)
+                why = "checksum mismatch";
+            else
+                return *payload;
+        }
     } catch (const json::JsonError &) {
-        return std::nullopt;  // torn/corrupt entry: treat as a miss
+        why = "unparsable entry";
     }
+    std::fprintf(stderr, "cache: evicting corrupt entry %s (%s)\n",
+                 path.c_str(), why);
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    ++evictions_;
+    return std::nullopt;
 }
 
 void
 ResultCache::store(const std::string &key, const json::Value &result) const
 {
     std::filesystem::create_directories(dir_);
-    json::writeFile(dir_ + "/" + key + ".json", result);
+    const std::string path = dir_ + "/" + key + ".json";
+    ChaosPlan::env().maybeSlowIo("cache-store:" + key);
+
+    const std::uint64_t h = fnvStr(kFnvOffset, json::dump(result));
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx", (unsigned long long)h);
+    json::Object entry;
+    entry.emplace_back("fnv64", json::Value(std::string(hex)));
+    entry.emplace_back("payload", result);
+    json::writeFile(path, json::Value(std::move(entry)));
+
+    if (ChaosPlan::env().corrupt_cache)
+        ChaosPlan::env().maybeCorruptFile(path, "corrupt-cache:" + key);
 }
 
 }  // namespace maple::campaign

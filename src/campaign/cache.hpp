@@ -14,6 +14,12 @@
  * Entries are one JSON file per key, written atomically (tmp + rename), so
  * concurrent workers and interrupted campaigns never leave torn entries --
  * at worst a result is recomputed.
+ *
+ * Integrity: every entry wraps its payload with an FNV-64 content checksum
+ * ({"fnv64": "<hex>", "payload": ...}). A corrupt, truncated or
+ * checksum-mismatched entry is never trusted: load() logs it, deletes it,
+ * counts the eviction (surfaced in the campaign manifest as
+ * cache_evictions) and reports a miss so the job is recomputed.
  */
 #pragma once
 
@@ -26,7 +32,7 @@
 namespace maple::campaign {
 
 /** Bump when the cached-result schema or key derivation changes. */
-constexpr std::uint32_t kCacheVersion = 1;
+constexpr std::uint32_t kCacheVersion = 2;  // v2: checksum-wrapped entries
 
 class ResultCache {
   public:
@@ -36,21 +42,33 @@ class ResultCache {
     /** Stable hex cache key for @p job (see file comment for inputs). */
     std::string keyFor(const Job &job) const;
 
-    /** Cached result document, or nullopt on miss / disabled / parse error. */
+    /**
+     * Cached result payload, or nullopt on miss / disabled. A corrupt or
+     * checksum-mismatched entry is logged to stderr, deleted, counted (see
+     * evictions()) and reported as a miss.
+     */
     std::optional<json::Value> load(const std::string &key) const;
 
-    /** Atomically persist @p result under @p key. */
+    /** Atomically persist @p result (checksum-wrapped) under @p key. */
     void store(const std::string &key, const json::Value &result) const;
 
     bool enabled() const { return enabled_; }
     const std::string &dir() const { return dir_; }
 
+    /** Corrupt entries evicted by load() over this cache's lifetime. */
+    unsigned evictions() const { return evictions_; }
+
   private:
     std::string dir_;
     bool enabled_;
+    mutable unsigned evictions_ = 0;
 };
 
-/** FNV-1a over a file's bytes (0 when unreadable). Exposed for tests. */
+/**
+ * FNV-1a over a file's bytes. Throws sim::ConfigError when the file cannot
+ * be opened — a silent 0 would poison cache keys with colliding "absent"
+ * hashes. Exposed for tests.
+ */
 std::uint64_t fileContentHash(const std::string &path);
 
 }  // namespace maple::campaign

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Campaign health machinery: worker liveness (heartbeat pipes), the
+ * transient/permanent retry taxonomy with deterministic jittered backoff,
+ * and the deterministic chaos-injection plan.
+ *
+ * Heartbeat protocol: each forked worker inherits the write end of a pipe
+ * and writes one byte per progress beat (phase boundaries in scenario
+ * children; exec children expose the fd as MAPLE_CAMPAIGN_HEARTBEAT_FD for
+ * cooperating binaries). The runner drains the nonblocking read end every
+ * poll; a worker with no beat for `heartbeat_timeout_s` is *hung* —
+ * distinct from *slow*, which only the per-job wall-clock timeout bounds —
+ * and is escalated SIGTERM → grace → SIGKILL and rescheduled as a
+ * transient failure.
+ *
+ * Retry taxonomy: signal deaths, timeouts, hangs and unclassified nonzero
+ * exits are transient (environmental, worth `retry_budget` attempts with
+ * backoff); validation failures, nondeterminism verdicts, exec-not-found
+ * (127) and typed `sim::ConfigError` reports on stderr are permanent —
+ * retrying cannot fix a wrong spec or a wrong answer. A job that exhausts
+ * the budget on transient failures is quarantined: recorded in the
+ * manifest's `quarantine` section, never allowed to fail the campaign.
+ *
+ * Backoff mirrors the MapleDriver recovery discipline: deterministic
+ * exponential (base doubled per attempt, capped) with jitter drawn from a
+ * dedicated seeded RNG stream, so two runs of the same campaign retry at
+ * identical offsets.
+ *
+ * Chaos: MAPLE_CAMPAIGN_CHAOS=<modes>:<seed>:<rate> with comma-separated
+ * modes from {crash, hang, corrupt-cache, corrupt-snapshot, slow-io}.
+ * Every injection decision is a pure function of (seed, site string), so a
+ * chaos campaign is exactly reproducible.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/random.hpp"
+
+namespace maple::campaign {
+
+// ---------------------------------------------------------------------------
+// Worker liveness
+// ---------------------------------------------------------------------------
+
+/** Environment variable exposing the heartbeat fd to exec children. */
+constexpr const char *kHeartbeatFdEnv = "MAPLE_CAMPAIGN_HEARTBEAT_FD";
+
+/**
+ * One worker's heartbeat channel. The parent creates it before fork, keeps
+ * the (nonblocking) read end, and closes the write end; the child keeps
+ * the write end. Movable only.
+ */
+class HeartbeatPipe {
+  public:
+    HeartbeatPipe() = default;
+    ~HeartbeatPipe() { closeAll(); }
+    HeartbeatPipe(const HeartbeatPipe &) = delete;
+    HeartbeatPipe &operator=(const HeartbeatPipe &) = delete;
+
+    /** Create the pipe; read end is O_NONBLOCK + FD_CLOEXEC. */
+    void open();
+
+    /** Child side, after fork: close the read end, keep the write end. */
+    void becomeChild();
+
+    /** Parent side, after fork: close the write end. */
+    void becomeParent();
+
+    /** Drain pending beats; @return true when at least one beat arrived. */
+    bool drain();
+
+    int writeFd() const { return write_fd_; }
+    void closeAll();
+
+  private:
+    int read_fd_ = -1;
+    int write_fd_ = -1;
+};
+
+/** Write one beat byte to @p fd (async-signal-safe, failures ignored). */
+void heartbeatBeat(int fd);
+
+// ---------------------------------------------------------------------------
+// Retry taxonomy & backoff
+// ---------------------------------------------------------------------------
+
+/** How a finished job's outcome should be treated by the retry machinery. */
+enum class OutcomeClass {
+    Success,    ///< terminal: ok
+    Transient,  ///< retryable: crash, timeout, hang, unclassified failure
+    Permanent,  ///< terminal: wrong answer / wrong spec; retrying is futile
+};
+
+/**
+ * Classify a non-cached job outcome. @p status is the runner's verdict
+ * (ok | failed | crashed | timeout | hung), @p exit_code / @p term_signal
+ * the raw child exit, @p stderr_tail the captured stderr (scanned for
+ * typed `sim::` error markers emitted by scenario children).
+ */
+OutcomeClass classifyOutcome(const std::string &status, int exit_code,
+                             int term_signal, const std::string &stderr_tail);
+
+/** Deterministic exponential backoff with seeded jitter. */
+class RetryPolicy {
+  public:
+    /**
+     * @p budget: max retries per job (0 disables retrying entirely);
+     * @p base_s doubles per attempt up to @p cap_s; @p seed feeds the
+     * dedicated jitter stream.
+     */
+    RetryPolicy(unsigned budget, double base_s, double cap_s,
+                std::uint64_t seed)
+        : budget_(budget), base_s_(base_s), cap_s_(cap_s), rng_(seed)
+    {
+    }
+
+    unsigned budget() const { return budget_; }
+
+    /**
+     * Delay before retry number @p attempt (1-based): base * 2^(attempt-1)
+     * capped, scaled by a jitter factor in [0.5, 1.5) drawn from the
+     * dedicated stream. Each call consumes one draw.
+     */
+    double backoffSeconds(unsigned attempt);
+
+  private:
+    unsigned budget_;
+    double base_s_;
+    double cap_s_;
+    sim::Rng rng_;
+};
+
+// ---------------------------------------------------------------------------
+// Deterministic chaos injection
+// ---------------------------------------------------------------------------
+
+/** Parsed MAPLE_CAMPAIGN_CHAOS plan; default-constructed = disabled. */
+struct ChaosPlan {
+    bool crash = false;
+    bool hang = false;
+    bool corrupt_cache = false;
+    bool corrupt_snapshot = false;
+    bool slow_io = false;
+    std::uint64_t seed = 0;
+    double rate = 0.0;
+
+    bool enabled() const
+    {
+        return rate > 0 && (crash || hang || corrupt_cache ||
+                            corrupt_snapshot || slow_io);
+    }
+
+    /**
+     * Parse "<modes>:<seed>:<rate>" (modes comma-separated). Throws
+     * sim::ConfigError on unknown modes or malformed numbers.
+     */
+    static ChaosPlan parse(const std::string &text);
+
+    /**
+     * The plan from MAPLE_CAMPAIGN_CHAOS, parsed fresh on each call (cheap,
+     * and forked children pick up environment changes immediately).
+     */
+    static ChaosPlan env();
+
+    /**
+     * Deterministic injection decision for @p site: a pure function of
+     * (seed, site), uniform draw < rate. Site strings name the injection
+     * point and its identity, e.g. "crash:<job>#<attempt>".
+     */
+    bool draw(const std::string &site) const;
+
+    /** Child-side: maybe SIGSEGV (crash) or beat-less sleep loop (hang). */
+    void maybeCrashOrHang(const std::string &job, unsigned attempt) const;
+
+    /** Flip one byte in @p path when the draw fires (artifact corruption). */
+    void maybeCorruptFile(const std::string &path,
+                          const std::string &site) const;
+
+    /** Sleep ~100ms when the draw fires (slow artifact I/O). */
+    void maybeSlowIo(const std::string &site) const;
+};
+
+}  // namespace maple::campaign

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Append-only per-campaign job journal: the record that makes a killed
+ * campaign resumable.
+ *
+ * The journal is `<out>/journal.jsonl` — one compact JSON object per line,
+ * appended with a single O_APPEND write (line-atomic on POSIX), so a runner
+ * killed at any instant leaves at worst one torn trailing line, which
+ * replay skips. Records:
+ *
+ *   {"event": "campaign", "name": ..., "spec_fnv": "<hex>", "resume": bool}
+ *   {"event": "start",  "job": ..., "attempt": N}
+ *   {"event": "finish", "job": ..., "attempt": N, "status": ...,
+ *    "retry": bool}
+ *   {"event": "end", "ok": N, "failed": N, ...}
+ *
+ * `--resume` replays the journal: jobs whose last non-retry "finish" says
+ * ok/cached are skipped (their results come from the cache or the per-job
+ * result file); jobs that were in flight ("start" without a matching
+ * "finish") or failed are re-queued. The spec_fnv in the campaign header
+ * pins the journal to one spec — resuming with a different spec is a typed
+ * ConfigError, never a silently mixed manifest.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "harness/json.hpp"
+
+namespace maple::campaign {
+
+namespace json = harness::json;
+
+/** Line-atomic appender over an O_APPEND fd. Movable, not copyable. */
+class Journal {
+  public:
+    Journal() = default;
+    ~Journal() { close(); }
+    Journal(const Journal &) = delete;
+    Journal &operator=(const Journal &) = delete;
+
+    /**
+     * Open (creating if needed) @p path for appending; @p truncate starts a
+     * fresh journal (non-resume runs). Throws sim::ConfigError on failure.
+     */
+    void open(const std::string &path, bool truncate);
+
+    /** Append one record as a single compact line + newline, fsync-free. */
+    void append(const json::Value &record);
+
+    bool isOpen() const { return fd_ >= 0; }
+    void close();
+
+  private:
+    int fd_ = -1;
+};
+
+/** Replayed per-job journal state. */
+struct JournalJob {
+    std::string last_status;   ///< status of the last finish record ("" none)
+    unsigned attempts = 0;     ///< starts observed
+    bool completed = false;    ///< last finish was terminal ok/cached
+    bool in_flight = false;    ///< start without a matching finish
+};
+
+/** Result of replaying a journal file. */
+struct JournalReplay {
+    bool header_seen = false;
+    std::string campaign;
+    std::uint64_t spec_fnv = 0;
+    unsigned torn_lines = 0;   ///< unparsable lines skipped (crash debris)
+    std::map<std::string, JournalJob> jobs;
+};
+
+/**
+ * Replay @p path. A missing file yields an empty replay (header_seen
+ * false); unparsable lines are counted and skipped, never fatal — the one
+ * expected source is the torn final line of a killed runner.
+ */
+JournalReplay replayJournal(const std::string &path);
+
+/** FNV-1a of a campaign spec's canonical dump, for the journal header. */
+std::uint64_t specFingerprint(const json::Value &doc);
+
+}  // namespace maple::campaign

@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "campaign/cache.hpp"
+#include "campaign/health.hpp"
+#include "campaign/journal.hpp"
 #include "ckpt/snapshot.hpp"
 #include "harness/scenario.hpp"
 #include "soc/soc.hpp"
@@ -32,6 +34,9 @@ namespace {
 /** Environment variable naming a job that must crash (CI fault injection). */
 constexpr const char *kCrashJobEnv = "MAPLE_CAMPAIGN_CRASH_JOB";
 
+/** Kill the *runner* (exit 70) after this many terminal job finishes. */
+constexpr const char *kCrashRunnerEnv = "MAPLE_CAMPAIGN_CRASH_RUNNER_AFTER";
+
 struct JobState {
     const Job *job = nullptr;
     std::string cache_key;
@@ -40,11 +45,21 @@ struct JobState {
 
     pid_t pid = -1;
     unsigned phase = 0;  ///< exec jobs run once per phase (determinism)
+    unsigned attempt = 0;  ///< phase-0 launches so far (journal "start"s)
     Clock::time_point started;
+    Clock::time_point last_beat;
+    Clock::time_point term_time;   ///< when SIGTERM was sent
+    Clock::time_point not_before;  ///< backoff deadline while cooling
     bool timed_out = false;
+    bool hung = false;       ///< no heartbeat for heartbeat_timeout_s
+    bool term_sent = false;
+    bool killed = false;
+    bool quarantined = false;
     int first_exit = 0;  ///< exec: phase-0 exit code
 
-    std::string status;  ///< ok | failed | crashed | timeout | cached
+    HeartbeatPipe hb;
+
+    std::string status;  ///< ok | failed | crashed | timeout | hung | cached
     int exit_code = 0;
     int term_signal = 0;
     double host_seconds = 0.0;
@@ -124,7 +139,8 @@ struct ScenarioRun {
 };
 
 ScenarioRun
-runScenarioOnce(const harness::ScenarioSpec &ss, const std::string &warm_image)
+runScenarioOnce(const harness::ScenarioSpec &ss, const std::string &warm_image,
+                int hb_fd)
 {
     if (!warm_image.empty()) {
         std::ifstream f(warm_image, std::ios::binary);
@@ -134,12 +150,17 @@ runScenarioOnce(const harness::ScenarioSpec &ss, const std::string &warm_image)
             try {
                 soc.restore(f);
             } catch (const ckpt::SnapshotError &e) {
+                // Includes BadChecksum from a corrupt/truncated image: the
+                // partially-restored Soc is discarded below and the run
+                // falls back to a fresh cold warm-up -- correctness never
+                // depends on the image.
                 std::fprintf(stderr,
                              "warm-image restore failed (%s); cold run\n",
                              e.what());
                 restored = false;
             }
             if (restored) {
+                heartbeatBeat(hb_fd);
                 const sim::Cycle base = soc.eq().now();
                 harness::ScenarioResult r = harness::measureScenario(soc, ss);
                 return {harness::scenarioResultJson(r), r.end_cycle - base,
@@ -149,27 +170,34 @@ runScenarioOnce(const harness::ScenarioSpec &ss, const std::string &warm_image)
     }
     soc::Soc soc(harness::scenarioSocConfig(ss));
     harness::warmScenario(soc, ss);
+    heartbeatBeat(hb_fd);
     harness::ScenarioResult r = harness::measureScenario(soc, ss);
     return {harness::scenarioResultJson(r), r.end_cycle, false};
 }
 
 /**
  * Scenario-job child body. Exit codes: 0 ok, 2 exception, 3 invalid result,
- * 4 nondeterministic.
+ * 4 nondeterministic. Typed sim:: errors are printed with their type name
+ * ("sim::ConfigError: ...") so the parent's retry taxonomy can classify
+ * them from the captured stderr.
  */
 [[noreturn]] void
 scenarioChild(const JobState &st, unsigned runs, const ResultCache &cache,
-              const std::string &result_path)
+              const std::string &result_path, int hb_fd, unsigned attempt)
 {
     maybeInjectCrash(st.job->name);
+    ChaosPlan::env().maybeCrashOrHang(st.job->name, attempt);
+    heartbeatBeat(hb_fd);
     int code = 0;
     try {
         harness::ScenarioSpec ss = harness::parseScenarioSpec(st.job->spec);
-        ScenarioRun r1 = runScenarioOnce(ss, st.warm_image);
+        ScenarioRun r1 = runScenarioOnce(ss, st.warm_image, hb_fd);
+        heartbeatBeat(hb_fd);
         std::uint64_t executed = r1.executed_cycles;
         std::optional<bool> deterministic;
         if (runs >= 2) {
-            ScenarioRun r2 = runScenarioOnce(ss, st.warm_image);
+            ScenarioRun r2 = runScenarioOnce(ss, st.warm_image, hb_fd);
+            heartbeatBeat(hb_fd);
             executed += r2.executed_cycles;
             deterministic = json::dump(r1.result) == json::dump(r2.result);
         }
@@ -193,6 +221,9 @@ scenarioChild(const JobState &st, unsigned runs, const ResultCache &cache,
             code = 4;
         else
             cache.store(st.cache_key, v);
+    } catch (const sim::ConfigError &e) {
+        std::fprintf(stderr, "job failed: sim::ConfigError: %s\n", e.what());
+        code = 2;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "job failed: %s\n", e.what());
         code = 2;
@@ -204,10 +235,11 @@ scenarioChild(const JobState &st, unsigned runs, const ResultCache &cache,
 /** Exec-job child body: apply env, redirect, exec the argv. */
 [[noreturn]] void
 execChild(const JobState &st, const std::string &out_path,
-          const std::string &err_path)
+          const std::string &err_path, unsigned attempt)
 {
     redirectTo(out_path, err_path);
     maybeInjectCrash(st.job->name);
+    ChaosPlan::env().maybeCrashOrHang(st.job->name, attempt);
     if (const json::Value *env = st.job->spec.get("env")) {
         for (const auto &[k, v] : env->asObject()) {
             std::string val = v.isString() ? v.asString() : json::dump(v);
@@ -260,19 +292,103 @@ runCampaign(const CampaignSpec &spec, const RunnerOptions &opts)
     fs::create_directories(warm_dir);
     ResultCache cache(out + "/cache", opts.use_cache);
     const unsigned workers = opts.workers ? opts.workers : spec.workers;
+    const ChaosPlan chaos = ChaosPlan::env();
+    const bool use_hb = spec.heartbeat_timeout_s > 0;
+
+    // Journal: replay first on resume (the fingerprint pins the journal to
+    // this spec), then open for appending -- truncating on fresh runs.
+    const std::string journal_path = out + "/journal.jsonl";
+    const std::uint64_t spec_fnv = specFingerprint(spec.doc);
+    JournalReplay replay;
+    if (opts.resume) {
+        replay = replayJournal(journal_path);
+        if (replay.header_seen)
+            MAPLE_CHECK(replay.spec_fnv == spec_fnv, sim::ConfigError,
+                        "cannot resume %s: journal was written by a "
+                        "different campaign spec (fnv %s != %s)",
+                        out.c_str(), hex64(replay.spec_fnv).c_str(),
+                        hex64(spec_fnv).c_str());
+        if (replay.torn_lines)
+            std::fprintf(stderr,
+                         "resume: skipped %u torn journal line(s)\n",
+                         replay.torn_lines);
+    }
+    Journal journal;
+    journal.open(journal_path, /*truncate=*/!opts.resume);
+    {
+        json::Object hdr;
+        hdr.emplace_back("event", json::Value("campaign"));
+        hdr.emplace_back("name", json::Value(spec.name));
+        hdr.emplace_back("spec_fnv", json::Value(hex64(spec_fnv)));
+        hdr.emplace_back("resume", json::Value(opts.resume));
+        journal.append(json::Value(std::move(hdr)));
+    }
+    // A copy of the spec next to the journal makes `maple_campaign resume
+    // <out>` self-contained.
+    if (!spec.doc.isNull())
+        json::writeFile(out + "/spec.json", spec.doc);
+
+    long crash_runner_after = 0;
+    if (const char *e = std::getenv(kCrashRunnerEnv))
+        crash_runner_after = std::strtol(e, nullptr, 10);
+    unsigned terminal_finishes = 0;
+    unsigned retries_total = 0;
+
+    // Terminal ("retry": false) finish records end a job; with the runner
+    // kill-switch armed, the runner dies right after journaling the n-th
+    // one -- the window the resume path must cover.
+    auto journalFinish = [&](const JobState &st, const std::string &status,
+                             bool retry) {
+        json::Object r;
+        r.emplace_back("event", json::Value("finish"));
+        r.emplace_back("job", json::Value(st.job->name));
+        r.emplace_back("attempt",
+                       json::Value(st.attempt ? st.attempt - 1 : 0));
+        r.emplace_back("status", json::Value(status));
+        r.emplace_back("retry", json::Value(retry));
+        journal.append(json::Value(std::move(r)));
+        if (!retry) {
+            ++terminal_finishes;
+            if (crash_runner_after > 0 &&
+                terminal_finishes >=
+                    static_cast<unsigned>(crash_runner_after)) {
+                std::fprintf(stderr,
+                             "injected runner crash (%s=%ld) after %u "
+                             "terminal finishes\n",
+                             kCrashRunnerEnv, crash_runner_after,
+                             terminal_finishes);
+                std::fflush(nullptr);
+                ::_exit(70);
+            }
+        }
+    };
+
+    RetryPolicy policy(spec.retry_budget, spec.retry_backoff_base_s,
+                       spec.retry_backoff_cap_s,
+                       spec_fnv ^ 0x9e3779b97f4a7c15ull);
 
     std::vector<JobState> states(spec.jobs.size());
     unsigned warmups_run = 0;
 
-    // Cache probe, then warm-image preparation for the jobs that will run.
-    // Warm images are keyed by the scenario's warm key: every variant of one
-    // dataset/SoC shape shares a single warm simulation.
+    // Cache probe (and, on resume, journal replay) decide which jobs still
+    // need to run; warm images are then prepared for those. Warm images are
+    // keyed by the scenario's warm key: every variant of one dataset/SoC
+    // shape shares a single warm simulation.
     std::map<std::string, std::string> warm_paths;
     for (size_t i = 0; i < spec.jobs.size(); ++i) {
         JobState &st = states[i];
         st.job = &spec.jobs[i];
-        st.cache_key = cache.keyFor(*st.job);
         st.timeout_s = st.job->spec.getDouble("timeout_s", spec.timeout_s);
+        try {
+            st.cache_key = cache.keyFor(*st.job);
+        } catch (const sim::ConfigError &e) {
+            // E.g. an exec job whose binary does not exist: the job is
+            // failed with typed diagnostics, the campaign keeps going.
+            st.status = "failed";
+            st.diagnostics = std::string("sim::ConfigError: ") + e.what();
+            journalFinish(st, st.status, false);
+            continue;
+        }
         if (auto hit = cache.load(st.cache_key)) {
             st.status = "cached";
             st.cache_hit = true;
@@ -289,7 +405,39 @@ runCampaign(const CampaignSpec &spec, const RunnerOptions &opts)
             if (const json::Value *d = st.result.get("deterministic"))
                 if (d->isBool())
                     st.deterministic = d->asBool();
+            journalFinish(st, "cached", false);
             continue;
+        }
+        if (opts.resume) {
+            auto it = replay.jobs.find(st.job->name);
+            if (it != replay.jobs.end()) {
+                // Completed on a previous incarnation but not in the cache
+                // (disabled or evicted): serve the per-job result file.
+                if (it->second.completed) {
+                    const std::string rp =
+                        jobs_dir + "/" + st.job->name + ".json";
+                    bool served = false;
+                    try {
+                        st.result = json::parseFile(rp);
+                        served = true;
+                    } catch (const json::JsonError &) {
+                        // Result file gone/torn: fall through and re-run.
+                    }
+                    if (served) {
+                        st.status = "ok";
+                        if (const json::Value *d =
+                                st.result.get("deterministic"))
+                            if (d->isBool())
+                                st.deterministic = d->asBool();
+                        cache.store(st.cache_key, st.result);
+                        journalFinish(st, st.status, false);
+                        continue;
+                    }
+                }
+                // In-flight or failed: re-queue. Attempts already journaled
+                // keep counting against the retry budget.
+                st.attempt = it->second.attempts;
+            }
         }
         if (st.job->type != "scenario")
             continue;
@@ -299,23 +447,36 @@ runCampaign(const CampaignSpec &spec, const RunnerOptions &opts)
         if (it == warm_paths.end()) {
             const std::string path =
                 warm_dir + "/" + hex64(fnvString(wk)) + ".img";
-            soc::Soc soc(harness::scenarioSocConfig(ss));
-            harness::warmScenario(soc, ss);
-            std::ofstream f(path, std::ios::binary | std::ios::trunc);
-            soc.snapshot(f);
-            ++warmups_run;
-            it = warm_paths.emplace(wk, path).first;
+            if (opts.resume && fs::exists(path)) {
+                // Reuse the previous incarnation's image; children fall
+                // back to a cold run if it fails its checksum.
+                it = warm_paths.emplace(wk, path).first;
+            } else {
+                soc::Soc soc(harness::scenarioSocConfig(ss));
+                harness::warmScenario(soc, ss);
+                std::ofstream f(path, std::ios::binary | std::ios::trunc);
+                soc.snapshot(f);
+                f.close();
+                ++warmups_run;
+                if (chaos.corrupt_snapshot)
+                    chaos.maybeCorruptFile(
+                        path, "corrupt-snapshot:" + hex64(fnvString(wk)));
+                it = warm_paths.emplace(wk, path).first;
+            }
         }
         st.warm_image = it->second;
     }
 
     // Schedule: fork up to `workers` children, poll with WNOHANG, enforce
-    // per-job deadlines. Exec jobs with runs=2 get a second phase (a second
-    // process) and a byte-compare of the captured stdout.
+    // per-job deadlines and heartbeat liveness. Exec jobs with runs=2 get a
+    // second phase (a second process) and a byte-compare of the captured
+    // stdout. Transient failures re-enter the queue through `cooling` until
+    // their backoff deadline passes.
     std::vector<size_t> pending;
     for (size_t i = 0; i < states.size(); ++i)
         if (states[i].status.empty())
             pending.push_back(i);
+    std::vector<size_t> cooling;
     std::vector<size_t> running;
 
     auto stdoutPath = [&](const JobState &st, unsigned phase) {
@@ -330,17 +491,43 @@ runCampaign(const CampaignSpec &spec, const RunnerOptions &opts)
     auto launch = [&](size_t i) {
         JobState &st = states[i];
         st.started = Clock::now();
+        st.last_beat = st.started;
+        unsigned attempt_now = st.attempt;
+        if (st.phase == 0) {
+            json::Object r;
+            r.emplace_back("event", json::Value("start"));
+            r.emplace_back("job", json::Value(st.job->name));
+            r.emplace_back("attempt", json::Value(st.attempt));
+            journal.append(json::Value(std::move(r)));
+            ++st.attempt;
+        } else {
+            attempt_now = st.attempt ? st.attempt - 1 : 0;
+        }
+        if (use_hb)
+            st.hb.open();
         pid_t pid = ::fork();
         MAPLE_CHECK(pid >= 0, sim::FatalError, "fork failed: %s",
                     std::strerror(errno));
         if (pid == 0) {
+            if (use_hb) {
+                st.hb.becomeChild();
+                // Cooperating exec jobs find the beat fd here; the fd is
+                // not close-on-exec, so it survives into the binary.
+                ::setenv(kHeartbeatFdEnv,
+                         std::to_string(st.hb.writeFd()).c_str(), 1);
+            }
+            const int hb_fd = use_hb ? st.hb.writeFd() : -1;
             if (st.job->type == "scenario") {
                 redirectTo(stdoutPath(st, 0), stderrPath(st, 0));
                 scenarioChild(st, spec.runs, cache,
-                              jobs_dir + "/" + st.job->name + ".json");
+                              jobs_dir + "/" + st.job->name + ".json", hb_fd,
+                              attempt_now);
             }
-            execChild(st, stdoutPath(st, st.phase), stderrPath(st, st.phase));
+            execChild(st, stdoutPath(st, st.phase), stderrPath(st, st.phase),
+                      attempt_now);
         }
+        if (use_hb)
+            st.hb.becomeParent();
         st.pid = pid;
         running.push_back(i);
     };
@@ -366,15 +553,69 @@ runCampaign(const CampaignSpec &spec, const RunnerOptions &opts)
             cache.store(st.cache_key, st.result);
     };
 
+    // A terminal outcome either sticks (success / permanent / budget spent)
+    // or re-queues the job with backoff. Quarantine is reserved for jobs
+    // that burned a real retry budget: with retry_budget=0 a failure is
+    // just a failure, exactly as before the retry machinery existed.
+    auto finalize = [&](size_t i) {
+        JobState &st = states[i];
+        const OutcomeClass oc =
+            classifyOutcome(st.status, st.exit_code, st.term_signal,
+                            readTail(stderrPath(st, 0)));
+        if (oc == OutcomeClass::Transient && policy.budget() > 0) {
+            if (st.attempt <= policy.budget()) {
+                journalFinish(st, st.status, /*retry=*/true);
+                ++retries_total;
+                const double delay = policy.backoffSeconds(st.attempt);
+                std::fprintf(stderr,
+                             "campaign: job %s %s (attempt %u); retrying "
+                             "in %.3fs\n",
+                             st.job->name.c_str(), st.status.c_str(),
+                             st.attempt, delay);
+                st.status.clear();
+                st.exit_code = 0;
+                st.term_signal = 0;
+                st.timed_out = false;
+                st.hung = false;
+                st.term_sent = false;
+                st.killed = false;
+                st.phase = 0;
+                st.first_exit = 0;
+                st.deterministic.reset();
+                st.diagnostics.clear();
+                st.result = json::Value();
+                st.not_before =
+                    Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(delay));
+                cooling.push_back(i);
+                return;
+            }
+            st.quarantined = true;
+            std::fprintf(stderr,
+                         "campaign: job %s quarantined after %u attempts "
+                         "(last: %s)\n",
+                         st.job->name.c_str(), st.attempt,
+                         st.status.c_str());
+        }
+        journalFinish(st, st.status, /*retry=*/false);
+    };
+
     auto reap = [&](size_t i, int wstatus) {
         JobState &st = states[i];
         st.pid = -1;
+        st.hb.closeAll();
         st.host_seconds += std::chrono::duration<double>(Clock::now() -
                                                          st.started)
                                .count();
         if (st.timed_out) {
             st.status = "timeout";
-            st.diagnostics = "killed after exceeding the per-job timeout";
+            st.diagnostics = "stopped after exceeding the per-job timeout";
+        } else if (st.hung) {
+            st.status = "hung";
+            st.diagnostics =
+                "no heartbeat for " +
+                std::to_string(spec.heartbeat_timeout_s) + "s";
         } else if (WIFSIGNALED(wstatus)) {
             st.status = "crashed";
             st.term_signal = WTERMSIG(wstatus);
@@ -415,6 +656,7 @@ runCampaign(const CampaignSpec &spec, const RunnerOptions &opts)
                 } catch (const json::JsonError &) {
                 }
             }
+            finalize(i);
             return;
         }
 
@@ -430,9 +672,19 @@ runCampaign(const CampaignSpec &spec, const RunnerOptions &opts)
                                readAll(stdoutPath(st, 0)) ==
                                    readAll(stdoutPath(st, 1));
         finishExec(st);
+        finalize(i);
     };
 
-    while (!pending.empty() || !running.empty()) {
+    while (!pending.empty() || !cooling.empty() || !running.empty()) {
+        const auto now = Clock::now();
+        for (size_t c = 0; c < cooling.size();) {
+            if (now >= states[cooling[c]].not_before) {
+                pending.push_back(cooling[c]);
+                cooling.erase(cooling.begin() + static_cast<long>(c));
+                continue;
+            }
+            ++c;
+        }
         while (!pending.empty() && running.size() < workers) {
             size_t i = pending.back();
             pending.pop_back();
@@ -446,29 +698,53 @@ runCampaign(const CampaignSpec &spec, const RunnerOptions &opts)
             pid_t got = ::waitpid(st.pid, &wstatus, WNOHANG);
             if (got == st.pid) {
                 running.erase(running.begin() + static_cast<long>(r));
-                reap(i, wstatus);  // may relaunch (exec phase 2)
+                reap(i, wstatus);  // may relaunch (exec phase 2 / retry)
                 continue;
             }
+            const auto poll_now = Clock::now();
+            if (use_hb && st.hb.drain())
+                st.last_beat = poll_now;
             const double elapsed =
-                std::chrono::duration<double>(Clock::now() - st.started)
-                    .count();
-            if (!st.timed_out && elapsed > st.timeout_s) {
-                st.timed_out = true;
+                std::chrono::duration<double>(poll_now - st.started).count();
+            if (!st.term_sent) {
+                // Escalation: SIGTERM first so a cooperating child can
+                // flush partial results, SIGKILL after the grace window.
+                // `hung` (beat-less) is distinct from merely slow, which
+                // only the wall-clock budget bounds.
+                const double since_beat =
+                    std::chrono::duration<double>(poll_now - st.last_beat)
+                        .count();
+                if (elapsed > st.timeout_s)
+                    st.timed_out = true;
+                else if (use_hb && since_beat > spec.heartbeat_timeout_s)
+                    st.hung = true;
+                if (st.timed_out || st.hung) {
+                    ::kill(st.pid, SIGTERM);
+                    st.term_sent = true;
+                    st.term_time = poll_now;
+                }
+            } else if (!st.killed &&
+                       std::chrono::duration<double>(poll_now - st.term_time)
+                               .count() > spec.grace_s) {
                 ::kill(st.pid, SIGKILL);
+                st.killed = true;
             }
             ++r;
         }
     }
 
     // Manifest + report.
-    unsigned ok = 0, failed = 0, cached = 0;
+    unsigned ok = 0, failed = 0, cached = 0, quarantined = 0;
     std::uint64_t simulated_cycles = 0;
     json::Array rows;
+    json::Array quarantine;
     for (const JobState &st : states) {
         if (st.status == "ok")
             ++ok;
         else if (st.status == "cached")
             ++cached;
+        else if (st.quarantined)
+            ++quarantined;
         else
             ++failed;
         std::uint64_t cycles = 0;
@@ -483,6 +759,8 @@ runCampaign(const CampaignSpec &spec, const RunnerOptions &opts)
         row.emplace_back("status", json::Value(st.status));
         row.emplace_back("cache_key", json::Value(st.cache_key));
         row.emplace_back("cache_hit", json::Value(st.cache_hit));
+        row.emplace_back("attempts", json::Value(st.attempt));
+        row.emplace_back("quarantined", json::Value(st.quarantined));
         row.emplace_back("exit_code", json::Value(st.exit_code));
         row.emplace_back("signal", json::Value(st.term_signal));
         row.emplace_back("host_seconds", json::Value(st.host_seconds));
@@ -494,6 +772,25 @@ runCampaign(const CampaignSpec &spec, const RunnerOptions &opts)
                          json::Value("jobs/" + st.job->name + ".json"));
         row.emplace_back("diagnostics", json::Value(st.diagnostics));
         rows.push_back(json::Value(std::move(row)));
+
+        if (st.quarantined) {
+            json::Object q;
+            q.emplace_back("name", json::Value(st.job->name));
+            q.emplace_back("status", json::Value(st.status));
+            q.emplace_back("attempts", json::Value(st.attempt));
+            q.emplace_back("diagnostics", json::Value(st.diagnostics));
+            quarantine.push_back(json::Value(std::move(q)));
+        }
+    }
+
+    {
+        json::Object rec;
+        rec.emplace_back("event", json::Value("end"));
+        rec.emplace_back("ok", json::Value(ok));
+        rec.emplace_back("failed", json::Value(failed));
+        rec.emplace_back("cached", json::Value(cached));
+        rec.emplace_back("quarantined", json::Value(quarantined));
+        journal.append(json::Value(std::move(rec)));
     }
 
     json::Object totals;
@@ -501,8 +798,11 @@ runCampaign(const CampaignSpec &spec, const RunnerOptions &opts)
     totals.emplace_back("ok", json::Value(ok));
     totals.emplace_back("failed", json::Value(failed));
     totals.emplace_back("cached", json::Value(cached));
+    totals.emplace_back("quarantined", json::Value(quarantined));
+    totals.emplace_back("retries", json::Value(retries_total));
     totals.emplace_back("warmups_run", json::Value(warmups_run));
     totals.emplace_back("cache_hits", json::Value(cached));
+    totals.emplace_back("cache_evictions", json::Value(cache.evictions()));
     totals.emplace_back("simulated_cycles", json::Value(simulated_cycles));
 
     json::Object manifest;
@@ -510,6 +810,7 @@ runCampaign(const CampaignSpec &spec, const RunnerOptions &opts)
     manifest.emplace_back("workers", json::Value(workers));
     manifest.emplace_back("runs", json::Value(spec.runs));
     manifest.emplace_back("totals", json::Value(std::move(totals)));
+    manifest.emplace_back("quarantine", json::Value(std::move(quarantine)));
     manifest.emplace_back("jobs", json::Value(std::move(rows)));
     json::writeFile(out + "/manifest.json", json::Value(std::move(manifest)));
 
@@ -517,7 +818,10 @@ runCampaign(const CampaignSpec &spec, const RunnerOptions &opts)
         std::ofstream md(out + "/report.md", std::ios::trunc);
         md << "# Campaign: " << spec.name << "\n\n"
            << "- jobs: " << states.size() << " (ok " << ok << ", cached "
-           << cached << ", failed " << failed << ")\n"
+           << cached << ", failed " << failed << ", quarantined "
+           << quarantined << ")\n"
+           << "- retries: " << retries_total
+           << ", cache evictions: " << cache.evictions() << "\n"
            << "- warm simulations: " << warmups_run << "\n"
            << "- simulated cycles: " << simulated_cycles << "\n\n"
            << "| job | status | cycles | valid | deterministic | cache |\n"
@@ -538,11 +842,12 @@ runCampaign(const CampaignSpec &spec, const RunnerOptions &opts)
     }
 
     std::fprintf(stderr,
-                 "campaign %s: %zu jobs, %u ok, %u cached, %u failed "
-                 "(%u warmups, %llu simulated cycles) -> %s\n",
+                 "campaign %s: %zu jobs, %u ok, %u cached, %u failed, "
+                 "%u quarantined (%u retries, %u warmups, %u evictions, "
+                 "%llu simulated cycles) -> %s\n",
                  spec.name.c_str(), states.size(), ok, cached, failed,
-                 warmups_run, (unsigned long long)simulated_cycles,
-                 out.c_str());
+                 quarantined, retries_total, warmups_run, cache.evictions(),
+                 (unsigned long long)simulated_cycles, out.c_str());
     return failed > 0 && opts.strict ? 1 : 0;
 }
 

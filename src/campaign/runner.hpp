@@ -15,10 +15,28 @@
  * that cannot restore (missing/mismatched image) falls back to a cold
  * warm+measure run -- correctness never depends on the image, only speed.
  *
+ * Resilience (see health.hpp and journal.hpp for the protocols):
+ *  - every job start/finish is journaled to <out>/journal.jsonl with
+ *    line-atomic appends; `--resume` replays the journal, skips completed
+ *    jobs (serving them from the cache or their result files) and re-queues
+ *    jobs that were in flight or failed;
+ *  - transiently-failed jobs (crash / timeout / hang / unclassified exit)
+ *    are retried up to `retry_budget` times with deterministic jittered
+ *    exponential backoff; a job that exhausts the budget is *quarantined*
+ *    (recorded in the manifest's quarantine section) rather than failing
+ *    the campaign;
+ *  - with `heartbeat_timeout_s` > 0 each worker gets a heartbeat pipe, and
+ *    a worker with no beat for that long is reclaimed as *hung* — children
+ *    are stopped with SIGTERM, given `grace_s` to flush, then SIGKILLed;
+ *  - MAPLE_CAMPAIGN_CHAOS=<modes>:<seed>:<rate> injects deterministic
+ *    faults (crash, hang, corrupt-cache, corrupt-snapshot, slow-io) for the
+ *    resilience test-suite and the CI chaos soak.
+ *
  * Fault injection for CI: when the environment variable
  * MAPLE_CAMPAIGN_CRASH_JOB names a job, that child raises SIGSEGV instead
  * of running -- the campaign must complete with exactly that job marked
- * "crashed".
+ * "crashed". MAPLE_CAMPAIGN_CRASH_RUNNER_AFTER=<n> kills the *runner*
+ * (exit 70) after n jobs reach a terminal journal record, for resume tests.
  */
 #pragma once
 
@@ -33,15 +51,19 @@ struct RunnerOptions {
     unsigned workers = 0;    ///< 0 = take the spec's value
     bool use_cache = true;
     bool strict = false;     ///< non-zero exit when any job fails
+    bool resume = false;     ///< replay <out>/journal.jsonl, skip done jobs
 };
 
 /**
  * Run the campaign. Writes per-job results under <out>/jobs/, the cache
- * under <out>/cache/, warm images under <out>/warm/, plus <out>/manifest.json
- * and <out>/report.md.
+ * under <out>/cache/, warm images under <out>/warm/, the job journal at
+ * <out>/journal.jsonl, a copy of the spec at <out>/spec.json, plus
+ * <out>/manifest.json and <out>/report.md.
  *
  * @return process exit code: 0 when the campaign completed (even with failed
- * jobs, unless opts.strict), 1 on campaign-level errors.
+ * jobs, unless opts.strict; quarantined jobs never affect the exit code),
+ * 1 on campaign-level errors. Throws sim::ConfigError when opts.resume finds
+ * a journal written by a different spec.
  */
 int runCampaign(const CampaignSpec &spec, const RunnerOptions &opts);
 

@@ -35,6 +35,20 @@ parseCampaignSpec(const json::Value &doc)
     MAPLE_CHECK(c.workers >= 1 && (c.runs == 1 || c.runs == 2) &&
                     c.timeout_s > 0,
                 json::JsonError, "bad campaign parameters");
+    c.retry_budget =
+        static_cast<unsigned>(doc.getInt("retry_budget", c.retry_budget));
+    c.retry_backoff_base_s =
+        doc.getDouble("retry_backoff_base_s", c.retry_backoff_base_s);
+    c.retry_backoff_cap_s =
+        doc.getDouble("retry_backoff_cap_s", c.retry_backoff_cap_s);
+    c.heartbeat_timeout_s =
+        doc.getDouble("heartbeat_timeout_s", c.heartbeat_timeout_s);
+    c.grace_s = doc.getDouble("grace_s", c.grace_s);
+    MAPLE_CHECK(c.retry_backoff_base_s > 0 &&
+                    c.retry_backoff_cap_s >= c.retry_backoff_base_s &&
+                    c.heartbeat_timeout_s >= 0 && c.grace_s >= 0,
+                json::JsonError, "bad campaign retry/liveness parameters");
+    c.doc = doc;
 
     // Cartesian expansion: base x axes x seeds. Each variant carries a
     // label naming exactly the members that vary.

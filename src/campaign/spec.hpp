@@ -36,6 +36,17 @@ struct CampaignSpec {
     unsigned workers = 2;    ///< max concurrent jobs (overridable on the CLI)
     unsigned runs = 1;       ///< 2 = run twice and require identical results
     double timeout_s = 300;  ///< per-job wall-clock budget
+
+    /// @name Resilience knobs (defaults preserve pre-resilience behavior)
+    /// @{
+    unsigned retry_budget = 0;       ///< max retries per transiently-failed job
+    double retry_backoff_base_s = 0.05;  ///< first backoff; doubles per retry
+    double retry_backoff_cap_s = 2.0;    ///< backoff ceiling
+    double heartbeat_timeout_s = 0;  ///< 0 = liveness detection off
+    double grace_s = 2.0;            ///< SIGTERM -> SIGKILL escalation window
+    /// @}
+
+    json::Value doc;  ///< the parsed source document (for spec.json / resume)
     std::vector<Job> jobs;
 };
 

@@ -32,9 +32,30 @@ namespace maple::ckpt {
 class SnapshotError : public sim::FatalError {
   public:
     using sim::FatalError::FatalError;
+
+    class BadChecksum;
 };
 
-/** Binary writer over a std::ostream. */
+/**
+ * The stream's integrity footer does not match its content: the snapshot
+ * was corrupted (bit rot, torn write, chaos injection) after it was taken.
+ * Callers must discard any state restored from the stream — sections are
+ * applied as they are read, so a Soc that saw BadChecksum is garbage.
+ */
+class SnapshotError::BadChecksum : public SnapshotError {
+  public:
+    using SnapshotError::SnapshotError;
+};
+
+/** FNV-1a offset/prime, shared by the Sink/Source running checksums. */
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/**
+ * Binary writer over a std::ostream. Every byte written also feeds a
+ * running FNV-1a hash (hash()), which the snapshot writer emits as a
+ * trailing integrity footer (Section::Checksum).
+ */
 class Sink {
   public:
     explicit Sink(std::ostream &os) : os_(os) {}
@@ -42,6 +63,7 @@ class Sink {
     void
     u8(std::uint8_t v)
     {
+        mix(v);
         os_.put(static_cast<char>(v));
     }
 
@@ -68,12 +90,15 @@ class Sink {
     str(const std::string &s)
     {
         u64(s.size());
-        os_.write(s.data(), static_cast<std::streamsize>(s.size()));
+        bytes(s.data(), s.size());
     }
 
     void
     bytes(const void *data, std::size_t n)
     {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < n; ++i)
+            mix(p[i]);
         os_.write(static_cast<const char *>(data),
                   static_cast<std::streamsize>(n));
     }
@@ -86,14 +111,29 @@ class Sink {
             u64(x);
     }
 
+    /** Running FNV-1a over every byte written so far. */
+    std::uint64_t hash() const { return hash_; }
+
     bool good() const { return os_.good(); }
     std::ostream &stream() { return os_; }
 
   private:
+    void
+    mix(std::uint8_t v)
+    {
+        hash_ ^= v;
+        hash_ *= kFnvPrime;
+    }
+
     std::ostream &os_;
+    std::uint64_t hash_ = kFnvOffset;
 };
 
-/** Binary reader over a std::istream; throws SnapshotError on underrun. */
+/**
+ * Binary reader over a std::istream; throws SnapshotError on underrun.
+ * Mirrors the Sink's running FNV-1a over every byte consumed (including
+ * skipped sections), so a reader can validate the writer's checksum footer.
+ */
 class Source {
   public:
     explicit Source(std::istream &is) : is_(is) {}
@@ -104,6 +144,7 @@ class Source {
         int c = is_.get();
         if (c == std::char_traits<char>::eof())
             MAPLE_THROW(SnapshotError, "snapshot truncated");
+        mix(static_cast<std::uint8_t>(c));
         return static_cast<std::uint8_t>(c);
     }
 
@@ -156,15 +197,24 @@ class Source {
         return v;
     }
 
-    /** Skip @p n payload bytes (unknown section tags). */
+    /**
+     * Skip @p n payload bytes (unknown section tags). Skipped bytes still
+     * feed the running hash — the writer hashed them.
+     */
     void
     skip(std::uint64_t n)
     {
-        is_.ignore(static_cast<std::streamsize>(n));
-        if (!is_ && !is_.eof())
-            MAPLE_THROW(SnapshotError, "snapshot truncated during skip");
-        if (static_cast<std::uint64_t>(is_.gcount()) != n)
-            MAPLE_THROW(SnapshotError, "snapshot truncated during skip");
+        char buf[1 << 12];
+        while (n > 0) {
+            const std::size_t chunk =
+                static_cast<std::size_t>(std::min<std::uint64_t>(n, sizeof buf));
+            is_.read(buf, static_cast<std::streamsize>(chunk));
+            if (static_cast<std::size_t>(is_.gcount()) != chunk)
+                MAPLE_THROW(SnapshotError, "snapshot truncated during skip");
+            for (std::size_t i = 0; i < chunk; ++i)
+                mix(static_cast<std::uint8_t>(buf[i]));
+            n -= chunk;
+        }
     }
 
     /** True at a clean end of stream (used by the section loop). */
@@ -173,6 +223,9 @@ class Source {
     {
         return is_.peek() == std::char_traits<char>::eof();
     }
+
+    /** Running FNV-1a over every byte consumed so far. */
+    std::uint64_t hash() const { return hash_; }
 
     std::istream &stream() { return is_; }
 
@@ -183,6 +236,15 @@ class Source {
         is_.read(dst, static_cast<std::streamsize>(n));
         if (static_cast<std::size_t>(is_.gcount()) != n)
             MAPLE_THROW(SnapshotError, "snapshot truncated");
+        for (std::size_t i = 0; i < n; ++i)
+            mix(static_cast<std::uint8_t>(dst[i]));
+    }
+
+    void
+    mix(std::uint8_t v)
+    {
+        hash_ ^= v;
+        hash_ *= kFnvPrime;
     }
 
     static void
@@ -197,6 +259,7 @@ class Source {
     }
 
     std::istream &is_;
+    std::uint64_t hash_ = kFnvOffset;
 };
 
 /**

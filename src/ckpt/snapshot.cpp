@@ -11,8 +11,8 @@ namespace maple::ckpt {
 
 namespace {
 
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
-constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+// kFnvOffset / kFnvPrime come from serial.hpp (shared with the stream
+// checksum machinery).
 
 void
 mix(std::uint64_t &h, std::uint64_t v)
@@ -151,6 +151,14 @@ Soc::snapshot(std::ostream &os)
                      [this](ckpt::Sink &s) { tracer_->saveState(s); });
     }
 
+    // Integrity footer: FNV-1a over every byte written so far, captured
+    // before this section's own tag so the reader can compare it against
+    // its running hash at the same point.
+    const std::uint64_t content_hash = out.hash();
+    out.u32(static_cast<std::uint32_t>(ckpt::Section::Checksum));
+    out.u64(sizeof content_hash);
+    out.u64(content_hash);
+
     MAPLE_CHECK(out.good(), ckpt::SnapshotError,
                 "snapshot stream write failed");
 }
@@ -179,7 +187,9 @@ Soc::restore(std::istream &is)
     std::uint64_t cycle = in.u64();
     (void)cycle;  // informational; the Engine section carries the clock
 
-    while (!in.atEof()) {
+    bool checksum_seen = false;
+    while (!checksum_seen && !in.atEof()) {
+        const std::uint64_t pre_section_hash = in.hash();
         std::uint32_t tag = in.u32();
         std::uint64_t len = in.u64();
         std::streampos start = is.tellg();
@@ -242,6 +252,23 @@ Soc::restore(std::istream &is)
             else
                 in.skip(len);
             break;
+        case ckpt::Section::Checksum: {
+            MAPLE_CHECK(len == 8, ckpt::SnapshotError,
+                        "checksum section has length %llu, expected 8",
+                        (unsigned long long)len);
+            const std::uint64_t want = in.u64();
+            MAPLE_CHECK(want == pre_section_hash,
+                        ckpt::SnapshotError::BadChecksum,
+                        "snapshot checksum mismatch: stream content hashes "
+                        "to 0x%llx but the footer says 0x%llx — the "
+                        "snapshot is corrupt; discard this SoC",
+                        (unsigned long long)pre_section_hash,
+                        (unsigned long long)want);
+            // The footer is always last; stop here so concatenated
+            // per-chip streams stay individually restorable.
+            checksum_seen = true;
+            break;
+        }
         default:
             in.skip(len);  // unknown section from a richer writer
             break;
@@ -256,6 +283,12 @@ Soc::restore(std::istream &is)
                         (unsigned long long)len);
         }
     }
+    // A v2 stream always ends with the footer: running off the end of the
+    // stream without seeing one means the tail was cut off at a section
+    // boundary — indistinguishable from an older truncated-but-parseable
+    // stream without this check.
+    MAPLE_CHECK(checksum_seen, ckpt::SnapshotError::BadChecksum,
+                "snapshot ends without a checksum footer (truncated?)");
 }
 
 }  // namespace maple::soc

@@ -35,8 +35,13 @@ namespace maple::ckpt {
 /** "MAPLCKPT" — the first 8 bytes of every snapshot stream. */
 inline constexpr std::uint64_t kMagic = 0x54504b434c50414dull;
 
-/** Bumped whenever any component's serialized layout changes. */
-inline constexpr std::uint32_t kFormatVersion = 1;
+/**
+ * Bumped whenever any component's serialized layout changes.
+ * v2: every stream ends with a mandatory Checksum section — an FNV-1a over
+ * all preceding bytes — so corruption and truncation surface as a typed
+ * SnapshotError (BadChecksum) instead of silently restoring garbage.
+ */
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /** Tagged-section identifiers (u32 on the wire). */
 enum class Section : std::uint32_t {
@@ -51,6 +56,13 @@ enum class Section : std::uint32_t {
     Maple = 9,     ///< one per MAPLE: index, queues, device registers
     Fault = 10,    ///< fault plan RNG streams, counters, event log
     Trace = 11,    ///< trace events, probe samples, stall attribution
+    /**
+     * Mandatory integrity footer, always the last section: u64 FNV-1a over
+     * every stream byte before this section's tag. A reader stops at this
+     * section (supporting concatenated per-chip streams); a stream that
+     * ends without one is reported as truncated.
+     */
+    Checksum = 12,
 };
 
 /**

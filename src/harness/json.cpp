@@ -1,8 +1,10 @@
 #include "harness/json.hpp"
 
 #include <cassert>
+#include <cerrno>
 #include <charconv>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -350,6 +352,42 @@ writeDouble(std::ostream &os, double d)
 }
 
 void
+writeCompact(std::ostream &os, const Value &v)
+{
+    if (v.isNull()) {
+        os << "null";
+    } else if (v.isBool()) {
+        os << (v.asBool() ? "true" : "false");
+    } else if (v.isInt()) {
+        os << v.asInt();
+    } else if (v.isDouble()) {
+        writeDouble(os, v.asDouble());
+    } else if (v.isString()) {
+        writeEscaped(os, v.asString());
+    } else if (v.isArray()) {
+        os << "[";
+        const Array &a = v.asArray();
+        for (size_t i = 0; i < a.size(); ++i) {
+            if (i)
+                os << ", ";
+            writeCompact(os, a[i]);
+        }
+        os << "]";
+    } else {
+        os << "{";
+        const Object &o = v.asObject();
+        for (size_t i = 0; i < o.size(); ++i) {
+            if (i)
+                os << ", ";
+            writeEscaped(os, o[i].first);
+            os << ": ";
+            writeCompact(os, o[i].second);
+        }
+        os << "}";
+    }
+}
+
+void
 writeIndented(std::ostream &os, const Value &v, int depth)
 {
     auto pad = [&os](int d) {
@@ -422,19 +460,43 @@ dump(const Value &v)
     return ss.str();
 }
 
+std::string
+dumpCompact(const Value &v)
+{
+    std::ostringstream ss;
+    writeCompact(ss, v);
+    return ss.str();
+}
+
 void
 writeFile(const std::string &path, const Value &v)
 {
     const std::string tmp = path + ".tmp";
-    {
-        std::ofstream f(tmp, std::ios::trunc);
-        MAPLE_CHECK(f.good(), JsonError, "cannot write %s", tmp.c_str());
-        write(f, v);
-        f.flush();
-        MAPLE_CHECK(f.good(), JsonError, "short write to %s", tmp.c_str());
+    errno = 0;
+    std::ofstream f(tmp, std::ios::trunc);
+    if (!f.good()) {
+        MAPLE_THROW(JsonError, "cannot open %s for writing: %s", tmp.c_str(),
+                    errno ? std::strerror(errno) : "stream error");
     }
-    MAPLE_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0, JsonError,
-                "cannot rename %s to %s", tmp.c_str(), path.c_str());
+    write(f, v);
+    f.flush();
+    const bool wrote = f.good();
+    f.close();
+    // An ENOSPC / quota / I/O failure can surface at write, flush *or*
+    // close time; any of them leaves a short temp file that must never be
+    // renamed over the real document.
+    if (!wrote || !f.good()) {
+        const int err = errno;
+        std::remove(tmp.c_str());
+        MAPLE_THROW(JsonError, "short write to %s: %s", tmp.c_str(),
+                    err ? std::strerror(err) : "stream error");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        const int err = errno;
+        std::remove(tmp.c_str());
+        MAPLE_THROW(JsonError, "cannot rename %s to %s: %s", tmp.c_str(),
+                    path.c_str(), std::strerror(err));
+    }
 }
 
 Value

@@ -117,8 +117,17 @@ void write(std::ostream &os, const Value &v);
 std::string dump(const Value &v);
 
 /**
+ * Single-line serialization (no indentation, no trailing newline) — the
+ * journal format: one record per line, appended atomically.
+ */
+std::string dumpCompact(const Value &v);
+
+/**
  * Write @p v to @p path atomically: temp file in the same directory, then
  * rename. Concurrent writers (campaign workers) never expose torn files.
+ * Any I/O failure — ENOSPC, short write, failed close or rename — throws
+ * JsonError (with errno detail) after removing the temp file, so a torn
+ * document can never be observed under @p path.
  */
 void writeFile(const std::string &path, const Value &v);
 

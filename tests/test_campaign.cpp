@@ -306,6 +306,58 @@ TEST(CampaignCache, StoreThenLoadReturnsIdenticalDocument)
     fs::remove_all(cache.dir());
 }
 
+TEST(CampaignCache, UnreadableFileHashIsATypedError)
+{
+    // A silent 0 for an unreadable file would give every missing binary the
+    // same "content", poisoning cache keys; it must be a ConfigError.
+    EXPECT_THROW(campaign::fileContentHash("/definitely/not/here"),
+                 sim::ConfigError);
+}
+
+TEST(CampaignCache, CorruptEntryIsEvictedAndCounted)
+{
+    const std::string dir = ::testing::TempDir() + "campaign_cache3";
+    campaign::ResultCache cache(dir, true);
+    Value doc;
+    doc.set("cycles", Value(7));
+    cache.store("deadbeef", doc);
+    ASSERT_TRUE(cache.load("deadbeef").has_value());
+    EXPECT_EQ(cache.evictions(), 0u);
+
+    // Flip one payload byte on disk: the checksum wrapper must catch it,
+    // the entry must be deleted, and the eviction counted.
+    const std::string path = dir + "/deadbeef.json";
+    std::string bytes;
+    {
+        std::ifstream f(path, std::ios::binary);
+        std::ostringstream ss;
+        ss << f.rdbuf();
+        bytes = ss.str();
+    }
+    bytes[bytes.find("\"cycles\"") + 2] ^= 0x20;
+    {
+        std::ofstream f(path, std::ios::binary | std::ios::trunc);
+        f << bytes;
+    }
+    EXPECT_FALSE(cache.load("deadbeef").has_value());
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_FALSE(fs::exists(path));
+    // Gone, so the next probe is a plain miss, not another eviction.
+    EXPECT_FALSE(cache.load("deadbeef").has_value());
+    EXPECT_EQ(cache.evictions(), 1u);
+
+    // A truncated (unparsable) entry takes the same path.
+    cache.store("feedface", doc);
+    {
+        std::ofstream f(dir + "/feedface.json",
+                        std::ios::binary | std::ios::trunc);
+        f << "{\"fnv64\": \"12";
+    }
+    EXPECT_FALSE(cache.load("feedface").has_value());
+    EXPECT_EQ(cache.evictions(), 2u);
+    fs::remove_all(dir);
+}
+
 // ---------------------------------------------------------------------------
 // Scenario: the cache-identity guarantee. A job measured on a
 // restored-from-warm-image SoC must produce byte-identical stats to one

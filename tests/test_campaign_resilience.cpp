@@ -1,0 +1,627 @@
+/**
+ * @file
+ * Resilient-campaign tests: journal append/replay, retry taxonomy and
+ * deterministic backoff, worker liveness (hung vs. slow), SIGTERM-grace
+ * flushing, resume-after-runner-kill equivalence, and the deterministic
+ * chaos harness converging to clean-run results.
+ *
+ * Campaigns that need a distinct environment (chaos plans, the runner
+ * kill-switch) run in a forked child so this process's environment and the
+ * other tests stay untouched.
+ */
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "campaign/health.hpp"
+#include "campaign/journal.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+#include "sim/error.hpp"
+
+using namespace maple;
+using harness::json::Value;
+namespace json = harness::json;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct TempDir {
+    std::string path;
+    TempDir()
+    {
+        std::string templ = ::testing::TempDir() + "resilienceXXXXXX";
+        path = ::mkdtemp(templ.data());
+    }
+    ~TempDir() { fs::remove_all(path); }
+};
+
+/** Run a campaign in a forked child with extra environment variables. */
+int
+runCampaignInFork(const campaign::CampaignSpec &spec,
+                  const campaign::RunnerOptions &opts,
+                  const std::vector<std::pair<std::string, std::string>> &env)
+{
+    pid_t pid = ::fork();
+    if (pid == 0) {
+        for (const auto &[k, v] : env)
+            ::setenv(k.c_str(), v.c_str(), 1);
+        int rc = 99;
+        try {
+            rc = campaign::runCampaign(spec, opts);
+        } catch (...) {
+            rc = 98;
+        }
+        std::fflush(nullptr);
+        ::_exit(rc);
+    }
+    int ws = 0;
+    ::waitpid(pid, &ws, 0);
+    return WIFEXITED(ws) ? WEXITSTATUS(ws) : 128 + WTERMSIG(ws);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    std::string s((std::istreambuf_iterator<char>(f)),
+                  std::istreambuf_iterator<char>());
+    return s;
+}
+
+// ---------------------------------------------------------------------------
+// Journal
+// ---------------------------------------------------------------------------
+
+json::Value
+record(std::initializer_list<std::pair<const char *, json::Value>> members)
+{
+    json::Object o;
+    for (const auto &[k, v] : members)
+        o.emplace_back(k, v);
+    return json::Value(std::move(o));
+}
+
+TEST(CampaignJournal, AppendReplayRoundTripSkipsTornLine)
+{
+    TempDir dir;
+    const std::string path = dir.path + "/journal.jsonl";
+    {
+        campaign::Journal j;
+        j.open(path, /*truncate=*/true);
+        j.append(record({{"event", Value("campaign")},
+                         {"name", Value("demo")},
+                         {"spec_fnv", Value("00000000000000ab")},
+                         {"resume", Value(false)}}));
+        j.append(record({{"event", Value("start")}, {"job", Value("a")},
+                         {"attempt", Value(0)}}));
+        j.append(record({{"event", Value("finish")}, {"job", Value("a")},
+                         {"attempt", Value(0)}, {"status", Value("crashed")},
+                         {"retry", Value(true)}}));
+        j.append(record({{"event", Value("start")}, {"job", Value("a")},
+                         {"attempt", Value(1)}}));
+        j.append(record({{"event", Value("finish")}, {"job", Value("a")},
+                         {"attempt", Value(1)}, {"status", Value("ok")},
+                         {"retry", Value(false)}}));
+        j.append(record({{"event", Value("start")}, {"job", Value("b")},
+                         {"attempt", Value(0)}}));
+    }
+    // Simulate a runner killed mid-append: a torn trailing line.
+    {
+        std::ofstream f(path, std::ios::app | std::ios::binary);
+        f << "{\"event\": \"fin";
+    }
+
+    campaign::JournalReplay rep = campaign::replayJournal(path);
+    EXPECT_TRUE(rep.header_seen);
+    EXPECT_EQ(rep.campaign, "demo");
+    EXPECT_EQ(rep.spec_fnv, 0xabu);
+    EXPECT_EQ(rep.torn_lines, 1u);
+    ASSERT_EQ(rep.jobs.count("a"), 1u);
+    EXPECT_TRUE(rep.jobs.at("a").completed);
+    EXPECT_FALSE(rep.jobs.at("a").in_flight);
+    EXPECT_EQ(rep.jobs.at("a").attempts, 2u);
+    EXPECT_EQ(rep.jobs.at("a").last_status, "ok");
+    ASSERT_EQ(rep.jobs.count("b"), 1u);
+    EXPECT_TRUE(rep.jobs.at("b").in_flight);
+    EXPECT_FALSE(rep.jobs.at("b").completed);
+}
+
+TEST(CampaignJournal, MissingJournalReplaysEmpty)
+{
+    campaign::JournalReplay rep =
+        campaign::replayJournal("/nonexistent/journal.jsonl");
+    EXPECT_FALSE(rep.header_seen);
+    EXPECT_TRUE(rep.jobs.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Retry taxonomy & backoff
+// ---------------------------------------------------------------------------
+
+TEST(CampaignRetry, ClassifiesOutcomes)
+{
+    using campaign::OutcomeClass;
+    using campaign::classifyOutcome;
+    EXPECT_EQ(classifyOutcome("ok", 0, 0, ""), OutcomeClass::Success);
+    EXPECT_EQ(classifyOutcome("cached", 0, 0, ""), OutcomeClass::Success);
+    EXPECT_EQ(classifyOutcome("crashed", 0, 11, ""), OutcomeClass::Transient);
+    EXPECT_EQ(classifyOutcome("timeout", 0, 9, ""), OutcomeClass::Transient);
+    EXPECT_EQ(classifyOutcome("hung", 0, 9, ""), OutcomeClass::Transient);
+    EXPECT_EQ(classifyOutcome("failed", 9, 0, ""), OutcomeClass::Transient);
+    // Wrong answers and wrong specs must never be retried.
+    EXPECT_EQ(classifyOutcome("failed", 3, 0, ""), OutcomeClass::Permanent);
+    EXPECT_EQ(classifyOutcome("failed", 4, 0, ""), OutcomeClass::Permanent);
+    EXPECT_EQ(classifyOutcome("failed", 127, 0, ""), OutcomeClass::Permanent);
+    EXPECT_EQ(classifyOutcome("failed", 2, 0,
+                              "job failed: sim::ConfigError: bad knob"),
+              OutcomeClass::Permanent);
+}
+
+TEST(CampaignRetry, BackoffIsDeterministicJitteredAndCapped)
+{
+    campaign::RetryPolicy p1(3, 0.05, 2.0, 42);
+    campaign::RetryPolicy p2(3, 0.05, 2.0, 42);
+    double prev_base = 0;
+    for (unsigned attempt = 1; attempt <= 8; ++attempt) {
+        const double d1 = p1.backoffSeconds(attempt);
+        const double d2 = p2.backoffSeconds(attempt);
+        EXPECT_DOUBLE_EQ(d1, d2) << attempt;
+        const double base =
+            std::min(0.05 * static_cast<double>(1u << (attempt - 1)), 2.0);
+        EXPECT_GE(d1, 0.5 * base) << attempt;
+        EXPECT_LT(d1, 1.5 * base) << attempt;
+        EXPECT_GE(base, prev_base);
+        prev_base = base;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chaos plan
+// ---------------------------------------------------------------------------
+
+TEST(CampaignChaos, ParsesModesSeedAndRate)
+{
+    campaign::ChaosPlan p =
+        campaign::ChaosPlan::parse("crash,slow-io:123:0.5");
+    EXPECT_TRUE(p.crash);
+    EXPECT_TRUE(p.slow_io);
+    EXPECT_FALSE(p.hang);
+    EXPECT_FALSE(p.corrupt_cache);
+    EXPECT_EQ(p.seed, 123u);
+    EXPECT_DOUBLE_EQ(p.rate, 0.5);
+    EXPECT_TRUE(p.enabled());
+
+    EXPECT_THROW(campaign::ChaosPlan::parse("crash"), sim::ConfigError);
+    EXPECT_THROW(campaign::ChaosPlan::parse("crash:x:0.5"),
+                 sim::ConfigError);
+    EXPECT_THROW(campaign::ChaosPlan::parse("crash:1:1.5"),
+                 sim::ConfigError);
+    EXPECT_THROW(campaign::ChaosPlan::parse("warp-drive:1:0.1"),
+                 sim::ConfigError);
+}
+
+TEST(CampaignChaos, DrawIsAPureFunctionOfSeedAndSite)
+{
+    campaign::ChaosPlan p;
+    p.crash = true;
+    p.seed = 7;
+    p.rate = 0.5;
+    const bool first = p.draw("crash:job#0");
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(p.draw("crash:job#0"), first);
+
+    campaign::ChaosPlan always = p;
+    always.rate = 1.0;
+    EXPECT_TRUE(always.draw("any-site"));
+    campaign::ChaosPlan never = p;
+    never.rate = 0.0;
+    EXPECT_FALSE(never.draw("any-site"));
+}
+
+TEST(CampaignChaos, CorruptFileFlipsExactlyOneDeterministicByte)
+{
+    TempDir dir;
+    const std::string path = dir.path + "/victim.bin";
+    const std::string original = "the quick brown fox jumps";
+    {
+        std::ofstream f(path, std::ios::binary);
+        f << original;
+    }
+    campaign::ChaosPlan p;
+    p.corrupt_cache = true;
+    p.seed = 9;
+    p.rate = 1.0;
+    p.maybeCorruptFile(path, "site-a");
+    const std::string mutated = readFile(path);
+    ASSERT_EQ(mutated.size(), original.size());
+    unsigned diffs = 0;
+    for (size_t i = 0; i < original.size(); ++i)
+        diffs += original[i] != mutated[i];
+    EXPECT_EQ(diffs, 1u);
+
+    // Same seed + site corrupts the same byte: flipping twice restores.
+    p.maybeCorruptFile(path, "site-a");
+    EXPECT_EQ(readFile(path), original);
+}
+
+// ---------------------------------------------------------------------------
+// Retry / quarantine end to end
+// ---------------------------------------------------------------------------
+
+campaign::CampaignSpec
+execSpec(const std::string &json_text)
+{
+    return campaign::parseCampaignSpec(json::parse(json_text));
+}
+
+TEST(CampaignResilience, TransientFailureRetriesThenSucceeds)
+{
+    TempDir dir;
+    const std::string marker = dir.path + "/mark";
+    campaign::CampaignSpec spec = execSpec(R"({
+      "name": "retry",
+      "retry_budget": 2, "retry_backoff_base_s": 0.02,
+      "retry_backoff_cap_s": 0.1,
+      "jobs": [
+        {"type": "exec", "name": "flaky",
+         "argv": ["/bin/sh", "-c",
+                  "if [ -e )" + marker + R"( ]; then exit 0; else : > )" +
+                                           marker + R"(; exit 9; fi"]}
+      ]
+    })");
+    campaign::RunnerOptions opts;
+    opts.out_dir = dir.path + "/out";
+    ASSERT_EQ(campaign::runCampaign(spec, opts), 0);
+
+    Value m = json::parseFile(opts.out_dir + "/manifest.json");
+    EXPECT_EQ(m.get("totals")->getInt("ok", -1), 1);
+    EXPECT_EQ(m.get("totals")->getInt("failed", -1), 0);
+    EXPECT_EQ(m.get("totals")->getInt("retries", -1), 1);
+    const Value &row = m.get("jobs")->asArray()[0];
+    EXPECT_EQ(row.getString("status", ""), "ok");
+    EXPECT_EQ(row.getInt("attempts", -1), 2);
+    EXPECT_FALSE(row.getBool("quarantined", true));
+
+    // The journal records both attempts: one retry finish, one terminal.
+    campaign::JournalReplay rep =
+        campaign::replayJournal(opts.out_dir + "/journal.jsonl");
+    EXPECT_EQ(rep.jobs.at("flaky").attempts, 2u);
+    EXPECT_TRUE(rep.jobs.at("flaky").completed);
+}
+
+TEST(CampaignResilience, ExhaustedTransientJobIsQuarantinedNotFailed)
+{
+    TempDir dir;
+    campaign::CampaignSpec spec = execSpec(R"({
+      "name": "quarantine",
+      "retry_budget": 1, "retry_backoff_base_s": 0.02,
+      "retry_backoff_cap_s": 0.05,
+      "jobs": [
+        {"type": "exec", "name": "doomed",
+         "argv": ["/bin/sh", "-c", "exit 9"]}
+      ]
+    })");
+    campaign::RunnerOptions opts;
+    opts.out_dir = dir.path + "/out";
+    opts.strict = true;  // quarantined jobs must not escalate
+    ASSERT_EQ(campaign::runCampaign(spec, opts), 0);
+
+    Value m = json::parseFile(opts.out_dir + "/manifest.json");
+    EXPECT_EQ(m.get("totals")->getInt("failed", -1), 0);
+    EXPECT_EQ(m.get("totals")->getInt("quarantined", -1), 1);
+    EXPECT_EQ(m.get("totals")->getInt("retries", -1), 1);
+    const Value &row = m.get("jobs")->asArray()[0];
+    EXPECT_TRUE(row.getBool("quarantined", false));
+    EXPECT_EQ(row.getInt("attempts", -1), 2);
+    const json::Array &q = m.get("quarantine")->asArray();
+    ASSERT_EQ(q.size(), 1u);
+    EXPECT_EQ(q[0].getString("name", ""), "doomed");
+}
+
+TEST(CampaignResilience, PermanentFailureIsNeverRetried)
+{
+    TempDir dir;
+    // A readable but non-executable file: hashing succeeds, exec fails with
+    // 127 -- a permanent outcome that must not burn the retry budget.
+    const std::string bin = dir.path + "/not-a-binary";
+    {
+        std::ofstream f(bin);
+        f << "plain data\n";
+    }
+    campaign::CampaignSpec spec = execSpec(R"({
+      "name": "permanent",
+      "retry_budget": 3, "retry_backoff_base_s": 0.02,
+      "retry_backoff_cap_s": 0.05,
+      "jobs": [
+        {"type": "exec", "name": "noexec", "argv": [")" + bin + R"("]}
+      ]
+    })");
+    campaign::RunnerOptions opts;
+    opts.out_dir = dir.path + "/out";
+    ASSERT_EQ(campaign::runCampaign(spec, opts), 0);
+
+    Value m = json::parseFile(opts.out_dir + "/manifest.json");
+    EXPECT_EQ(m.get("totals")->getInt("failed", -1), 1);
+    EXPECT_EQ(m.get("totals")->getInt("retries", -1), 0);
+    const Value &row = m.get("jobs")->asArray()[0];
+    EXPECT_EQ(row.getString("status", ""), "failed");
+    EXPECT_EQ(row.getInt("exit_code", 0), 127);
+    EXPECT_EQ(row.getInt("attempts", -1), 1);
+}
+
+TEST(CampaignResilience, MissingExecBinaryFailsWithTypedDiagnostics)
+{
+    TempDir dir;
+    campaign::CampaignSpec spec = execSpec(R"({
+      "name": "missing",
+      "jobs": [
+        {"type": "exec", "name": "ghost",
+         "argv": ["/definitely/not/here"]},
+        {"type": "exec", "name": "fine",
+         "argv": ["/bin/sh", "-c", "exit 0"]}
+      ]
+    })");
+    campaign::RunnerOptions opts;
+    opts.out_dir = dir.path + "/out";
+    ASSERT_EQ(campaign::runCampaign(spec, opts), 0);
+
+    Value m = json::parseFile(opts.out_dir + "/manifest.json");
+    EXPECT_EQ(m.get("totals")->getInt("failed", -1), 1);
+    EXPECT_EQ(m.get("totals")->getInt("ok", -1), 1);
+    for (const Value &row : m.get("jobs")->asArray()) {
+        if (row.getString("name", "") == "ghost") {
+            EXPECT_EQ(row.getString("status", ""), "failed");
+            EXPECT_NE(
+                row.getString("diagnostics", "").find("sim::ConfigError"),
+                std::string::npos);
+        } else {
+            EXPECT_EQ(row.getString("status", ""), "ok");
+        }
+    }
+}
+
+TEST(CampaignResilience, CacheEvictionIsCountedInTheManifest)
+{
+    TempDir dir;
+    campaign::CampaignSpec spec = execSpec(R"({
+      "name": "evict",
+      "jobs": [{"type": "exec", "name": "hello",
+                "argv": ["/bin/sh", "-c", "echo hi"]}]
+    })");
+    campaign::RunnerOptions opts;
+    opts.out_dir = dir.path + "/out";
+    ASSERT_EQ(campaign::runCampaign(spec, opts), 0);
+    Value m1 = json::parseFile(opts.out_dir + "/manifest.json");
+    const std::string key =
+        m1.get("jobs")->asArray()[0].getString("cache_key", "");
+    ASSERT_FALSE(key.empty());
+
+    // Truncate the stored entry: the next campaign must evict it, count
+    // the eviction in the manifest, and recompute the job.
+    const std::string entry = opts.out_dir + "/cache/" + key + ".json";
+    ASSERT_TRUE(fs::exists(entry));
+    fs::resize_file(entry, fs::file_size(entry) / 2);
+
+    ASSERT_EQ(campaign::runCampaign(spec, opts), 0);
+    Value m2 = json::parseFile(opts.out_dir + "/manifest.json");
+    EXPECT_EQ(m2.get("totals")->getInt("cache_evictions", -1), 1);
+    EXPECT_EQ(m2.get("totals")->getInt("cached", -1), 0);
+    EXPECT_EQ(m2.get("totals")->getInt("ok", -1), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Liveness
+// ---------------------------------------------------------------------------
+
+TEST(CampaignResilience, HungWorkerIsReclaimedWhileSlowWorkerSurvives)
+{
+    TempDir dir;
+    // "slow" beats on the heartbeat fd every 100ms for ~1.5s (longer than
+    // the 1s heartbeat timeout, so only the beats keep it alive); "hang"
+    // never beats and must be reclaimed as hung, not timeout.
+    campaign::CampaignSpec spec = execSpec(R"({
+      "name": "liveness",
+      "workers": 2, "timeout_s": 30,
+      "heartbeat_timeout_s": 1.0, "grace_s": 0.5,
+      "jobs": [
+        {"type": "exec", "name": "slow",
+         "argv": ["/bin/sh", "-c",
+                  "eval \"exec 9>&$MAPLE_CAMPAIGN_HEARTBEAT_FD\"; i=0; while [ $i -lt 15 ]; do echo b >&9; sleep 0.1; i=$((i+1)); done"]},
+        {"type": "exec", "name": "hang",
+         "argv": ["/bin/sh", "-c", "sleep 30"]}
+      ]
+    })");
+    campaign::RunnerOptions opts;
+    opts.out_dir = dir.path + "/out";
+    ASSERT_EQ(campaign::runCampaign(spec, opts), 0);
+
+    Value m = json::parseFile(opts.out_dir + "/manifest.json");
+    for (const Value &row : m.get("jobs")->asArray()) {
+        if (row.getString("name", "") == "slow")
+            EXPECT_EQ(row.getString("status", ""), "ok");
+        else
+            EXPECT_EQ(row.getString("status", ""), "hung");
+    }
+}
+
+TEST(CampaignResilience, SigtermGraceLetsTimedOutJobsFlush)
+{
+    TempDir dir;
+    const std::string marker = dir.path + "/flushed";
+    campaign::CampaignSpec spec = execSpec(R"({
+      "name": "grace",
+      "timeout_s": 0.4, "grace_s": 5.0,
+      "jobs": [
+        {"type": "exec", "name": "flush",
+         "argv": ["/bin/sh", "-c",
+                  "trap 'echo done > )" + marker +
+                                           R"(; exit 0' TERM; sleep 20 & wait"]}
+      ]
+    })");
+    campaign::RunnerOptions opts;
+    opts.out_dir = dir.path + "/out";
+    ASSERT_EQ(campaign::runCampaign(spec, opts), 0);
+
+    Value m = json::parseFile(opts.out_dir + "/manifest.json");
+    EXPECT_EQ(m.get("jobs")->asArray()[0].getString("status", ""),
+              "timeout");
+    // The SIGTERM -> grace window let the trap handler write its state.
+    EXPECT_TRUE(fs::exists(marker));
+    EXPECT_EQ(readFile(marker), "done\n");
+}
+
+// ---------------------------------------------------------------------------
+// Resume
+// ---------------------------------------------------------------------------
+
+const char *kScenarioSpec = R"({
+  "name": "resume",
+  "workers": 1, "runs": 1,
+  "base": {"scenario": "spmv", "rows": 48, "nnz_per_row": 4, "cols": 256,
+           "warm_rows": 12},
+  "axes": {"technique": ["doall", "maple"], "queue_entries": [8, 16]},
+  "seeds": [1]
+})";
+
+TEST(CampaignResilience, ResumeAfterRunnerKillMatchesUninterruptedRun)
+{
+    TempDir dir;
+    campaign::CampaignSpec spec =
+        campaign::parseCampaignSpec(json::parse(kScenarioSpec));
+
+    // Killed run: the runner dies (exit 70) right after journaling the
+    // second terminal finish; with workers=1 that leaves two jobs done and
+    // two unstarted or in flight.
+    campaign::RunnerOptions killed;
+    killed.out_dir = dir.path + "/interrupted";
+    EXPECT_EQ(runCampaignInFork(spec, killed,
+                                {{"MAPLE_CAMPAIGN_CRASH_RUNNER_AFTER", "2"}}),
+              70);
+    campaign::JournalReplay rep =
+        campaign::replayJournal(killed.out_dir + "/journal.jsonl");
+    ASSERT_TRUE(rep.header_seen);
+    unsigned done = 0;
+    for (const auto &[name, j] : rep.jobs)
+        done += j.completed;
+    EXPECT_EQ(done, 2u);
+    EXPECT_FALSE(fs::exists(killed.out_dir + "/manifest.json"));
+
+    // Resume: completed jobs come back as cache hits, the rest run.
+    campaign::RunnerOptions resume = killed;
+    resume.resume = true;
+    ASSERT_EQ(campaign::runCampaign(spec, resume), 0);
+    Value mr = json::parseFile(killed.out_dir + "/manifest.json");
+    EXPECT_EQ(mr.get("totals")->getInt("jobs", -1), 4);
+    EXPECT_EQ(mr.get("totals")->getInt("failed", -1), 0);
+    EXPECT_EQ(mr.get("totals")->getInt("cached", -1), 2);
+    EXPECT_EQ(mr.get("totals")->getInt("ok", -1), 2);
+    // The warm image survived the kill; resume must not re-warm.
+    EXPECT_EQ(mr.get("totals")->getInt("warmups_run", -1), 0);
+
+    // Reference: the same campaign, never interrupted.
+    campaign::RunnerOptions clean;
+    clean.out_dir = dir.path + "/clean";
+    ASSERT_EQ(campaign::runCampaign(spec, clean), 0);
+
+    // A fully-cached pass over each directory must produce byte-identical
+    // manifests: resume converged to exactly the uninterrupted state.
+    ASSERT_EQ(campaign::runCampaign(spec, resume), 0);
+    ASSERT_EQ(campaign::runCampaign(spec, clean), 0);
+    const std::string m_resumed =
+        readFile(killed.out_dir + "/manifest.json");
+    const std::string m_clean = readFile(clean.out_dir + "/manifest.json");
+    ASSERT_FALSE(m_resumed.empty());
+    EXPECT_EQ(m_resumed, m_clean);
+    Value mf = json::parseFile(killed.out_dir + "/manifest.json");
+    EXPECT_EQ(mf.get("totals")->getInt("cache_hits", -1), 4);
+}
+
+TEST(CampaignResilience, ResumeRejectsAJournalFromADifferentSpec)
+{
+    TempDir dir;
+    campaign::CampaignSpec spec_a = execSpec(R"({
+      "name": "a",
+      "jobs": [{"type": "exec", "name": "j",
+                "argv": ["/bin/sh", "-c", "exit 0"]}]
+    })");
+    campaign::RunnerOptions opts;
+    opts.out_dir = dir.path + "/out";
+    ASSERT_EQ(campaign::runCampaign(spec_a, opts), 0);
+
+    campaign::CampaignSpec spec_b = execSpec(R"({
+      "name": "b",
+      "jobs": [{"type": "exec", "name": "j",
+                "argv": ["/bin/sh", "-c", "exit 1"]}]
+    })");
+    opts.resume = true;
+    EXPECT_THROW(campaign::runCampaign(spec_b, opts), sim::ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos soak
+// ---------------------------------------------------------------------------
+
+TEST(CampaignResilience, ChaosCampaignConvergesToCleanRunResults)
+{
+    TempDir dir;
+    campaign::CampaignSpec spec = campaign::parseCampaignSpec(json::parse(R"({
+      "name": "chaos",
+      "workers": 2, "runs": 1, "timeout_s": 60,
+      "retry_budget": 5, "retry_backoff_base_s": 0.02,
+      "retry_backoff_cap_s": 0.1,
+      "heartbeat_timeout_s": 1.0, "grace_s": 0.3,
+      "base": {"scenario": "spmv", "rows": 48, "nnz_per_row": 4,
+               "cols": 256, "warm_rows": 12},
+      "axes": {"technique": ["doall", "maple"], "queue_entries": [8, 16]},
+      "seeds": [1]
+    })"));
+
+    // Clean reference run (no chaos).
+    campaign::RunnerOptions clean;
+    clean.out_dir = dir.path + "/clean";
+    ASSERT_EQ(campaign::runCampaign(spec, clean), 0);
+    std::map<std::string, std::string> clean_results;
+    Value mc = json::parseFile(clean.out_dir + "/manifest.json");
+    for (const Value &row : mc.get("jobs")->asArray()) {
+        const std::string name = row.getString("name", "");
+        Value r = json::parseFile(clean.out_dir + "/jobs/" + name + ".json");
+        ASSERT_NE(r.get("result"), nullptr) << name;
+        clean_results[name] = json::dump(*r.get("result"));
+    }
+
+    // Chaos run: crashes, hangs, corrupted artifacts and slow I/O, all
+    // deterministic in (seed, site). Retries + checksum fallbacks must
+    // still converge to the clean-run simulation results.
+    campaign::RunnerOptions chaos;
+    chaos.out_dir = dir.path + "/chaos";
+    ASSERT_EQ(
+        runCampaignInFork(
+            spec, chaos,
+            {{"MAPLE_CAMPAIGN_CHAOS",
+              "crash,hang,corrupt-cache,corrupt-snapshot,slow-io:1234:0.2"}}),
+        0);
+
+    Value mk = json::parseFile(chaos.out_dir + "/manifest.json");
+    EXPECT_EQ(mk.get("totals")->getInt("jobs", -1), 4);
+    EXPECT_EQ(mk.get("totals")->getInt("failed", -1), 0);
+    EXPECT_EQ(mk.get("quarantine")->asArray().size(), 0u);
+    for (const Value &row : mk.get("jobs")->asArray()) {
+        const std::string name = row.getString("name", "");
+        EXPECT_EQ(row.getString("status", ""), "ok") << name;
+        Value r = json::parseFile(chaos.out_dir + "/jobs/" + name + ".json");
+        ASSERT_NE(r.get("result"), nullptr) << name;
+        EXPECT_EQ(json::dump(*r.get("result")), clean_results[name]) << name;
+    }
+}
+
+}  // namespace

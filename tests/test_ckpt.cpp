@@ -180,6 +180,47 @@ TEST(Ckpt, RejectsBadMagicVersionConfigAndTruncation)
     }
 }
 
+TEST(Ckpt, ChecksumFooterCatchesCorruptionAndTruncation)
+{
+    soc::Soc src(soc::SocConfig::fpga());
+    std::stringstream ss;
+    src.snapshot(ss);
+    const std::string bytes = ss.str();
+
+    // Pristine stream restores.
+    {
+        std::istringstream is(bytes);
+        soc::Soc dst(soc::SocConfig::fpga());
+        EXPECT_NO_THROW(dst.restore(is));
+    }
+    // A flipped payload byte past the header must surface as BadChecksum
+    // (structural checks can't see a value-only flip; the footer can).
+    // DRAM fill data sits in the large middle of the stream.
+    {
+        std::string m = bytes;
+        m[m.size() / 2] = static_cast<char>(m[m.size() / 2] ^ 0x01);
+        std::istringstream is(m);
+        soc::Soc dst(soc::SocConfig::fpga());
+        EXPECT_THROW(dst.restore(is), ckpt::SnapshotError);
+    }
+    // A corrupted footer (the recorded hash itself) is a BadChecksum.
+    {
+        std::string m = bytes;
+        m.back() = static_cast<char>(m.back() ^ 0x5a);
+        std::istringstream is(m);
+        soc::Soc dst(soc::SocConfig::fpga());
+        EXPECT_THROW(dst.restore(is), ckpt::SnapshotError::BadChecksum);
+    }
+    // A stream cut exactly at a section boundary (footer dropped) used to
+    // look complete; now it is a typed truncation error.
+    {
+        // 4 (tag) + 8 (len) + 8 (hash) = the 20-byte footer.
+        std::istringstream is(bytes.substr(0, bytes.size() - 20));
+        soc::Soc dst(soc::SocConfig::fpga());
+        EXPECT_THROW(dst.restore(is), ckpt::SnapshotError::BadChecksum);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Bit-identity: the quickstart gather, decoupled through MAPLE, with a
 // snapshot taken at the phase boundary after queue setup.

@@ -2,16 +2,25 @@
  * @file
  * Campaign service CLI.
  *
- *   maple_campaign run spec.json --out DIR [--workers N] [--no-cache]
- *                                [--strict]
+ *   maple_campaign run SPEC.json [--out DIR] [--workers N] [--no-cache]
+ *                                [--strict] [--resume]
+ *   maple_campaign resume DIR    [--workers N] [--no-cache] [--strict]
  *
  * Reads a campaign spec (see src/campaign/spec.hpp for the format), runs
  * every job crash-isolated across N worker processes, and writes
- * DIR/manifest.json, DIR/report.md, per-job results under DIR/jobs/ and the
- * content-hashed result cache under DIR/cache/.
+ * DIR/manifest.json, DIR/report.md, per-job results under DIR/jobs/, the
+ * job journal DIR/journal.jsonl and the content-hashed result cache under
+ * DIR/cache/.
+ *
+ * `--resume` (or the `resume DIR` form, which reads the spec copy saved at
+ * DIR/spec.json) replays the journal of an interrupted run: completed jobs
+ * are served from the cache / their result files, in-flight and failed jobs
+ * are re-run. The journal is fingerprint-checked against the spec, so
+ * resuming with a different spec is a hard error.
  *
  * Exit code 0 means the campaign itself completed -- individual job
- * failures are recorded in the manifest, not escalated, unless --strict.
+ * failures are recorded in the manifest, not escalated, unless --strict
+ * (quarantined jobs never escalate).
  */
 #include <cstdio>
 #include <cstdlib>
@@ -28,7 +37,9 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: maple_campaign run SPEC.json [--out DIR] "
-                 "[--workers N] [--no-cache] [--strict]\n");
+                 "[--workers N] [--no-cache] [--strict] [--resume]\n"
+                 "       maple_campaign resume DIR [--workers N] "
+                 "[--no-cache] [--strict]\n");
     return 2;
 }
 
@@ -39,10 +50,21 @@ main(int argc, char **argv)
 {
     using namespace maple;
 
-    if (argc < 3 || std::strcmp(argv[1], "run") != 0)
+    if (argc < 3)
         return usage();
-    const std::string spec_path = argv[2];
+    const std::string mode = argv[1];
+    if (mode != "run" && mode != "resume")
+        return usage();
+
     campaign::RunnerOptions opts;
+    std::string spec_path;
+    if (mode == "run") {
+        spec_path = argv[2];
+    } else {
+        opts.out_dir = argv[2];
+        spec_path = opts.out_dir + "/spec.json";
+        opts.resume = true;
+    }
     for (int i = 3; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&]() -> const char * {
@@ -52,7 +74,7 @@ main(int argc, char **argv)
             }
             return argv[++i];
         };
-        if (arg == "--out")
+        if (arg == "--out" && mode == "run")
             opts.out_dir = value();
         else if (arg == "--workers")
             opts.workers = static_cast<unsigned>(std::atoi(value()));
@@ -60,6 +82,8 @@ main(int argc, char **argv)
             opts.use_cache = false;
         else if (arg == "--strict")
             opts.strict = true;
+        else if (arg == "--resume" && mode == "run")
+            opts.resume = true;
         else
             return usage();
     }

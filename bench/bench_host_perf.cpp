@@ -11,6 +11,10 @@
  *                        reservation, stats and coroutines together.
  *   4. maple_spmv      — a full bench_fig08-style MAPLE-decoupled SPMV run
  *                        (cores, caches, TLBs, MAPLE pipeline, NoC, DRAM).
+ *   5. coh_spmv        — the same run with MSI coherence plus the flat-memory
+ *                        reference checker enabled: directory lookups and
+ *                        protocol messages now ride every miss, so this tier
+ *                        prices the honesty tax of coherent experiments.
  *
  * Two sharded tiers scale with host threads (--threads=N or
  * --threads-sweep=1,2,4 emit one sample per count, distinguished by the
@@ -140,6 +144,26 @@ mapleSpmv(bool quick)
     double secs = t.seconds();
     MAPLE_ASSERT(r.valid, "maple_spmv checksum mismatch");
     return {"maple_spmv", r.sim_events, r.cycles, secs};
+}
+
+/** The same full-system SPMV with MSI coherence and the reference checker
+ *  live: the cost of running experiments honestly, measured against the
+ *  maple_spmv tier above. */
+harness::PerfSample
+cohSpmv(bool quick)
+{
+    auto w = quick ? app::makeSpmv(1024, 16384, 8) : app::makeSpmv();
+    app::RunConfig cfg;
+    cfg.tech = app::Technique::MapleDecouple;
+    cfg.threads = 2;
+    cfg.soc = soc::SocConfig::fpga();
+    cfg.soc.coherence.mode = mem::CoherenceMode::Msi;
+    cfg.soc.coherence.checker = true;
+    harness::WallTimer t;
+    app::RunResult r = w->run(cfg);
+    double secs = t.seconds();
+    MAPLE_ASSERT(r.valid, "coh_spmv checksum mismatch");
+    return {"coh_spmv", r.sim_events, r.cycles, secs};
 }
 
 /** Simulated-outcome fingerprint of a sharded run: must not vary with the
@@ -285,6 +309,7 @@ main(int argc, char **argv)
     report.add(coroDelay(coro_rounds));
     report.add(nocSaturation(noc_transits));
     report.add(mapleSpmv(opts.quick));
+    report.add(cohSpmv(opts.quick));
 
     // Sharded tiers: one sample per swept thread count, with a cross-count
     // determinism assertion (the simulated outcome must not move).

@@ -37,9 +37,15 @@ mixCache(std::uint64_t &h, const mem::CacheParams &p)
 std::uint64_t
 configHash(const soc::SocConfig &cfg)
 {
-    // Resolve mesh geometry exactly as Soc's constructor does, so hashing a
-    // pre-construction config matches hashing soc.config() afterwards.
-    unsigned tiles_needed = cfg.num_cores + cfg.num_maples + 1;
+    // Resolve coherence knobs and mesh geometry exactly as Soc's
+    // constructor does, so hashing a pre-construction config matches
+    // hashing soc.config() afterwards (both resolutions are idempotent).
+    mem::CoherenceConfig coh = cfg.coherence;
+    coh.mergeEnv();
+    unsigned llc_slices = soc::llcSlicesFromEnv(cfg.llc_slices);
+    if (!coh.enabled() || llc_slices < 1)
+        llc_slices = 1;
+    unsigned tiles_needed = cfg.num_cores + cfg.num_maples + llc_slices;
     unsigned mesh_w = cfg.mesh_width;
     unsigned mesh_h = cfg.mesh_height;
     if (mesh_w == 0 || mesh_h == 0) {
@@ -80,6 +86,18 @@ configHash(const soc::SocConfig &cfg)
     mix(h, cfg.maple_proto.fetch_via_llc ? 1 : 0);
     mix(h, cfg.maple_proto.shared_pipeline_hazard ? 1 : 0);
     mix(h, cfg.kernel.fault_latency);
+    // Mixed only when a protocol is enabled, so a coherence-free config
+    // hashes identically to builds that predate coherence (their snapshots
+    // would still be rejected by the format-version bump, but warm images
+    // taken by *this* build in none mode stay portable across the flag).
+    if (coh.enabled()) {
+        mix(h, static_cast<std::uint64_t>(coh.mode));
+        mix(h, coh.dir_entries);
+        mix(h, coh.dir_assoc);
+        mix(h, coh.max_sharers);
+        mix(h, coh.dir_latency);
+        mix(h, llc_slices);
+    }
     return h;
 }
 
@@ -131,6 +149,20 @@ Soc::snapshot(std::ostream &os)
                  [this](ckpt::Sink &s) { llc_front_->saveState(s); });
     writeSection(ckpt::Section::Llc,
                  [this](ckpt::Sink &s) { llc_->saveState(s); });
+    // Extra LLC slices and the coherence fabric (msi mode only). Written
+    // before the Core sections: restore resets the reference checker when
+    // it sees the Directory section, and the per-core Cache::loadState
+    // calls that follow re-seed the checker with every held line.
+    if (coh_) {
+        for (unsigned s = 1; s < cfg_.llc_slices; ++s) {
+            writeSection(ckpt::Section::SliceLlc, [this, s](ckpt::Sink &sk) {
+                sk.u32(s);
+                slice_llcs_[s - 1]->saveState(sk);
+            });
+        }
+        writeSection(ckpt::Section::Directory,
+                     [this](ckpt::Sink &s) { coh_->saveState(s); });
+    }
     for (unsigned i = 0; i < numCores(); ++i) {
         writeSection(ckpt::Section::Core, [this, i](ckpt::Sink &s) {
             s.u32(i);
@@ -227,6 +259,26 @@ Soc::restore(std::istream &is)
             break;
         case ckpt::Section::Llc:
             llc_->loadState(in);
+            break;
+        case ckpt::Section::SliceLlc: {
+            std::uint32_t s = in.u32();
+            MAPLE_CHECK(coh_ && s >= 1 && s < cfg_.llc_slices,
+                        ckpt::SnapshotError,
+                        "snapshot LLC slice index %u out of range", s);
+            slice_llcs_[s - 1]->loadState(in);
+            break;
+        }
+        case ckpt::Section::Directory:
+            // Config-hash gating means an msi stream only restores into an
+            // msi Soc, so coh_ exists. Start the reference checker from a
+            // clean slate here; the Core sections that follow re-seed it
+            // via Cache::loadState with exactly the lines each L1 holds.
+            MAPLE_CHECK(coh_ != nullptr, ckpt::SnapshotError,
+                        "snapshot has coherence state but this SoC runs "
+                        "--coherence=none");
+            if (mem::CoherenceChecker *ck = coh_->checker())
+                ck->reset();
+            coh_->loadState(in);
             break;
         case ckpt::Section::Core: {
             std::uint32_t i = in.u32();

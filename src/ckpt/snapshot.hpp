@@ -40,8 +40,11 @@ inline constexpr std::uint64_t kMagic = 0x54504b434c50414dull;
  * v2: every stream ends with a mandatory Checksum section — an FNV-1a over
  * all preceding bytes — so corruption and truncation surface as a typed
  * SnapshotError (BadChecksum) instead of silently restoring garbage.
+ * v3: the Fault section grows two coherence fault classes, coherent caches
+ * write per-line MSI state, and msi-mode streams add Directory/SliceLlc
+ * sections for the sparse directories and the extra LLC slices.
  */
-inline constexpr std::uint32_t kFormatVersion = 2;
+inline constexpr std::uint32_t kFormatVersion = 3;
 
 /** Tagged-section identifiers (u32 on the wire). */
 enum class Section : std::uint32_t {
@@ -63,6 +66,8 @@ enum class Section : std::uint32_t {
      * ends without one is reported as truncated.
      */
     Checksum = 12,
+    Directory = 13,  ///< coherence fabric: message counters + per-slice dirs
+    SliceLlc = 14,   ///< one per extra LLC slice (msi mode): index, cache
 };
 
 /**

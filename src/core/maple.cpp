@@ -858,8 +858,17 @@ Maple::speculativePrefetch(sim::Addr vaddr)
     if (tr.fault)
         co_return;  // speculative: drop on fault
     bumpCounter(Counter::PrefetchesIssued);
-    if (w_.llc_cache)
+    if (params_.coherent && w_.llc_port) {
+        // Protocol-correct prefetch: warm the line's home slice through the
+        // directory (which downgrades a dirty private owner) rather than
+        // poking the LLC array directly. The checker deliberately ignores
+        // Prefetch-kind DMA reads -- a prefetch grants no data to anyone.
+        co_await w_.llc_port->request(mem::MemRequest::make(
+            eq_, mem::RequesterClass::Prefetch, params_.tile, tr.paddr, 8,
+            mem::AccessKind::Prefetch));
+    } else if (w_.llc_cache) {
         w_.llc_cache->prefetch(tr.paddr);
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -54,6 +54,14 @@ struct MapleParams {
     sim::Cycle pipe_latency = 3;      ///< decode + pipeline traversal
     size_t tlb_entries = 16;
     bool fetch_via_llc = false;       ///< pointer fetches via LLC vs DRAM
+    /**
+     * Set by the Soc when a real coherence protocol runs (--coherence=msi):
+     * dram_port/llc_port are then a CoherentDmaPort (every stream access is
+     * ordered by the line's home directory) and speculative prefetches are
+     * issued as Prefetch-class protocol requests instead of direct LLC-array
+     * inserts (llc_cache is null in that mode).
+     */
+    bool coherent = false;
     bool shared_pipeline_hazard = false;  ///< ablation: single shared pipeline
 };
 

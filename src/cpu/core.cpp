@@ -186,7 +186,9 @@ Core::loadShared(sim::Addr vaddr, unsigned size)
         MAPLE_THROW(sim::PageFaultError,
                     "%s: shared load fault at va 0x%llx", params_.name.c_str(),
                     (unsigned long long)vaddr);
-    co_await w_.atomic_port->request(mem::MemRequest::make(
+    mem::Port *shared_port =
+        params_.coherent_shared ? w_.l1 : w_.atomic_port;
+    co_await shared_port->request(mem::MemRequest::make(
         eq_, mem::RequesterClass::Core, params_.tile, tr.paddr, size,
         mem::AccessKind::Read));
     std::uint64_t value = 0;
@@ -219,7 +221,9 @@ Core::storeShared(sim::Addr vaddr, std::uint64_t value, unsigned size)
     ++store_buffer_used_;
     auto drain = [](Core *self, sim::Addr paddr, std::uint64_t v,
                     unsigned sz) -> sim::Task<void> {
-        co_await self->w_.atomic_port->request(mem::MemRequest::make(
+        mem::Port *p = self->params_.coherent_shared ? self->w_.l1
+                                                     : self->w_.atomic_port;
+        co_await p->request(mem::MemRequest::make(
             self->eq_, mem::RequesterClass::Core, self->params_.tile, paddr,
             sz, mem::AccessKind::Write));
         self->w_.pm->write(paddr, &v, sz);

@@ -37,6 +37,13 @@ struct CoreParams {
     unsigned store_buffer = 4;     ///< outstanding retired stores (Ariane-like)
     /** Extra one-way MMIO latency (Figure 15's core-to-MAPLE sweep). */
     sim::Cycle mmio_extra_latency = 0;
+    /**
+     * Route loadShared/storeShared through the (coherent) L1 instead of the
+     * uncached LLC round trip. Only set when the SoC runs an actual
+     * coherence protocol (--coherence=msi): shared lines are then cached
+     * locally and kept honest by directory invalidations.
+     */
+    bool coherent_shared = false;
 };
 
 /** Everything a core is wired to; assembled by soc::Soc. */
@@ -84,10 +91,12 @@ class Core {
 
     /**
      * Load/store of actively-shared data (e.g. software queue head/tail and
-     * payload). The simulator has no coherence protocol; lines that would
+     * payload). Without a coherence protocol (the default), lines that would
      * ping-pong between cores are charged an LLC round trip instead of being
      * cached locally, which is the dominant cost of an invalidation-based
-     * protocol under producer/consumer sharing.
+     * protocol under producer/consumer sharing. With coherent_shared set
+     * (--coherence=msi) they go through the L1 like any other access and the
+     * directory protocol provides the invalidations for real.
      */
     sim::Task<std::uint64_t> loadShared(sim::Addr vaddr, unsigned size = 8);
     sim::Task<void> storeShared(sim::Addr vaddr, std::uint64_t value, unsigned size = 8);

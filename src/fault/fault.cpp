@@ -20,6 +20,8 @@ faultClassName(FaultClass c)
       case FaultClass::MmioDelay:    return "mmio_delay";
       case FaultClass::HardSpad:     return "hard_spad";
       case FaultClass::HardTlb:      return "hard_tlb";
+      case FaultClass::CohMsgDelay:  return "coh_msg_delay";
+      case FaultClass::CohMsgDrop:   return "coh_msg_drop";
       default:                       return "?";
     }
 }
@@ -28,7 +30,8 @@ bool
 FaultConfig::anyEnabled() const
 {
     return noc.prob > 0 || dram.prob > 0 || tlb.prob > 0 || mmio.prob > 0 ||
-           hard_spad.prob > 0 || hard_tlb.prob > 0;
+           hard_spad.prob > 0 || hard_tlb.prob > 0 || coh_delay.prob > 0 ||
+           coh_drop.prob > 0;
 }
 
 namespace {
@@ -78,6 +81,9 @@ FaultConfig::mergeEnv()
     // Hard faults have no latency magnitude: the draw only decides firing.
     parseRate("MAPLE_FAULT_HARD_SPAD", hard_spad, /*default_extra=*/1);
     parseRate("MAPLE_FAULT_HARD_TLB", hard_tlb, /*default_extra=*/1);
+    parseRate("MAPLE_FAULT_COH", coh_delay, /*default_extra=*/64);
+    // A drop's cost is the fixed retransmit timeout, not a drawn magnitude.
+    parseRate("MAPLE_FAULT_COH_DROP", coh_drop, /*default_extra=*/1);
     if (const char *p = std::getenv("MAPLE_FAULT_ONLY"); p && *p) {
         std::uint32_t mask = 0;
         std::stringstream ss(p);
@@ -106,7 +112,8 @@ FaultConfig::mergeEnv()
 }
 
 FaultPlan::FaultPlan(const FaultConfig &cfg)
-    : rates_{cfg.noc, cfg.dram, cfg.tlb, cfg.mmio, cfg.hard_spad, cfg.hard_tlb},
+    : rates_{cfg.noc, cfg.dram, cfg.tlb, cfg.mmio, cfg.hard_spad, cfg.hard_tlb,
+             cfg.coh_delay, cfg.coh_drop},
       // Distinct splitmix-derived stream per class: the decision sequence of
       // one class is a pure function of (seed, class), so enabling or
       // re-rating another class cannot perturb it.
@@ -115,7 +122,9 @@ FaultPlan::FaultPlan(const FaultConfig &cfg)
                sim::Rng(cfg.seed ^ 0x94d049bb133111ebull),
                sim::Rng(cfg.seed ^ 0xd6e8feb86659fd93ull),
                sim::Rng(cfg.seed ^ 0xa0761d6478bd642full),
-               sim::Rng(cfg.seed ^ 0xe7037ed1a0b428dbull)}
+               sim::Rng(cfg.seed ^ 0xe7037ed1a0b428dbull),
+               sim::Rng(cfg.seed ^ 0x60bee2bee120fc15ull),
+               sim::Rng(cfg.seed ^ 0x1b56c4f5231419c9ull)}
 {
 }
 
@@ -168,6 +177,10 @@ stallCauseOf(FaultClass c)
       case FaultClass::TlbStorm:     return trace::StallCause::FaultTlb;
       case FaultClass::HardSpad:
       case FaultClass::HardTlb:      return trace::StallCause::FaultRecovery;
+      // Coherence messages ride the NoC; their injected latency lands in
+      // the same stall bucket as organic link congestion.
+      case FaultClass::CohMsgDelay:
+      case FaultClass::CohMsgDrop:   return trace::StallCause::FaultNoc;
       default:                       return trace::StallCause::FaultMmio;
     }
 }
@@ -177,6 +190,8 @@ categoryOf(FaultClass c)
 {
     switch (c) {
       case FaultClass::NocLinkStall: return trace::Category::Noc;
+      case FaultClass::CohMsgDelay:  return trace::Category::Noc;
+      case FaultClass::CohMsgDrop:   return trace::Category::Noc;
       case FaultClass::DramSpike:    return trace::Category::Mem;
       default:                       return trace::Category::Maple;
     }
@@ -191,6 +206,8 @@ instantName(FaultClass c)
       case FaultClass::TlbStorm:     return "fault:tlb_storm";
       case FaultClass::HardSpad:     return "fault:hard_spad";
       case FaultClass::HardTlb:      return "fault:hard_tlb";
+      case FaultClass::CohMsgDelay:  return "fault:coh_msg_delay";
+      case FaultClass::CohMsgDrop:   return "fault:coh_msg_drop";
       default:                       return "fault:mmio_delay";
     }
 }
@@ -374,6 +391,12 @@ FaultInjector::configFingerprint() const
     fnvMixRate(h, cfg_.mmio);
     fnvMixRate(h, cfg_.hard_spad);
     fnvMixRate(h, cfg_.hard_tlb);
+    // Mixed only when enabled so a coherence-free config fingerprints
+    // identically to builds that predate these classes.
+    if (cfg_.coh_delay.prob > 0)
+        fnvMixRate(h, cfg_.coh_delay);
+    if (cfg_.coh_drop.prob > 0)
+        fnvMixRate(h, cfg_.coh_drop);
     return h;
 }
 

@@ -30,9 +30,14 @@
  *   MAPLE_FAULT_MMIO=<prob[:cycles]> per-MMIO-op response-delay probability
  *   MAPLE_FAULT_HARD_SPAD=<prob>     per-fill hard scratchpad corruption
  *   MAPLE_FAULT_HARD_TLB=<prob>      per-walk hard device-TLB corruption
+ *   MAPLE_FAULT_COH=<prob[:cycles]>  per-protocol-message extra-delay prob
+ *   MAPLE_FAULT_COH_DROP=<prob>      per-protocol-message drop probability
+ *                                    (the copy burns its flits, the sender
+ *                                    times out and retransmits)
  *   MAPLE_FAULT_ONLY=<cls[,cls...]>  restrict injection to these requester
  *                                    classes (core, maple_consume,
- *                                    maple_produce, ptw, prefetch, mmio)
+ *                                    maple_produce, ptw, prefetch, mmio,
+ *                                    coherence)
  *
  * Hard faults (HardSpad, HardTlb) do not add latency: they corrupt state.
  * The device latches architectural error registers and poisons the affected
@@ -63,6 +68,8 @@ enum class FaultClass : std::uint8_t {
     MmioDelay,     ///< extra cycles before an MMIO op enters the device
     HardSpad,      ///< hard fault: a scratchpad fill returns poisoned data
     HardTlb,       ///< hard fault: a device-TLB translation is corrupted
+    CohMsgDelay,   ///< extra cycles on one coherence-protocol message
+    CohMsgDrop,    ///< a coherence message is lost: timeout + retransmit
     kCount
 };
 const char *faultClassName(FaultClass c);
@@ -96,6 +103,8 @@ struct FaultConfig {
     FaultRate mmio{};   ///< defaults to max_extra 200 when enabled via env
     FaultRate hard_spad{};  ///< hard scratchpad-fill corruption (prob only)
     FaultRate hard_tlb{};   ///< hard device-TLB corruption (prob only)
+    FaultRate coh_delay{};  ///< defaults to max_extra 64 when enabled via env
+    FaultRate coh_drop{};   ///< coherence-message loss (timeout cost is fixed)
 
     /**
      * Requester classes faults may hit. Opportunities from classes outside

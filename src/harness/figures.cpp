@@ -144,6 +144,9 @@ applyFabricFlags(int &argc, char **argv)
         {"--llc-arb", "MAPLE_LLC_ARB"},
         {"--dram-arb", "MAPLE_DRAM_ARB"},
         {"--fault-only", "MAPLE_FAULT_ONLY"},
+        {"--coherence", "MAPLE_COHERENCE"},
+        {"--llc-slices", "MAPLE_LLC_SLICES"},
+        {"--coh-check", "MAPLE_COH_CHECK"},
     };
     stripFlagsToEnv(argc, argv, kFlags, std::size(kFlags));
 }

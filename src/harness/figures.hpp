@@ -146,6 +146,16 @@ void applyFaultFlags(int &argc, char **argv);
  *                                       named requester classes, e.g.
  *                                       "maple_consume,maple_produce"
  *                                       (MAPLE_FAULT_ONLY)
+ *   --coherence=<none|msi>              run the sparse-directory MSI
+ *                                       protocol through the fabric
+ *                                       (MAPLE_COHERENCE; none is the
+ *                                       bit-identical legacy hierarchy)
+ *   --llc-slices=<n>                    address-interleaved LLC/directory
+ *                                       slices, msi mode only
+ *                                       (MAPLE_LLC_SLICES)
+ *   --coh-check=<0|1>                   flat-memory reference checker on
+ *                                       every protocol transition
+ *                                       (MAPLE_COH_CHECK)
  */
 void applyFabricFlags(int &argc, char **argv);
 

@@ -208,6 +208,14 @@ parseScenarioSpec(const json::Value &job)
                     s.soc_preset.c_str());
         s.num_cores =
             static_cast<unsigned>(soc->getInt("cores", s.num_cores));
+        s.coherence = soc->getString("coherence", s.coherence);
+        MAPLE_CHECK(mem::parseCoherenceMode(s.coherence).has_value(),
+                    json::JsonError, "unknown coherence mode \"%s\"",
+                    s.coherence.c_str());
+        s.llc_slices = static_cast<unsigned>(
+            soc->getInt("llc_slices", s.llc_slices));
+        MAPLE_CHECK(s.llc_slices >= 1, json::JsonError,
+                    "llc_slices must be >= 1");
     }
     MAPLE_CHECK(s.rows > 0 && s.nnz_per_row > 0 && s.cols > 0 &&
                     s.num_cores >= 2 && s.warm_rows <= s.rows,
@@ -236,6 +244,13 @@ scenarioWarmKey(const ScenarioSpec &s)
     o.emplace_back("warm_rows", json::Value(s.warm_rows));
     o.emplace_back("soc_preset", json::Value(s.soc_preset));
     o.emplace_back("num_cores", json::Value(s.num_cores));
+    // Structural knobs are part of the warm key (a coherent warm image is a
+    // different machine), but only when they diverge from the defaults so
+    // historical cache entries stay addressable.
+    if (s.coherence != "none") {
+        o.emplace_back("coherence", json::Value(s.coherence));
+        o.emplace_back("llc_slices", json::Value(s.llc_slices));
+    }
     return json::Value(std::move(o));
 }
 
@@ -248,6 +263,10 @@ scenarioSocConfig(const ScenarioSpec &s)
     cfg.name = "campaign-" + s.scenario;
     cfg.num_cores = s.num_cores;
     cfg.host_threads = s.host_threads;
+    if (auto m = mem::parseCoherenceMode(s.coherence))
+        cfg.coherence.mode = *m;
+    if (cfg.coherence.enabled())
+        cfg.llc_slices = s.llc_slices;
     return cfg;
 }
 

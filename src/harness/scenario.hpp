@@ -41,6 +41,8 @@ struct ScenarioSpec {
     std::uint32_t warm_rows = 64;   ///< rows touched by the warm pass
     std::string soc_preset = "fpga";  ///< "fpga" or "simulated"
     unsigned num_cores = 2;
+    std::string coherence = "none";   ///< "none" or "msi" (structural)
+    unsigned llc_slices = 1;          ///< LLC/directory slices (msi only)
     /// @}
     /// @name Measure-only parameters (variant axes over one warm image)
     /// @{

@@ -1,5 +1,7 @@
 #include "mem/cache.hpp"
 
+#include <algorithm>
+
 #include "fault/fault.hpp"
 #include "sim/log.hpp"
 
@@ -15,6 +17,16 @@ Cache::Cache(sim::EventQueue &eq, CacheParams params, Port &downstream)
     num_sets_ = params_.size_bytes / (params_.assoc * kLineSize);
     MAPLE_ASSERT((num_sets_ & (num_sets_ - 1)) == 0, "set count must be a power of two");
     sets_.assign(num_sets_, std::vector<Way>(params_.assoc));
+    recent_inv_.fill(sim::kBadAddr);
+}
+
+void
+Cache::attachCoherence(CoherenceFabric &fabric)
+{
+    MAPLE_ASSERT(!fabric_, "attachCoherence called twice");
+    MAPLE_ASSERT(mshrs_.empty(), "attachCoherence with traffic in flight");
+    fabric_ = &fabric;
+    coh_id_ = fabric.registerCache(*this);
 }
 
 trace::TraceManager *
@@ -71,6 +83,35 @@ Cache::selectVictim(size_t set)
     return *victim;
 }
 
+Cache::Way &
+Cache::selectVictimCoherent(size_t set)
+{
+    Way *victim = nullptr;
+    for (Way &w : sets_[set]) {
+        if (!w.valid)
+            return w;
+        // A line mid-upgrade (SM) must not be ripped out under its pending
+        // GetM: the directory would grant a header-only upgrade to a copy
+        // that no longer exists.
+        if (tstate_.count(w.tag))
+            continue;
+        if (!victim || w.lru < victim->lru)
+            victim = &w;
+    }
+    if (!victim) {
+        // Every way of the set is mid-upgrade (needs assoc concurrent SM
+        // transactions landing in one set): fall back to plain LRU. The
+        // displaced upgrade finds its line gone and installs fresh, which
+        // stays protocol-consistent (only the data transfer is under-billed).
+        victim = &sets_[set][0];
+        for (Way &w : sets_[set]) {
+            if (w.lru < victim->lru)
+                victim = &w;
+        }
+    }
+    return *victim;
+}
+
 bool
 Cache::probe(sim::Addr paddr) const
 {
@@ -80,9 +121,57 @@ Cache::probe(sim::Addr paddr) const
 void
 Cache::invalidateAll()
 {
-    for (auto &set : sets_)
-        for (Way &w : set)
+    for (auto &set : sets_) {
+        for (Way &w : set) {
+            if (!w.valid) {
+                w = Way{};
+                continue;
+            }
+            MAPLE_CHECK(!w.dirty && w.coh != MsiState::M, sim::FatalError,
+                        "%s: invalidateAll would silently drop modified line "
+                        "0x%llx -- call flushAll() first",
+                        params_.name.c_str(), (unsigned long long)w.tag);
+            if (fabric_ && w.coh != MsiState::I) {
+                if (CoherenceChecker *ck = checker())
+                    ck->onRelease(coh_id_, w.tag);
+            }
             w = Way{};
+        }
+    }
+}
+
+sim::Task<void>
+Cache::flushAll()
+{
+    for (auto &set : sets_) {
+        for (Way &w : set) {
+            if (!w.valid) {
+                w = Way{};
+                continue;
+            }
+            sim::Addr line = w.tag;
+            bool modified = w.dirty || w.coh == MsiState::M;
+            bool held = fabric_ && w.coh != MsiState::I;
+            w = Way{};  // release the way before any suspension
+            if (modified) {
+                stats_.counter("writebacks").inc();
+                MemRequest wb =
+                    MemRequest::make(eq_, RequesterClass::Core, params_.tile,
+                                     line, kLineSize, AccessKind::Write);
+                if (fabric_) {
+                    if (CoherenceChecker *ck = checker())
+                        ck->onRelease(coh_id_, line);
+                    co_await fabric_->putM(coh_id_, wb, line);
+                } else {
+                    co_await downstream_.request(wb);
+                }
+            } else if (held) {
+                // Clean coherent copy: silent release, like an S eviction.
+                if (CoherenceChecker *ck = checker())
+                    ck->onRelease(coh_id_, line);
+            }
+        }
+    }
 }
 
 void
@@ -100,8 +189,12 @@ Cache::request(MemRequest req)
     MAPLE_ASSERT(req.size > 0);
     sim::Addr first = lineBase(req.paddr);
     sim::Addr last = lineBase(req.paddr + req.size - 1);
-    for (sim::Addr line = first; line <= last; line += kLineSize)
-        co_await accessLine(req, line);
+    for (sim::Addr line = first; line <= last; line += kLineSize) {
+        if (fabric_)
+            co_await accessLineCoherent(req, line);
+        else
+            co_await accessLine(req, line);
+    }
 }
 
 sim::Task<void>
@@ -130,6 +223,175 @@ Cache::accessLine(MemRequest req, sim::Addr line)
         if (Way *w = lookup(line))
             w->dirty = true;
     }
+}
+
+void
+Cache::noteInvalidated(sim::Addr line)
+{
+    recent_inv_[recent_inv_next_ % recent_inv_.size()] = line;
+    ++recent_inv_next_;
+}
+
+sim::Task<void>
+Cache::accessLineCoherent(MemRequest req, sim::Addr line)
+{
+    co_await sim::delay(eq_, params_.hit_latency);
+
+    const bool demand = req.kind != AccessKind::Prefetch;
+    const bool want_m = req.kind == AccessKind::Write;
+    bool counted = false;
+
+    // Retry from scratch after every suspension: an invalidation or
+    // downgrade can land between any two resumptions, so nothing observed
+    // before a wait survives it. Forward progress is guaranteed because a
+    // fill is installed with the home's line lock held and the hit path
+    // below completes synchronously upon resumption -- before any
+    // later-cycle Inv can land.
+    while (true) {
+        if (Way *w = lookup(line); w && (!want_m || w->coh == MsiState::M)) {
+            touch(*w);
+            if (want_m)
+                w->dirty = true;
+            if (!counted)
+                stats_.counter(demand ? "demand_hits" : "prefetch_hits").inc();
+            if (CoherenceChecker *ck = checker()) {
+                if (req.kind == AccessKind::Read)
+                    ck->onLoad(coh_id_, line);
+                else if (req.kind == AccessKind::Write)
+                    ck->onStore(coh_id_, line);
+            }
+            co_return;
+        }
+        if (!counted) {
+            counted = true;
+            stats_.counter(demand ? "demand_misses" : "prefetch_misses").inc();
+            if (want_m && lookup(line))
+                stats_.counter("upgrade_misses").inc();
+            else if (std::find(recent_inv_.begin(), recent_inv_.end(), line) !=
+                     recent_inv_.end())
+                stats_.counter("coherence_misses").inc();
+        }
+
+        // Merge into an in-flight transaction for the same line, then
+        // re-evaluate: the fill may have been S while we need M, or it may
+        // already have been invalidated again.
+        if (auto it = mshrs_.find(line); it != mshrs_.end()) {
+            stats_.counter("mshr_merges").inc();
+            sim::Signal fill = it->second;
+            fault::ParkGuard park(eq_, "mshr_merge", params_.name);
+            co_await fill;
+            continue;
+        }
+
+        if (mshrs_.size() >= params_.mshrs) {
+            if (req.kind == AccessKind::Prefetch) {
+                stats_.counter("prefetch_drops").inc();
+                co_return;
+            }
+            stats_.counter("mshr_stalls").inc();
+            sim::Signal wait = mshr_wait_;
+            {
+                fault::ParkGuard park(eq_, "mshr_full", params_.name);
+                co_await wait;
+            }
+            continue;
+        }
+
+        trace::LaneSpan span(tracer(), tr_miss_, "miss", trace::Category::Cache);
+        sim::Signal fill_done;
+        mshrs_.emplace(line, fill_done);
+        tstate_[line] = lookup(line) ? TransientState::SM
+                        : want_m     ? TransientState::IM
+                                     : TransientState::IS;
+        // The home directory runs the whole transaction and installs the
+        // line into this cache (cohInstall) before this resumes.
+        co_await fabric_->fetch(
+            coh_id_,
+            req.child(line, kLineSize,
+                      want_m ? AccessKind::Write : AccessKind::Read),
+            line, want_m);
+        tstate_.erase(line);
+        mshrs_.erase(line);
+        wakeMshrWaiters();
+        fill_done.set(sim::Unit{});
+        if (req.kind == AccessKind::Prefetch) {
+            stats_.counter("prefetch_fills").inc();
+            co_return;
+        }
+    }
+}
+
+MsiState
+Cache::cohTakeLine(sim::Addr line)
+{
+    stats_.counter("inv_received").inc();
+    Way *w = lookup(line);
+    if (!w)
+        return MsiState::I;  // silently evicted, or our PutM is in flight
+    MsiState prior = w->coh;
+    if (CoherenceChecker *ck = checker())
+        ck->onRelease(coh_id_, line);
+    noteInvalidated(line);
+    *w = Way{};
+    return prior;
+}
+
+bool
+Cache::cohDowngrade(sim::Addr line)
+{
+    Way *w = lookup(line);
+    if (!w)
+        return false;  // our PutM is in flight; the data is already traveling
+    if (w->coh != MsiState::M)
+        return false;
+    w->coh = MsiState::S;
+    w->dirty = false;
+    stats_.counter("downgrades").inc();
+    if (CoherenceChecker *ck = checker())
+        ck->onDowngrade(coh_id_, line);
+    return true;
+}
+
+void
+Cache::cohInstall(sim::Addr line, MsiState st, const MemRequest &req)
+{
+    CoherenceChecker *ck = checker();
+    if (Way *w = lookup(line)) {
+        // SM completing: write permission lands on the existing copy.
+        MAPLE_ASSERT(w->coh == MsiState::S && st == MsiState::M,
+                     "%s: unexpected in-place install on 0x%llx",
+                     params_.name.c_str(), (unsigned long long)line);
+        w->coh = MsiState::M;
+        touch(*w);
+        if (ck)
+            ck->onUpgrade(coh_id_, line);
+        return;
+    }
+    size_t set = setIndex(line);
+    Way &victim = selectVictimCoherent(set);
+    if (victim.valid) {
+        stats_.counter("evictions").inc();
+        if (ck)
+            ck->onRelease(coh_id_, victim.tag);
+        if (victim.coh == MsiState::M) {
+            stats_.counter("writebacks").inc();
+            // The dirty victim goes home as a PutM; nobody waits on it, and
+            // the home drops it as stale if the line was recalled first.
+            sim::spawnDetached(
+                eq_, fabric_->putM(coh_id_,
+                                   req.child(victim.tag, kLineSize,
+                                             AccessKind::Write),
+                                   victim.tag));
+        }
+        // S victims evict silently; the home tolerates the stale sharer bit.
+    }
+    victim.tag = line;
+    victim.valid = true;
+    victim.dirty = false;
+    victim.coh = st;
+    touch(victim);
+    if (ck)
+        ck->onInstall(coh_id_, line, st);
 }
 
 sim::Task<void>

@@ -6,14 +6,28 @@
  * the per-core L1D, the OpenPiton-style L1.5 stage and the shared LLC (L2).
  * Exposes a prefetch() entry point used by the software-prefetch baseline,
  * the DROPLET model and MAPLE's speculative LLC prefetches.
+ *
+ * Two personalities share the tag array:
+ *  - Legacy (default): latency-only. Misses fill from the downstream port,
+ *    dirty victims write back to it, and no other cache exists as far as
+ *    this one is concerned.
+ *  - Coherent (after attachCoherence()): every line carries an MSI state, a
+ *    transient-state table layered on the MSHRs tracks in-flight IS/IM/SM
+ *    transactions, and misses/upgrades go through the line's home directory
+ *    (CoherenceFabric::fetch) instead of the downstream port. Dirty (M)
+ *    victims emit PutM writebacks through their home; S victims evict
+ *    silently. The protocol side (cohTakeLine / cohDowngrade / cohInstall)
+ *    is driven by the directory with the line's home lock held.
  */
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "mem/directory.hpp"
 #include "mem/physical_memory.hpp"
 #include "mem/port.hpp"
 #include "sim/stats.hpp"
@@ -30,7 +44,7 @@ struct CacheParams {
     sim::TileId tile = 0;  ///< tile stamped on self-originated prefetches
 };
 
-class Cache : public Port {
+class Cache : public Port, public CoherentCache {
   public:
     Cache(sim::EventQueue &eq, CacheParams params, Port &downstream);
 
@@ -43,8 +57,33 @@ class Cache : public Port {
     /** True when the line containing @p paddr is present (no LRU update). */
     bool probe(sim::Addr paddr) const;
 
-    /** Drop all lines (no writeback; tests only). */
+    /**
+     * Drop all clean lines. Throws sim::FatalError if any line is dirty
+     * (legacy) or held in M (coherent): silently discarding modified data
+     * corrupts the modeled memory image -- use flushAll() first.
+     */
     void invalidateAll();
+
+    /** Write back every dirty/M line, then drop everything. */
+    sim::Task<void> flushAll();
+
+    /**
+     * Join @p fabric as a coherent cache: misses become GetS/GetM through
+     * the home directories and this cache starts answering the protocol
+     * (CoherentCache). Call once, before any traffic.
+     */
+    void attachCoherence(CoherenceFabric &fabric);
+
+    bool coherent() const { return fabric_ != nullptr; }
+
+    /// @name CoherentCache (driven by the home directory, lock held)
+    /// @{
+    const std::string &cohName() const override { return params_.name; }
+    sim::TileId cohTile() const override { return params_.tile; }
+    MsiState cohTakeLine(sim::Addr line) override;
+    bool cohDowngrade(sim::Addr line) override;
+    void cohInstall(sim::Addr line, MsiState st, const MemRequest &req) override;
+    /// @}
 
     const CacheParams &params() const { return params_; }
     sim::StatGroup &stats() { return stats_; }
@@ -59,12 +98,14 @@ class Cache : public Port {
     /**
      * Snapshot support. Only valid at a quiesced point: with no in-flight
      * fills the MSHR table is empty and the restorable state is the tag
-     * array, the LRU clock and the stats.
+     * array, the LRU clock and the stats. Coherent caches additionally
+     * write the per-line MSI state (the transient table must be empty).
      */
     void
     saveState(ckpt::Sink &out) const
     {
         MAPLE_ASSERT(mshrs_.empty(), "snapshot with in-flight cache fills");
+        MAPLE_ASSERT(tstate_.empty(), "snapshot with transient MSI state");
         out.u64(num_sets_);
         out.u64(params_.assoc);
         for (const auto &set : sets_) {
@@ -73,6 +114,8 @@ class Cache : public Port {
                 out.b(w.valid);
                 out.b(w.dirty);
                 out.u64(w.lru);
+                if (fabric_)
+                    out.u8(static_cast<std::uint8_t>(w.coh));
             }
         }
         out.u64(lru_clock_);
@@ -84,6 +127,7 @@ class Cache : public Port {
     loadState(ckpt::Source &in)
     {
         MAPLE_ASSERT(mshrs_.empty(), "restore with in-flight cache fills");
+        MAPLE_ASSERT(tstate_.empty(), "restore with transient MSI state");
         std::uint64_t sets = in.u64();
         std::uint64_t assoc = in.u64();
         MAPLE_CHECK(sets == num_sets_ && assoc == params_.assoc,
@@ -96,6 +140,13 @@ class Cache : public Port {
                 w.valid = in.b();
                 w.dirty = in.b();
                 w.lru = in.u64();
+                if (fabric_) {
+                    w.coh = static_cast<MsiState>(in.u8());
+                    if (w.valid && w.coh != MsiState::I) {
+                        if (CoherenceChecker *ck = fabric_->checker())
+                            ck->seedHolder(coh_id_, w.tag, w.coh);
+                    }
+                }
             }
         }
         lru_clock_ = in.u64();
@@ -109,10 +160,16 @@ class Cache : public Port {
         bool valid = false;
         bool dirty = false;
         std::uint64_t lru = 0;
+        MsiState coh = MsiState::I;  ///< stable MSI state (coherent mode)
     };
 
-    /** One access covering a single cache line. */
+    /** One access covering a single cache line (legacy personality). */
     sim::Task<void> accessLine(MemRequest req, sim::Addr line);
+
+    /** One access covering a single cache line, protocol-correct: retries
+     *  from scratch after every wait, since the line can be invalidated or
+     *  downgraded between any two resumptions. */
+    sim::Task<void> accessLineCoherent(MemRequest req, sim::Addr line);
 
     /** Resolve a miss on @p line; merges into an existing MSHR if any. */
     sim::Task<void> handleMiss(MemRequest req, sim::Addr line, bool &dropped);
@@ -120,12 +177,21 @@ class Cache : public Port {
     /** Active tracer or nullptr; lazily creates the miss lane group. */
     trace::TraceManager *tracer();
 
+    CoherenceChecker *
+    checker() const
+    {
+        return fabric_ ? fabric_->checker() : nullptr;
+    }
+
     size_t setIndex(sim::Addr line) const;
     Way *lookup(sim::Addr line);
     const Way *lookupConst(sim::Addr line) const;
     void touch(Way &way);
     Way &selectVictim(size_t set);
+    /** Victim choice that avoids ripping out a line mid-upgrade (SM). */
+    Way &selectVictimCoherent(size_t set);
     void wakeMshrWaiters();
+    void noteInvalidated(sim::Addr line);
 
     sim::EventQueue &eq_;
     CacheParams params_;
@@ -137,6 +203,15 @@ class Cache : public Port {
     sim::Signal mshr_wait_;
     sim::StatGroup stats_;
     trace::TraceManager::LaneGroupId tr_miss_ = trace::TraceManager::kNone;
+
+    CoherenceFabric *fabric_ = nullptr;
+    unsigned coh_id_ = 0;
+    /** In-flight protocol transactions, keyed by line (IS / IM / SM). */
+    std::unordered_map<sim::Addr, TransientState> tstate_;
+    /** Ring of recently-invalidated lines: a miss that matches one is a
+     *  coherence miss (counter "coherence_misses"), not a capacity miss. */
+    std::array<sim::Addr, 64> recent_inv_{};
+    unsigned recent_inv_next_ = 0;
 };
 
 }  // namespace maple::mem

@@ -1,0 +1,575 @@
+#include "mem/directory.hpp"
+
+#include <algorithm>
+
+#include "fault/fault.hpp"
+#include "sim/log.hpp"
+
+namespace maple::mem {
+
+namespace {
+
+/** Sender timeout before a dropped protocol message is retransmitted. */
+constexpr sim::Cycle kDropRetransmitTimeout = 256;
+
+bool
+contains(const std::vector<unsigned> &v, unsigned x)
+{
+    return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+}  // namespace
+
+Directory::Directory(sim::EventQueue &eq, const CoherenceConfig &cfg,
+                     CoherenceFabric &fabric, std::string name,
+                     sim::TileId tile, Port &slice_llc)
+    : eq_(eq), cfg_(cfg), fabric_(fabric), name_(std::move(name)), tile_(tile),
+      slice_llc_(slice_llc), stats_(name_)
+{
+    MAPLE_ASSERT(cfg_.dir_entries > 0 && cfg_.dir_assoc > 0);
+    num_sets_ = std::max<std::size_t>(1, cfg_.dir_entries / cfg_.dir_assoc);
+    // Power-of-two set count so setOf() is a mask, mirroring mem::Cache.
+    while (num_sets_ & (num_sets_ - 1))
+        ++num_sets_;
+    sets_.assign(num_sets_, std::vector<Entry>(cfg_.dir_assoc));
+}
+
+std::size_t
+Directory::setOf(sim::Addr line) const
+{
+    // Slice-interleaving consumes the low line bits; fold them out so a
+    // slice's sets are used uniformly instead of striding by slice count.
+    return static_cast<std::size_t>(
+        (line >> kLineShift) / std::max(1u, fabric_.numSlices()) &
+        (num_sets_ - 1));
+}
+
+Directory::Entry *
+Directory::find(sim::Addr line)
+{
+    for (Entry &e : sets_[setOf(line)]) {
+        if (e.valid && e.tag == line)
+            return &e;
+    }
+    return nullptr;
+}
+
+sim::Task<void>
+Directory::lock(sim::Addr line)
+{
+    while (true) {
+        auto it = busy_.find(line);
+        if (it == busy_.end()) {
+            busy_.emplace(line, sim::Signal{});
+            co_return;
+        }
+        stats_.counter("busy_waits").inc();
+        sim::Signal s = it->second;
+        fault::ParkGuard park(eq_, "dir_busy", name_);
+        co_await s;
+    }
+}
+
+bool
+Directory::tryLock(sim::Addr line)
+{
+    if (busy_.count(line))
+        return false;
+    busy_.emplace(line, sim::Signal{});
+    return true;
+}
+
+void
+Directory::unlock(sim::Addr line)
+{
+    auto it = busy_.find(line);
+    MAPLE_ASSERT(it != busy_.end(), "unlock of an unlocked directory line");
+    sim::Signal s = it->second;
+    busy_.erase(it);
+    s.set(sim::Unit{});
+}
+
+void
+Directory::writebackToSlice(sim::Addr line)
+{
+    // Dirty data recalled from an owner updates the LLC slice off the
+    // critical path: the response to the requester does not wait for it.
+    sim::spawnDetached(
+        eq_, slice_llc_.request(MemRequest::make(eq_, RequesterClass::Coherence,
+                                                 tile_, line, kLineSize,
+                                                 AccessKind::Write)));
+}
+
+void
+Directory::freeIfUntracked(Entry &e)
+{
+    if (e.valid && e.owner < 0 && e.sharers.empty()) {
+        e.valid = false;
+        --live_entries_;
+    }
+}
+
+sim::Task<void>
+Directory::invOne(unsigned cache, sim::Addr line)
+{
+    stats_.counter("invalidations").inc();
+    CoherentCache &c = fabric_.cacheById(cache);
+    co_await fabric_.message(tile_, c.cohTile(), CohMsg::Inv, 0,
+                             RequesterClass::Coherence);
+    MsiState prior = c.cohTakeLine(line);
+    // A sharer never holds M, but a stale sharer bit can point at a cache
+    // that re-acquired the line as owner in an earlier serialized
+    // transaction removing it from this vector -- by construction that
+    // cannot happen while we hold the line lock, so prior is S or I here.
+    co_await fabric_.message(c.cohTile(), tile_, CohMsg::InvAck,
+                             prior == MsiState::M ? unsigned(kLineSize) : 0,
+                             RequesterClass::Coherence);
+    if (prior == MsiState::M)
+        writebackToSlice(line);
+}
+
+sim::Task<void>
+Directory::invalidateSharers(Entry &e, sim::Addr line)
+{
+    if (e.sharers.empty())
+        co_return;
+    std::vector<unsigned> targets = std::move(e.sharers);
+    e.sharers.clear();
+    // All Inv legs fly in parallel; the transaction proceeds when the last
+    // ack is home.
+    auto remaining = std::make_shared<unsigned>(
+        static_cast<unsigned>(targets.size()));
+    sim::Signal all_acked;
+    for (unsigned t : targets) {
+        auto leg = [](Directory *self, unsigned cache, sim::Addr ln,
+                      std::shared_ptr<unsigned> left,
+                      sim::Signal done) -> sim::Task<void> {
+            co_await self->invOne(cache, ln);
+            if (--*left == 0)
+                done.set(sim::Unit{});
+        };
+        sim::spawnDetached(eq_, leg(this, t, line, remaining, all_acked));
+    }
+    fault::ParkGuard park(eq_, "dir_inv_acks", name_);
+    co_await all_acked;
+}
+
+sim::Task<void>
+Directory::recallOwner(Entry &e, sim::Addr line)
+{
+    stats_.counter("interventions").inc();
+    stats_.counter("fwd_getm").inc();
+    CoherentCache &o = fabric_.cacheById(static_cast<unsigned>(e.owner));
+    e.owner = -1;
+    co_await fabric_.message(tile_, o.cohTile(), CohMsg::FwdGetM, 0,
+                             RequesterClass::Coherence);
+    MsiState prior = o.cohTakeLine(line);
+    // prior == I: the owner's PutM is still in flight (it will arrive
+    // stale); the ack is header-only because the copy is already gone.
+    co_await fabric_.message(o.cohTile(), tile_, CohMsg::InvAck,
+                             prior == MsiState::M ? unsigned(kLineSize) : 0,
+                             RequesterClass::Coherence);
+    if (prior == MsiState::M)
+        writebackToSlice(line);
+}
+
+sim::Task<void>
+Directory::downgradeOwner(Entry &e, sim::Addr line)
+{
+    stats_.counter("interventions").inc();
+    stats_.counter("fwd_gets").inc();
+    unsigned owner = static_cast<unsigned>(e.owner);
+    CoherentCache &o = fabric_.cacheById(owner);
+    e.owner = -1;
+    co_await fabric_.message(tile_, o.cohTile(), CohMsg::FwdGetS, 0,
+                             RequesterClass::Coherence);
+    bool was_m = o.cohDowngrade(line);
+    co_await fabric_.message(o.cohTile(), tile_, CohMsg::Downgrade,
+                             was_m ? unsigned(kLineSize) : 0,
+                             RequesterClass::Coherence);
+    if (was_m) {
+        writebackToSlice(line);
+        if (!contains(e.sharers, owner))
+            e.sharers.push_back(owner);
+    }
+    // was_m == false: the owner's copy was already gone (PutM in flight);
+    // it is not a sharer.
+}
+
+sim::Task<Directory::Entry *>
+Directory::allocate(sim::Addr line)
+{
+    auto &set = sets_[setOf(line)];
+    Entry *victim = nullptr;
+    for (;;) {
+        for (Entry &e : set) {
+            if (!e.valid) {
+                victim = &e;
+                break;
+            }
+        }
+        if (victim)
+            break;
+        // Eviction-forced invalidation. Only victims whose line lock is
+        // free are candidates: we already hold @p line's lock and must
+        // never *wait* for a second one (deadlock), so busy entries are
+        // skipped and their lock is taken synchronously (tryLock cannot
+        // fail after the scan -- both run without suspension). Under heavy
+        // set pressure every way can be mid-transaction at once; holders
+        // never await a contended lock themselves (they only tryLock), so
+        // they finish in bounded time and polling until a way frees up is
+        // deadlock-free. The set can change across the stall (a way freed,
+        // or grabbed by another allocator), so each round re-scans from
+        // scratch, invalid ways included.
+        Entry *best = nullptr;
+        for (Entry &e : set) {
+            if (!busy_.count(e.tag) && (!best || e.lru < best->lru))
+                best = &e;
+        }
+        if (!best) {
+            stats_.counter("alloc_stalls").inc();
+            fault::ParkGuard park(eq_, "dir_alloc", name_);
+            co_await sim::delay(eq_, cfg_.dir_latency);
+            continue;
+        }
+        bool locked = tryLock(best->tag);
+        MAPLE_ASSERT(locked);
+        sim::Addr victim_line = best->tag;
+        stats_.counter("recalls").inc();
+        if (best->owner >= 0)
+            co_await recallOwner(*best, victim_line);
+        co_await invalidateSharers(*best, victim_line);
+        best->valid = false;
+        --live_entries_;
+        unlock(victim_line);
+        victim = best;
+        break;
+    }
+    victim->tag = line;
+    victim->valid = true;
+    victim->owner = -1;
+    victim->sharers.clear();
+    victim->lru = lru_clock_++;
+    ++live_entries_;
+    co_return victim;
+}
+
+sim::Task<void>
+Directory::fetchTransaction(unsigned requester, MemRequest req, sim::Addr line,
+                            bool want_m)
+{
+    CoherentCache &c = fabric_.cacheById(requester);
+    co_await lock(line);
+    const sim::Cycle txn_start = eq_.now();
+    co_await sim::delay(eq_, cfg_.dir_latency);
+    stats_.counter(want_m ? "getm" : "gets").inc();
+
+    Entry *e = find(line);
+    bool data_needed = true;
+    if (want_m) {
+        if (e) {
+            if (e->owner == static_cast<int>(requester)) {
+                // Stale self-ownership: the requester's PutM for this line
+                // is still in flight. Its copy is gone; a full fill is due.
+                e->owner = -1;
+            } else if (e->owner >= 0) {
+                co_await recallOwner(*e, line);
+            }
+            bool was_sharer = false;
+            for (auto it = e->sharers.begin(); it != e->sharers.end(); ++it) {
+                if (*it == requester) {
+                    e->sharers.erase(it);
+                    was_sharer = true;
+                    break;
+                }
+            }
+            co_await invalidateSharers(*e, line);
+            if (was_sharer) {
+                // Upgrade grant: the requester's S copy becomes writable;
+                // the response is header-only.
+                stats_.counter("upgrades").inc();
+                data_needed = false;
+            }
+        } else {
+            e = co_await allocate(line);
+        }
+        if (data_needed) {
+            co_await slice_llc_.request(
+                req.child(line, kLineSize, AccessKind::Read));
+        }
+        e->owner = static_cast<int>(requester);
+        e->sharers.clear();
+    } else {
+        if (e) {
+            if (e->owner == static_cast<int>(requester))
+                e->owner = -1;  // stale self-ownership, see above
+            else if (e->owner >= 0)
+                co_await downgradeOwner(*e, line);
+        } else {
+            e = co_await allocate(line);
+        }
+        co_await slice_llc_.request(
+            req.child(line, kLineSize, AccessKind::Read));
+        if (!contains(e->sharers, requester)) {
+            if (e->sharers.size() >= cfg_.max_sharers) {
+                // Limited-pointer overflow: the oldest tracked sharer is
+                // invalidated to make room.
+                stats_.counter("sharer_overflows").inc();
+                unsigned oldest = e->sharers.front();
+                e->sharers.erase(e->sharers.begin());
+                co_await invOne(oldest, line);
+            }
+            e->sharers.push_back(requester);
+        }
+    }
+    e->lru = lru_clock_++;
+
+    // Response transit and install inside the lock: a later transaction's
+    // Inv for this line cannot overtake the fill.
+    co_await fabric_.message(tile_, c.cohTile(), CohMsg::Data,
+                             data_needed ? unsigned(kLineSize) : 0, req.cls);
+    c.cohInstall(line, want_m ? MsiState::M : MsiState::S, req);
+    stats_.histogram("txn_cycles", 32.0, 64)
+        .sample(static_cast<double>(eq_.now() - txn_start));
+    unlock(line);
+}
+
+sim::Task<void>
+Directory::putMTransaction(unsigned requester, MemRequest req, sim::Addr line)
+{
+    CoherentCache &c = fabric_.cacheById(requester);
+    co_await fabric_.message(c.cohTile(), tile_, CohMsg::PutM,
+                             unsigned(kLineSize), req.cls);
+    co_await lock(line);
+    co_await sim::delay(eq_, cfg_.dir_latency);
+    Entry *e = find(line);
+    if (e && e->owner == static_cast<int>(requester)) {
+        stats_.counter("putm").inc();
+        e->owner = -1;
+        freeIfUntracked(*e);
+        sim::spawnDetached(eq_, slice_llc_.request(req.child(
+                                    line, kLineSize, AccessKind::Write)));
+    } else {
+        // The line was recalled or re-owned while this PutM flew; the
+        // recall already collected the data. Drop it.
+        stats_.counter("putm_stale").inc();
+    }
+    unlock(line);
+    co_await fabric_.message(tile_, c.cohTile(), CohMsg::WbAck, 0,
+                             RequesterClass::Coherence);
+}
+
+sim::Task<void>
+Directory::dmaTransaction(MemRequest req, sim::Addr line, bool write)
+{
+    co_await lock(line);
+    co_await sim::delay(eq_, cfg_.dir_latency);
+    stats_.counter(write ? "dma_writes" : "dma_reads").inc();
+    Entry *e = find(line);
+    if (e) {
+        if (write) {
+            if (e->owner >= 0)
+                co_await recallOwner(*e, line);
+            co_await invalidateSharers(*e, line);
+            freeIfUntracked(*e);
+        } else if (e->owner >= 0) {
+            co_await downgradeOwner(*e, line);
+        }
+    }
+    if (CoherenceChecker *ck = fabric_.checker()) {
+        if (write)
+            ck->onDmaWrite(line);
+        else if (req.kind != AccessKind::Prefetch)
+            ck->onDmaRead(line);
+    }
+    co_await slice_llc_.request(req);
+    unlock(line);
+}
+
+void
+Directory::saveState(ckpt::Sink &out) const
+{
+    MAPLE_ASSERT(busy_.empty(), "snapshot with directory transactions live");
+    out.u64(num_sets_);
+    out.u64(cfg_.dir_assoc);
+    for (const auto &set : sets_) {
+        for (const Entry &e : set) {
+            out.u64(e.tag);
+            out.b(e.valid);
+            out.u64(static_cast<std::uint64_t>(e.owner + 1));
+            out.u64(e.sharers.size());
+            for (unsigned s : e.sharers)
+                out.u32(s);
+            out.u64(e.lru);
+        }
+    }
+    out.u64(lru_clock_);
+    out.u64(live_entries_);
+    stats_.saveState(out);
+}
+
+void
+Directory::loadState(ckpt::Source &in)
+{
+    MAPLE_ASSERT(busy_.empty(), "restore with directory transactions live");
+    std::uint64_t sets = in.u64();
+    std::uint64_t assoc = in.u64();
+    MAPLE_CHECK(sets == num_sets_ && assoc == cfg_.dir_assoc,
+                ckpt::SnapshotError, "directory geometry mismatch (%s)",
+                name_.c_str());
+    for (auto &set : sets_) {
+        for (Entry &e : set) {
+            e.tag = in.u64();
+            e.valid = in.b();
+            e.owner = static_cast<int>(in.u64()) - 1;
+            e.sharers.resize(in.u64());
+            for (unsigned &s : e.sharers)
+                s = in.u32();
+            e.lru = in.u64();
+        }
+    }
+    lru_clock_ = in.u64();
+    live_entries_ = static_cast<unsigned>(in.u64());
+    stats_.loadState(in);
+}
+
+CoherenceFabric::CoherenceFabric(sim::EventQueue &eq, CoherenceConfig cfg,
+                                 noc::Mesh &mesh)
+    : eq_(eq), cfg_(cfg), mesh_(mesh)
+{
+    MAPLE_ASSERT(cfg_.enabled(), "CoherenceFabric in mode none");
+    if (cfg_.checker)
+        checker_ = std::make_unique<CoherenceChecker>();
+}
+
+unsigned
+CoherenceFabric::registerCache(CoherentCache &cache)
+{
+    caches_.push_back(&cache);
+    unsigned id = static_cast<unsigned>(caches_.size() - 1);
+    if (checker_) {
+        unsigned cid = checker_->registerCache(cache.cohName());
+        MAPLE_ASSERT(cid == id, "checker/fabric cache ids diverged");
+    }
+    return id;
+}
+
+Directory &
+CoherenceFabric::addSlice(sim::TileId tile, Port &slice_llc)
+{
+    std::string name = "dir." + std::to_string(slices_.size());
+    slices_.push_back(std::make_unique<Directory>(eq_, cfg_, *this,
+                                                  std::move(name), tile,
+                                                  slice_llc));
+    return *slices_.back();
+}
+
+sim::Task<void>
+CoherenceFabric::fetch(unsigned requester, MemRequest req, sim::Addr line,
+                       bool want_m)
+{
+    Directory &d = *slices_[homeSlice(line)];
+    CoherentCache &c = *caches_[requester];
+    co_await message(c.cohTile(), d.tile(), want_m ? CohMsg::GetM : CohMsg::GetS,
+                     0, req.cls);
+    co_await d.fetchTransaction(requester, req, line, want_m);
+}
+
+sim::Task<void>
+CoherenceFabric::putM(unsigned requester, MemRequest req, sim::Addr line)
+{
+    co_await slices_[homeSlice(line)]->putMTransaction(requester, req, line);
+}
+
+sim::Task<void>
+CoherenceFabric::dmaLine(MemRequest req, sim::Addr line, bool write)
+{
+    Directory &d = *slices_[homeSlice(line)];
+    co_await message(req.tile, d.tile(), write ? CohMsg::GetM : CohMsg::GetS,
+                     write ? req.size : 0, req.cls);
+    co_await d.dmaTransaction(req, line, write);
+    co_await message(d.tile(), req.tile, CohMsg::Data, write ? 0 : req.size,
+                     req.cls);
+}
+
+sim::Task<void>
+CoherenceFabric::message(sim::TileId src, sim::TileId dst, CohMsg kind,
+                         unsigned payload_bytes, RequesterClass cls)
+{
+    ++msg_counts_[static_cast<std::size_t>(kind)];
+    unsigned flits = noc::flitsFor(payload_bytes, mesh_.params().flit_bytes);
+    if (fault::FaultInjector *f = fault::active(eq_)) {
+        if (sim::Cycle d = f->inject(fault::FaultClass::CohMsgDelay, cls)) {
+            f->chargeCycles(fault::FaultClass::CohMsgDelay, d);
+            co_await sim::delay(eq_, d);
+        }
+        if (f->inject(fault::FaultClass::CohMsgDrop, cls)) {
+            // The lost copy still burns link bandwidth; the sender times
+            // out and retransmits, so protocol liveness survives a drop --
+            // the transaction's latency does not.
+            co_await mesh_.transit(src, dst, flits, cls);
+            f->chargeCycles(fault::FaultClass::CohMsgDrop,
+                            kDropRetransmitTimeout);
+            co_await sim::delay(eq_, kDropRetransmitTimeout);
+        }
+    }
+    co_await mesh_.transit(src, dst, flits, cls);
+}
+
+std::uint64_t
+CoherenceFabric::totalInvalidations() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : slices_)
+        n += s->stats().counterValue("invalidations");
+    return n;
+}
+
+std::uint64_t
+CoherenceFabric::totalInterventions() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : slices_)
+        n += s->stats().counterValue("interventions");
+    return n;
+}
+
+void
+CoherenceFabric::saveState(ckpt::Sink &out) const
+{
+    for (std::uint64_t c : msg_counts_)
+        out.u64(c);
+    out.u64(slices_.size());
+    for (const auto &s : slices_)
+        s->saveState(out);
+}
+
+void
+CoherenceFabric::loadState(ckpt::Source &in)
+{
+    for (std::uint64_t &c : msg_counts_)
+        c = in.u64();
+    std::uint64_t n = in.u64();
+    MAPLE_CHECK(n == slices_.size(), ckpt::SnapshotError,
+                "coherence slice count mismatch in snapshot");
+    for (auto &s : slices_)
+        s->loadState(in);
+}
+
+sim::Task<void>
+CoherentDmaPort::request(MemRequest req)
+{
+    MAPLE_ASSERT(req.size > 0);
+    const bool write = req.kind == AccessKind::Write;
+    sim::Addr first = lineBase(req.paddr);
+    sim::Addr last = lineBase(req.paddr + req.size - 1);
+    for (sim::Addr line = first; line <= last; line += kLineSize) {
+        sim::Addr lo = std::max(req.paddr, line);
+        sim::Addr hi = std::min(req.paddr + req.size, line + kLineSize);
+        co_await fabric_.dmaLine(
+            req.child(lo, static_cast<std::uint32_t>(hi - lo), req.kind),
+            line, write);
+    }
+}
+
+}  // namespace maple::mem

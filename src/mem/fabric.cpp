@@ -16,6 +16,7 @@ requesterClassName(RequesterClass c)
     case RequesterClass::Ptw: return "ptw";
     case RequesterClass::Prefetch: return "prefetch";
     case RequesterClass::Mmio: return "mmio";
+    case RequesterClass::Coherence: return "coherence";
     case RequesterClass::kCount: break;
     }
     return "?";
@@ -109,9 +110,10 @@ Arbiter::pick()
     // streams, which can always absorb latency (that tolerance is the point
     // of the paper); rr rotates fairly across whoever is waiting.
     static constexpr std::array<RequesterClass, kNumRequesterClasses> kPrio = {
-        RequesterClass::Core,         RequesterClass::Ptw,
-        RequesterClass::Mmio,         RequesterClass::MapleConsume,
-        RequesterClass::MapleProduce, RequesterClass::Prefetch,
+        RequesterClass::Coherence,    RequesterClass::Core,
+        RequesterClass::Ptw,          RequesterClass::Mmio,
+        RequesterClass::MapleConsume, RequesterClass::MapleProduce,
+        RequesterClass::Prefetch,
     };
     if (policy_ == ArbPolicy::CorePriority) {
         for (RequesterClass c : kPrio) {

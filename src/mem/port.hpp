@@ -46,6 +46,7 @@ enum class RequesterClass : std::uint8_t {
     Ptw,           ///< hardware page-table walks (core or device MMU)
     Prefetch,      ///< speculative fills with no demand waiter
     Mmio,          ///< core-to-device MMIO packets on the NoC
+    Coherence,     ///< directory-originated protocol traffic (Inv, acks, fwds)
     kCount
 };
 

@@ -65,10 +65,36 @@ SocConfig::simulated(unsigned cores)
     return cfg;
 }
 
+unsigned
+llcSlicesFromEnv(unsigned fallback)
+{
+    const char *p = std::getenv("MAPLE_LLC_SLICES");
+    if (!p || !*p)
+        return fallback;
+    char *end = nullptr;
+    errno = 0;
+    unsigned long v = std::strtoul(p, &end, 10);
+    if (!end || *end != '\0' || errno == ERANGE || v < 1 || v > 1024) {
+        MAPLE_WARN("ignoring bad MAPLE_LLC_SLICES '%s'", p);
+        return fallback;
+    }
+    return static_cast<unsigned>(v);
+}
+
 Soc::Soc(SocConfig cfg) : cfg_(std::move(cfg))
 {
-    // Resolve mesh geometry: enough tiles for cores + MAPLEs + memory tile.
-    unsigned tiles_needed = cfg_.num_cores + cfg_.num_maples + 1;
+    // Coherence knobs resolve before mesh sizing: the slice count changes
+    // how many tiles the memory system occupies. Without a protocol the
+    // slice knob is forced to 1 so the historical single-home layout (and
+    // every downstream byte) is untouched.
+    cfg_.coherence.mergeEnv();
+    cfg_.llc_slices = llcSlicesFromEnv(cfg_.llc_slices);
+    if (!cfg_.coherence.enabled() || cfg_.llc_slices < 1)
+        cfg_.llc_slices = 1;
+
+    // Resolve mesh geometry: enough tiles for cores + MAPLEs + LLC slices.
+    unsigned tiles_needed =
+        cfg_.num_cores + cfg_.num_maples + cfg_.llc_slices;
     if (cfg_.mesh_width == 0 || cfg_.mesh_height == 0) {
         unsigned w = 1;
         while (w * w < tiles_needed)
@@ -116,6 +142,23 @@ Soc::Soc(SocConfig cfg) : cfg_(std::move(cfg))
     llc_front_ = std::make_unique<mem::PortInterposer>(eq_, "llc_front", *llc_,
                                                        cfg_.llc_arb);
 
+    // Coherence fabric: one home directory per LLC slice. Slice 0 reuses
+    // the historical shared LLC; extra slices are additional Caches with
+    // the same geometry, homed on their own tiles, backed by the same DRAM.
+    if (cfg_.coherence.enabled()) {
+        coh_ = std::make_unique<mem::CoherenceFabric>(eq_, cfg_.coherence,
+                                                      *mesh_);
+        coh_->addSlice(sliceTile(0), *llc_);
+        for (unsigned s = 1; s < cfg_.llc_slices; ++s) {
+            mem::CacheParams sp = cfg_.llc;
+            sp.name = "llc." + std::to_string(s);
+            sp.tile = sliceTile(s);
+            slice_llcs_.push_back(std::make_unique<mem::Cache>(eq_, sp, *dram_));
+            coh_->addSlice(sliceTile(s), *slice_llcs_.back());
+        }
+        coh_dma_ = std::make_unique<mem::CoherentDmaPort>(*coh_);
+    }
+
     // Cores and their private plumbing.
     for (unsigned i = 0; i < cfg_.num_cores; ++i) {
         sim::TileId tile = coreTile(i);
@@ -125,19 +168,28 @@ Soc::Soc(SocConfig cfg) : cfg_(std::move(cfg))
         l1p.name = "l1." + std::to_string(i);
         l1p.tile = tile;
         l1s_.push_back(std::make_unique<mem::Cache>(eq_, l1p, demand));
-        noc::RemotePort &atomic =
-            makePort(tile, PortUse::CoreAtomic, *llc_front_);
+        // Under msi the L1's misses route through the fabric instead of the
+        // demand port, and RMW/shared traffic goes through the protocol-
+        // correct DMA port rather than an uncached LLC round trip.
+        mem::Port *atomic_port;
+        if (coh_) {
+            l1s_.back()->attachCoherence(*coh_);
+            atomic_port = coh_dma_.get();
+        } else {
+            atomic_port = &makePort(tile, PortUse::CoreAtomic, *llc_front_);
+        }
 
         cpu::CoreParams cp = cfg_.core_proto;
         cp.name = "core." + std::to_string(i);
         cp.tile = tile;
         cp.thread = i;
+        cp.coherent_shared = coh_ != nullptr;
         cpu::CoreWiring wiring;
         wiring.pm = pm_.get();
         wiring.l1 = l1s_.back().get();
         wiring.l1_cache = l1s_.back().get();
         wiring.walk_port = l1s_.back().get();  // PTW walks through the L1
-        wiring.atomic_port = &atomic;
+        wiring.atomic_port = atomic_port;
         wiring.amap = &amap_;
         wiring.mesh = mesh_.get();
         cores_.push_back(std::make_unique<cpu::Core>(eq_, cp, wiring));
@@ -152,9 +204,21 @@ Soc::Soc(SocConfig cfg) : cfg_(std::move(cfg))
         mp.mmio_base = cfg_.dram_bytes + sim::Addr(i) * mem::kPageSize;
         ::maple::core::MapleWiring wiring;
         wiring.pm = pm_.get();
-        wiring.dram_port = &makePort(tile, PortUse::MapleDram, *dram_);
-        wiring.llc_port = &makePort(tile, PortUse::MapleLlc, *llc_front_);
-        wiring.llc_cache = llc_.get();
+        if (coh_) {
+            // MAPLE's streams become coherent DMA: every fetched or written
+            // line passes through its home directory, which invalidates or
+            // downgrades private copies first. Speculative prefetches ride
+            // the same path (llc_cache stays null), warming the home slice
+            // without installing stale private copies anywhere.
+            wiring.dram_port = coh_dma_.get();
+            wiring.llc_port = coh_dma_.get();
+            wiring.llc_cache = nullptr;
+            mp.coherent = true;
+        } else {
+            wiring.dram_port = &makePort(tile, PortUse::MapleDram, *dram_);
+            wiring.llc_port = &makePort(tile, PortUse::MapleLlc, *llc_front_);
+            wiring.llc_cache = llc_.get();
+        }
         wiring.walk_port = &makePort(tile, PortUse::MapleWalk, *llc_front_);
         maples_.push_back(
             std::make_unique<::maple::core::Maple>(eq_, mp, wiring));
@@ -177,6 +241,16 @@ Soc::registerProbes()
     }
     tracer_->addProbe("noc.flits",
                       [m = mesh_.get()] { return double(m->flitsSent()); });
+    if (coh_) {
+        for (unsigned s = 0; s < coh_->numSlices(); ++s) {
+            mem::Directory *d = &coh_->slice(s);
+            std::string base = "dir." + std::to_string(s);
+            tracer_->addProbe(base + ".entries",
+                              [d] { return double(d->entriesInUse()); });
+            tracer_->addProbe(base + ".busy",
+                              [d] { return double(d->busyLines()); });
+        }
+    }
     for (unsigned i = 0; i < numMaples(); ++i) {
         ::maple::core::Maple *m = maples_[i].get();
         std::string base = "maple." + std::to_string(i);
@@ -202,6 +276,16 @@ Soc::registerDiagnostics()
             return sim::detail::formatString("%zu MSHRs in flight",
                                              c->mshrsInUse());
         });
+    }
+    if (coh_) {
+        for (unsigned s = 0; s < coh_->numSlices(); ++s) {
+            mem::Directory *d = &coh_->slice(s);
+            fault_->addDiagnostic("dir." + std::to_string(s), [d] {
+                return sim::detail::formatString(
+                    "%u tracked lines, %zu busy", d->entriesInUse(),
+                    d->busyLines());
+            });
+        }
     }
     for (unsigned i = 0; i < numMaples(); ++i) {
         ::maple::core::Maple *m = maples_[i].get();

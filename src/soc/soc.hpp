@@ -6,7 +6,10 @@
  * prototype (Table 2) and of the MosaicSim configuration (Table 3).
  *
  * Tile placement: cores occupy tiles [0, num_cores), MAPLE instances the next
- * num_maples tiles, and the memory controller/LLC home the last tile.
+ * num_maples tiles, and the memory controller/LLC home the last tile. With
+ * coherence enabled the LLC may be split into llc_slices address-interleaved
+ * slices occupying the last llc_slices tiles, each with a sparse MSI
+ * directory co-located on its tile (memTile() is then slice 0's tile).
  */
 #pragma once
 
@@ -20,6 +23,7 @@
 #include "fault/fault.hpp"
 #include "fault/watchdog.hpp"
 #include "mem/cache.hpp"
+#include "mem/directory.hpp"
 #include "mem/dram.hpp"
 #include "mem/fabric.hpp"
 #include "mem/physical_memory.hpp"
@@ -56,6 +60,18 @@ struct SocConfig {
     /** Arbitration at the shared-LLC front-end (MAPLE_LLC_ARB env; the DRAM
      *  queue policy is dram.arb, MAPLE_DRAM_ARB env). */
     mem::ArbPolicy llc_arb = mem::ArbPolicy::Fifo;
+    /**
+     * Coherence protocol selection (MAPLE_COHERENCE env, --coherence flag).
+     * The default (none) keeps the historical latency-only hierarchy and is
+     * byte-identical to builds that predate the protocol.
+     */
+    mem::CoherenceConfig coherence{};
+    /**
+     * Address-interleaved LLC/directory slices (MAPLE_LLC_SLICES env). Only
+     * meaningful with coherence enabled; forced to 1 otherwise. Slices (and
+     * their home directories) occupy the last llc_slices mesh tiles.
+     */
+    unsigned llc_slices = 1;
     noc::MeshParams mesh{};          // filled from mesh_width/height
     cpu::CoreParams core_proto{};    // per-core parameters
     ::maple::core::MapleParams maple_proto{};
@@ -81,6 +97,10 @@ struct SocConfig {
 
 /** @p fallback overlaid with MAPLE_THREADS when set and parseable (>= 1). */
 unsigned hostThreadsFromEnv(unsigned fallback);
+
+/** @p fallback overlaid with MAPLE_LLC_SLICES when set and parseable.
+ *  Exposed so ckpt::configHash can resolve slices the way Soc's ctor does. */
+unsigned llcSlicesFromEnv(unsigned fallback);
 
 class Soc {
   public:
@@ -123,7 +143,25 @@ class Soc {
 
     sim::TileId coreTile(unsigned i) const { return i; }
     sim::TileId mapleTile(unsigned i = 0) const { return cfg_.num_cores + i; }
-    sim::TileId memTile() const { return mesh_->numTiles() - 1; }
+
+    /** Tile of LLC/directory slice @p s (the last llc_slices mesh tiles). */
+    sim::TileId sliceTile(unsigned s) const
+    {
+        return mesh_->numTiles() - cfg_.llc_slices + s;
+    }
+    /** Slice 0's tile; identical to the historical last-tile home when
+     *  llc_slices == 1 (always true without coherence). */
+    sim::TileId memTile() const { return sliceTile(0); }
+
+    /** The coherence fabric, or nullptr when running --coherence=none. */
+    mem::CoherenceFabric *coherence() { return coh_.get(); }
+
+    unsigned numLlcSlices() const { return cfg_.llc_slices; }
+    /** LLC slice @p s; slice 0 is the historical shared LLC. */
+    mem::Cache &llcSlice(unsigned s)
+    {
+        return s == 0 ? *llc_ : *slice_llcs_.at(s - 1);
+    }
 
     os::Process &createProcess(const std::string &name);
 
@@ -188,6 +226,12 @@ class Soc {
     std::unique_ptr<mem::Dram> dram_;
     std::unique_ptr<mem::Cache> llc_;
     std::unique_ptr<mem::PortInterposer> llc_front_;
+    // Coherence plumbing (msi mode only; all null under --coherence=none).
+    // Declared before the L1s/cores/MAPLEs that hold pointers into them so
+    // those users are destroyed first.
+    std::unique_ptr<mem::CoherenceFabric> coh_;
+    std::vector<std::unique_ptr<mem::Cache>> slice_llcs_;  ///< slices 1..S-1
+    std::unique_ptr<mem::CoherentDmaPort> coh_dma_;
     AddressMap amap_;
 
     /**

@@ -13,6 +13,7 @@
 #include "mem/physical_memory.hpp"
 #include "mem/tlb.hpp"
 #include "sim/coro.hpp"
+#include "sim/error.hpp"
 
 using namespace maple;
 using namespace maple::mem;
@@ -419,6 +420,45 @@ TEST(Cache, PrefetchInstallsLine)
     f.eq.run();
     EXPECT_TRUE(f.cache.probe(0x2000));
     EXPECT_EQ(f.timedAccess(0x2000), 2u) << "demand after prefetch must hit";
+}
+
+TEST(Cache, ProbeDoesNotTouchLru)
+{
+    CacheFixture f;  // 2-way: set holds 0x0000 and 0x0200
+    f.timedAccess(0x0000);
+    f.timedAccess(0x0200);  // LRU order now: 0x0000 older, 0x0200 newer
+    // probe() is telemetry, not an access: hammering the older line must
+    // not promote it, or occupancy probes would perturb replacement.
+    for (int i = 0; i < 16; ++i)
+        EXPECT_TRUE(f.cache.probe(0x0000));
+    f.timedAccess(0x0400);  // still evicts 0x0000, the true LRU
+    EXPECT_FALSE(f.cache.probe(0x0000));
+    EXPECT_TRUE(f.cache.probe(0x0200));
+    EXPECT_TRUE(f.cache.probe(0x0400));
+}
+
+TEST(Cache, InvalidateAllRefusesToDropDirtyLines)
+{
+    CacheFixture f;
+    f.timedAccess(0x0000, AccessKind::Write);  // dirty line
+    // Silently discarding a dirty line would fork the modeled memory image
+    // from the functional one; the cache must demand a flush first.
+    EXPECT_THROW(f.cache.invalidateAll(), sim::FatalError);
+    EXPECT_TRUE(f.cache.probe(0x0000)) << "failed invalidate must not eat state";
+}
+
+TEST(Cache, FlushAllWritesBackThenInvalidateAllSucceeds)
+{
+    CacheFixture f;
+    f.timedAccess(0x0000, AccessKind::Write);
+    f.timedAccess(0x0200);  // one dirty, one clean
+    sim::Join j = sim::spawn(f.cache.flushAll());
+    f.eq.run();
+    j.get();
+    EXPECT_EQ(f.cache.stats().counterValue("writebacks"), 1u);
+    f.cache.invalidateAll();  // everything clean now: must not throw
+    EXPECT_FALSE(f.cache.probe(0x0000));
+    EXPECT_FALSE(f.cache.probe(0x0200));
 }
 
 TEST(Cache, RejectsBadGeometry)

@@ -336,6 +336,13 @@ Cache::cohTakeLine(sim::Addr line)
     return prior;
 }
 
+MsiState
+Cache::cohState(sim::Addr line) const
+{
+    const Way *w = lookupConst(line);
+    return w ? w->coh : MsiState::I;
+}
+
 bool
 Cache::cohDowngrade(sim::Addr line)
 {

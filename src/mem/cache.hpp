@@ -82,6 +82,7 @@ class Cache : public Port, public CoherentCache {
     sim::TileId cohTile() const override { return params_.tile; }
     MsiState cohTakeLine(sim::Addr line) override;
     bool cohDowngrade(sim::Addr line) override;
+    MsiState cohState(sim::Addr line) const override;
     void cohInstall(sim::Addr line, MsiState st, const MemRequest &req) override;
     /// @}
 

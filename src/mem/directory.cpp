@@ -109,6 +109,28 @@ Directory::freeIfUntracked(Entry &e)
     }
 }
 
+void
+Directory::noteStalePutM(sim::Addr line, unsigned cache)
+{
+    stale_putms_[line].push_back(cache);
+}
+
+bool
+Directory::consumeStalePutM(sim::Addr line, unsigned cache)
+{
+    auto it = stale_putms_.find(line);
+    if (it == stale_putms_.end())
+        return false;
+    auto &v = it->second;
+    auto pos = std::find(v.begin(), v.end(), cache);
+    if (pos == v.end())
+        return false;
+    v.erase(pos);
+    if (v.empty())
+        stale_putms_.erase(it);
+    return true;
+}
+
 sim::Task<void>
 Directory::invOne(unsigned cache, sim::Addr line)
 {
@@ -159,13 +181,17 @@ Directory::recallOwner(Entry &e, sim::Addr line)
 {
     stats_.counter("interventions").inc();
     stats_.counter("fwd_getm").inc();
-    CoherentCache &o = fabric_.cacheById(static_cast<unsigned>(e.owner));
+    unsigned owner = static_cast<unsigned>(e.owner);
+    CoherentCache &o = fabric_.cacheById(owner);
     e.owner = -1;
     co_await fabric_.message(tile_, o.cohTile(), CohMsg::FwdGetM, 0,
                              RequesterClass::Coherence);
     MsiState prior = o.cohTakeLine(line);
     // prior == I: the owner's PutM is still in flight (it will arrive
-    // stale); the ack is header-only because the copy is already gone.
+    // stale and must be ignored even if the cache re-owns the line by
+    // then); the ack is header-only because the copy is already gone.
+    if (prior == MsiState::I)
+        noteStalePutM(line, owner);
     co_await fabric_.message(o.cohTile(), tile_, CohMsg::InvAck,
                              prior == MsiState::M ? unsigned(kLineSize) : 0,
                              RequesterClass::Coherence);
@@ -191,9 +217,11 @@ Directory::downgradeOwner(Entry &e, sim::Addr line)
         writebackToSlice(line);
         if (!contains(e.sharers, owner))
             e.sharers.push_back(owner);
+    } else if (o.cohState(line) == MsiState::I) {
+        // The owner's copy was already gone (PutM in flight); it is not a
+        // sharer, and its PutM must be dropped on arrival.
+        noteStalePutM(line, owner);
     }
-    // was_m == false: the owner's copy was already gone (PutM in flight);
-    // it is not a sharer.
 }
 
 sim::Task<Directory::Entry *>
@@ -270,8 +298,11 @@ Directory::fetchTransaction(unsigned requester, MemRequest req, sim::Addr line,
         if (e) {
             if (e->owner == static_cast<int>(requester)) {
                 // Stale self-ownership: the requester's PutM for this line
-                // is still in flight. Its copy is gone; a full fill is due.
+                // is still in flight. Its copy is gone; a full fill is due,
+                // and since the requester is about to be the *current*
+                // owner again, that PutM must be ignored when it lands.
                 e->owner = -1;
+                noteStalePutM(line, requester);
             } else if (e->owner >= 0) {
                 co_await recallOwner(*e, line);
             }
@@ -285,10 +316,17 @@ Directory::fetchTransaction(unsigned requester, MemRequest req, sim::Addr line,
             }
             co_await invalidateSharers(*e, line);
             if (was_sharer) {
-                // Upgrade grant: the requester's S copy becomes writable;
-                // the response is header-only.
-                stats_.counter("upgrades").inc();
-                data_needed = false;
+                if (c.cohState(line) == MsiState::S) {
+                    // Upgrade grant: the requester's S copy becomes
+                    // writable; the response is header-only.
+                    stats_.counter("upgrades").inc();
+                    data_needed = false;
+                } else {
+                    // Stale sharer bit: the S copy was silently evicted
+                    // since, so the grant needs a full fill (and its LLC
+                    // read) after all.
+                    stats_.counter("stale_upgrades").inc();
+                }
             }
         } else {
             e = co_await allocate(line);
@@ -301,10 +339,13 @@ Directory::fetchTransaction(unsigned requester, MemRequest req, sim::Addr line,
         e->sharers.clear();
     } else {
         if (e) {
-            if (e->owner == static_cast<int>(requester))
-                e->owner = -1;  // stale self-ownership, see above
-            else if (e->owner >= 0)
+            if (e->owner == static_cast<int>(requester)) {
+                // Stale self-ownership, see above.
+                e->owner = -1;
+                noteStalePutM(line, requester);
+            } else if (e->owner >= 0) {
                 co_await downgradeOwner(*e, line);
+            }
         } else {
             e = co_await allocate(line);
         }
@@ -343,15 +384,23 @@ Directory::putMTransaction(unsigned requester, MemRequest req, sim::Addr line)
     co_await lock(line);
     co_await sim::delay(eq_, cfg_.dir_latency);
     Entry *e = find(line);
-    if (e && e->owner == static_cast<int>(requester)) {
+    if (consumeStalePutM(line, requester)) {
+        // Superseded in flight: the home already observed this eviction (a
+        // recall or downgrade found the copy gone, or the cache's own
+        // re-fetch cleared stale self-ownership). The requester may have
+        // re-acquired M since, so `owner == requester` proves nothing here
+        // -- clearing it would detach a live M copy (ABA).
+        stats_.counter("putm_stale").inc();
+    } else if (e && e->owner == static_cast<int>(requester)) {
         stats_.counter("putm").inc();
         e->owner = -1;
         freeIfUntracked(*e);
         sim::spawnDetached(eq_, slice_llc_.request(req.child(
                                     line, kLineSize, AccessKind::Write)));
     } else {
-        // The line was recalled or re-owned while this PutM flew; the
-        // recall already collected the data. Drop it.
+        // The line's entry was evicted and re-allocated while this PutM
+        // flew; every such path notes the PutM as superseded, so this is
+        // defensive only. Drop it.
         stats_.counter("putm_stale").inc();
     }
     unlock(line);
@@ -390,6 +439,7 @@ void
 Directory::saveState(ckpt::Sink &out) const
 {
     MAPLE_ASSERT(busy_.empty(), "snapshot with directory transactions live");
+    MAPLE_ASSERT(stale_putms_.empty(), "snapshot with PutMs in flight");
     out.u64(num_sets_);
     out.u64(cfg_.dir_assoc);
     for (const auto &set : sets_) {
@@ -412,6 +462,7 @@ void
 Directory::loadState(ckpt::Source &in)
 {
     MAPLE_ASSERT(busy_.empty(), "restore with directory transactions live");
+    MAPLE_ASSERT(stale_putms_.empty(), "restore with PutMs in flight");
     std::uint64_t sets = in.u64();
     std::uint64_t assoc = in.u64();
     MAPLE_CHECK(sets == num_sets_ && assoc == cfg_.dir_assoc,

@@ -72,6 +72,12 @@ class CoherentCache {
      *  (the downgrade ack then carries the dirty data home). */
     virtual bool cohDowngrade(sim::Addr line) = 0;
 
+    /** Side-effect-free probe of the copy's current state (no LRU touch,
+     *  no checker hook): I when absent. The directory uses it to tell a
+     *  live S copy from a stale sharer bit before granting a header-only
+     *  upgrade, and a PutM-in-flight from a completed downgrade. */
+    virtual MsiState cohState(sim::Addr line) const = 0;
+
     /**
      * Grant @p line in @p st: upgrade in place when a copy is present (SM
      * completing), else install fresh — victim eviction inside rides
@@ -170,6 +176,20 @@ class Directory {
 
     void freeIfUntracked(Entry &e);
 
+    /// @name Superseded-PutM disambiguation
+    /// A dirty-eviction PutM travels detached and can be delayed past the
+    /// point where the home already learned the copy is gone (a recall or
+    /// downgrade finding the line absent, or the evicting cache's own
+    /// re-fetch). Each such observation notes exactly one in-flight PutM
+    /// from that cache as superseded; putMTransaction consumes a note
+    /// before trusting `owner == requester`, so a stale PutM arriving
+    /// after the same cache re-acquired M can never clear live ownership
+    /// (ABA). Keyed by line, not entry: notes survive directory eviction.
+    /// @{
+    void noteStalePutM(sim::Addr line, unsigned cache);
+    bool consumeStalePutM(sim::Addr line, unsigned cache);
+    /// @}
+
     sim::EventQueue &eq_;
     const CoherenceConfig &cfg_;
     CoherenceFabric &fabric_;
@@ -181,6 +201,9 @@ class Directory {
     std::uint64_t lru_clock_ = 1;
     unsigned live_entries_ = 0;
     std::unordered_map<sim::Addr, sim::Signal> busy_;
+    /** One element per superseded PutM in flight (cache id; duplicates
+     *  allowed — the same cache can have several stale PutMs flying). */
+    std::unordered_map<sim::Addr, std::vector<unsigned>> stale_putms_;
     sim::StatGroup stats_;
 };
 

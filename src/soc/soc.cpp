@@ -213,13 +213,18 @@ Soc::Soc(SocConfig cfg) : cfg_(std::move(cfg))
             wiring.dram_port = coh_dma_.get();
             wiring.llc_port = coh_dma_.get();
             wiring.llc_cache = nullptr;
+            // Page-table walks take the same coherent path: page-table
+            // lines are homed and cached on their own slice, and a walk
+            // read downgrades an M owner (a core updating a PTE through
+            // its L1) instead of reading around it.
+            wiring.walk_port = coh_dma_.get();
             mp.coherent = true;
         } else {
             wiring.dram_port = &makePort(tile, PortUse::MapleDram, *dram_);
             wiring.llc_port = &makePort(tile, PortUse::MapleLlc, *llc_front_);
             wiring.llc_cache = llc_.get();
+            wiring.walk_port = &makePort(tile, PortUse::MapleWalk, *llc_front_);
         }
-        wiring.walk_port = &makePort(tile, PortUse::MapleWalk, *llc_front_);
         maples_.push_back(
             std::make_unique<::maple::core::Maple>(eq_, mp, wiring));
         amap_.addDevice(mp.mmio_base, mem::kPageSize, maples_.back().get(), tile);

@@ -166,6 +166,13 @@ class Soc {
     os::Process &createProcess(const std::string &name);
 
     /**
+     * Registered NoC port for (tile, use), or nullptr. Public as a wiring
+     * probe: tests assert e.g. that msi mode registers no direct MapleWalk
+     * port (walks ride the coherent DMA path instead).
+     */
+    noc::RemotePort *findPort(sim::TileId tile, PortUse use);
+
+    /**
      * Create an extra LLC-reaching port from @p tile (owned by the Soc).
      * Used by memory-side baseline hardware, e.g. DeSC's supply buffer.
      */
@@ -249,9 +256,6 @@ class Soc {
 
     /** Create, register and return a port for (tile, use) -> @p target. */
     noc::RemotePort &makePort(sim::TileId tile, PortUse use, mem::Port &target);
-
-    /** Registered port for (tile, use), or nullptr. */
-    noc::RemotePort *findPort(sim::TileId tile, PortUse use);
 
     // Components (order matters: the registry above outlives them all, and
     // ports are wired before the cores/MAPLEs that use them).

@@ -11,6 +11,10 @@
 #include <memory>
 #include <vector>
 
+#include <unordered_map>
+
+#include "core/maple_runtime.hpp"
+#include "fault/fault.hpp"
 #include "mem/cache.hpp"
 #include "mem/coherence.hpp"
 #include "mem/directory.hpp"
@@ -18,6 +22,8 @@
 #include "noc/mesh.hpp"
 #include "sim/coro.hpp"
 #include "sim/random.hpp"
+#include "soc/soc.hpp"
+#include "workloads/workload.hpp"
 
 using namespace maple;
 using namespace maple::mem;
@@ -256,6 +262,153 @@ TEST(Directory, DmaSpansMultipleLines)
     EXPECT_FALSE(f.l1s[0]->probe(0x7040));
 }
 
+TEST(Directory, StaleSharerBitGetsFullFillNotUpgrade)
+{
+    CohFixture f(1);  // 1KB 2-way: 8 sets, set stride 512B
+    f.access(0, 0x0000, AccessKind::Read);
+    f.access(0, 0x0200, AccessKind::Read);
+    f.access(0, 0x0400, AccessKind::Read);  // silently evicts S copy 0x0000
+    ASSERT_FALSE(f.l1s[0]->probe(0x0000));
+    // The home still lists cache 0 as a sharer of 0x0000; its GetM must be
+    // recognized as a fill (data + LLC read billed), not a header-only
+    // upgrade of a copy that no longer exists.
+    f.access(0, 0x0000, AccessKind::Write);
+    EXPECT_EQ(f.home(0x0000).stats().counterValue("stale_upgrades"), 1u);
+    EXPECT_EQ(f.home(0x0000).stats().counterValue("upgrades"), 0u);
+    EXPECT_TRUE(f.l1s[0]->probe(0x0000));
+}
+
+namespace {
+
+/**
+ * A scripted protocol endpoint: the fabric-facing cache contract (with
+ * checker hooks mirroring mem::Cache) but with state transitions driven
+ * explicitly by the test, so exact message interleavings can be staged.
+ */
+struct ScriptedCache : CoherentCache {
+    CoherenceFabric &fabric;
+    std::string name;
+    sim::TileId tile;
+    unsigned id = 0;
+    std::unordered_map<sim::Addr, MsiState> lines;
+
+    ScriptedCache(CoherenceFabric &f, std::string n, sim::TileId t)
+        : fabric(f), name(std::move(n)), tile(t)
+    {
+        id = fabric.registerCache(*this);
+    }
+
+    const std::string &cohName() const override { return name; }
+    sim::TileId cohTile() const override { return tile; }
+
+    MsiState
+    cohState(sim::Addr line) const override
+    {
+        auto it = lines.find(line);
+        return it == lines.end() ? MsiState::I : it->second;
+    }
+
+    MsiState
+    cohTakeLine(sim::Addr line) override
+    {
+        MsiState prior = cohState(line);
+        if (prior != MsiState::I) {
+            if (CoherenceChecker *ck = fabric.checker())
+                ck->onRelease(id, line);
+            lines.erase(line);
+        }
+        return prior;
+    }
+
+    bool
+    cohDowngrade(sim::Addr line) override
+    {
+        if (cohState(line) != MsiState::M)
+            return false;
+        lines[line] = MsiState::S;
+        if (CoherenceChecker *ck = fabric.checker())
+            ck->onDowngrade(id, line);
+        return true;
+    }
+
+    void
+    cohInstall(sim::Addr line, MsiState st, const MemRequest &) override
+    {
+        CoherenceChecker *ck = fabric.checker();
+        if (cohState(line) == MsiState::S && st == MsiState::M) {
+            lines[line] = MsiState::M;
+            if (ck)
+                ck->onUpgrade(id, line);
+            return;
+        }
+        lines[line] = st;
+        if (ck)
+            ck->onInstall(id, line, st);
+    }
+
+    /** Drop the dirty copy like an eviction does (the PutM is spawned by
+     *  the test so its position in the interleaving is explicit). */
+    void
+    evict(sim::Addr line)
+    {
+        if (CoherenceChecker *ck = fabric.checker())
+            ck->onRelease(id, line);
+        lines.erase(line);
+    }
+};
+
+}  // namespace
+
+TEST(Directory, DelayedPutMAfterReownKeepsOwnership)
+{
+    // The ABA the stale-PutM notes exist for: cache A's eviction PutM is
+    // overtaken by A's own re-GetM for the same line. The home must not let
+    // the late PutM clear A's *re-acquired* ownership.
+    sim::EventQueue eq;
+    Dram dram{eq, DramParams{100, 1, 2}};
+    noc::Mesh mesh(eq, noc::MeshParams{3, 3, 1, 16});
+    CoherenceFabric fabric(eq, CohFixture::makeCfg(8, 1024, 8), mesh);
+    fabric.addSlice(mesh.numTiles() - 1, dram);
+    ScriptedCache a(fabric, "a", 0), b(fabric, "b", 1);
+    const sim::Addr kLine = 0x1000;
+
+    {
+        sim::Join j = sim::spawn(fabric.fetch(
+            a.id, req(eq, a.tile, kLine, AccessKind::Write, 64), kLine, true));
+        eq.run();
+        j.get();
+    }
+    ASSERT_EQ(a.cohState(kLine), MsiState::M);
+
+    // A evicts and immediately re-fetches M. The GetM leg is spawned first
+    // and is header-only while the PutM carries a full line of flits, so
+    // the GetM deterministically wins the home's line lock: the directory
+    // sees stale self-ownership, re-grants M, and the PutM arrives last.
+    a.evict(kLine);
+    sim::Join jf = sim::spawn(fabric.fetch(
+        a.id, req(eq, a.tile, kLine, AccessKind::Write, 64), kLine, true));
+    sim::Join jp = sim::spawn(fabric.putM(
+        a.id, req(eq, a.tile, kLine, AccessKind::Write, 64), kLine));
+    eq.run();
+    jf.get();
+    jp.get();
+    EXPECT_EQ(a.cohState(kLine), MsiState::M);
+    Directory &d = fabric.slice(fabric.homeSlice(kLine));
+    EXPECT_EQ(d.stats().counterValue("putm_stale"), 1u);
+    EXPECT_EQ(d.stats().counterValue("putm"), 0u);
+
+    // The proof the home still tracks A: B's read must arrive as a
+    // Fwd-GetS downgrade of A, not a fresh install alongside an untracked
+    // M copy (which the checker would flag as a stale read setup).
+    sim::Join jb = sim::spawn(fabric.fetch(
+        b.id, req(eq, b.tile, kLine, AccessKind::Read, 64), kLine, false));
+    eq.run();
+    jb.get();
+    EXPECT_EQ(d.stats().counterValue("fwd_gets"), 1u);
+    EXPECT_EQ(a.cohState(kLine), MsiState::S);
+    EXPECT_EQ(b.cohState(kLine), MsiState::S);
+}
+
 TEST(Directory, InvalidateAllThrowsWithCoherentModifiedLine)
 {
     CohFixture f;
@@ -266,6 +419,70 @@ TEST(Directory, InvalidateAllThrowsWithCoherentModifiedLine)
     j.get();
     f.l1s[0]->invalidateAll();  // flush released everything: fine now
     EXPECT_FALSE(f.l1s[0]->probe(0x1000));
+}
+
+// ---------------------------------------------------------------------------
+// SoC wiring: every MAPLE path is coherent in msi mode
+// ---------------------------------------------------------------------------
+
+TEST(SocMsi, MapleWalksRouteThroughDirectory)
+{
+    // Legacy mode wires MAPLE's page-table walker straight at the slice-0
+    // LLC front-end.
+    {
+        soc::Soc legacy(soc::SocConfig::fpga());
+        sim::TileId mt = legacy.maple(0).params().tile;
+        EXPECT_NE(legacy.findPort(mt, soc::PortUse::MapleWalk), nullptr);
+    }
+
+    soc::SocConfig cfg = soc::SocConfig::fpga();
+    cfg.coherence.mode = CoherenceMode::Msi;
+    cfg.coherence.checker = true;
+    soc::Soc soc(cfg);
+    ASSERT_NE(soc.coherence(), nullptr);
+    // In msi mode every MAPLE path -- streams, prefetches *and* walks --
+    // rides the coherent DMA port: a direct walk port would cache
+    // remote-homed page-table lines in slice 0's array and read around an
+    // M owner.
+    sim::TileId mt = soc.maple(0).params().tile;
+    EXPECT_EQ(soc.findPort(mt, soc::PortUse::MapleWalk), nullptr);
+    EXPECT_EQ(soc.findPort(mt, soc::PortUse::MapleLlc), nullptr);
+    EXPECT_EQ(soc.findPort(mt, soc::PortUse::MapleDram), nullptr);
+
+    // End-to-end: a consume stream whose pointer translations miss the
+    // cold device TLB, so the walks themselves go through the directory
+    // with the checker live.
+    os::Process &proc = soc.createProcess("walks");
+    std::vector<float> vals = app::makeDenseVector(64, 42);
+    app::SimArray<float> x(proc, vals.size(), "x");
+    x.upload(vals);
+    auto api = core::MapleApi::attach(proc, soc.maple(0));
+    auto setup = [&](cpu::Core &c) -> sim::Task<void> {
+        co_await api.init(c, 1, 32, 4);
+        bool ok = co_await api.open(c, 0);
+        EXPECT_TRUE(ok);
+    };
+    soc.run({sim::spawn(setup(soc.core(0)))});
+    auto produce = [&](cpu::Core &c) -> sim::Task<void> {
+        for (size_t i = 0; i < x.size(); ++i)
+            co_await api.producePtr(c, 0, x.addr(i));
+    };
+    auto consume = [&](cpu::Core &c) -> sim::Task<void> {
+        for (size_t i = 0; i < x.size(); ++i) {
+            float v = app::f32FromBits(co_await api.consume(c, 0));
+            EXPECT_EQ(v, vals[i]);
+        }
+    };
+    sim::Cycle cycles = soc.run({sim::spawn(produce(soc.core(0))),
+                                 sim::spawn(consume(soc.core(1)))},
+                                10'000'000);
+    EXPECT_LT(cycles, 10'000'000u);  // drained, not timed out
+
+    std::uint64_t dma_reads = 0;
+    for (unsigned s = 0; s < soc.coherence()->numSlices(); ++s)
+        dma_reads +=
+            soc.coherence()->slice(s).stats().counterValue("dma_reads");
+    EXPECT_GT(dma_reads, 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -339,6 +556,49 @@ TEST(CoherenceFuzz, RandomTrafficPassesChecker)
     }
     EXPECT_GT(recalls, 0u);
     EXPECT_GT(overflows, 0u);
+}
+
+TEST(CoherenceFuzz, DelayedAndDroppedMessagesPassChecker)
+{
+    // CohMsgDelay reorders protocol messages arbitrarily (a delayed PutM
+    // can lose to its own cache's later GetM -- the re-own ABA); CohMsgDrop
+    // adds timeout+retransmit on top. The checker must stay silent through
+    // all of it.
+    // Ample directory (no recalls): dirty lines leave the caches through
+    // their *own* LRU evictions, so delayed PutMs are actually in flight to
+    // race against (a tiny directory would recall every dirty line first
+    // and no PutM would ever be sent -- the recall corner is the plain
+    // fuzzer's job).
+    const unsigned kCaches = 4, kLines = 48, kOpsPerAgent = 1500;
+    CohFixture f(kCaches, /*slices=*/2, /*max_sharers=*/2,
+                 /*dir_entries=*/1024, /*dir_assoc=*/8);
+    fault::FaultConfig fc;
+    fc.seed = 0xfeedbeef;
+    fc.coh_delay = {0.10, 512};
+    fc.coh_drop = {0.02, 0};
+    fault::FaultInjector inj(f.eq, fc);
+
+    std::vector<sim::Join> joins;
+    for (unsigned c = 0; c < kCaches; ++c)
+        joins.push_back(sim::spawn(
+            fuzzAgent(f, c, 0x51ed5eedull + c, kOpsPerAgent, kLines)));
+    joins.push_back(sim::spawn(fuzzDma(f, 0xdeadca7, kOpsPerAgent, kLines)));
+    f.eq.run();
+    for (sim::Join &j : joins)
+        j.get();  // rethrows any CoherenceError from the checker
+
+    // The faults really fired, and the reordering machinery really ran:
+    // superseded PutMs were detected and dropped instead of clearing
+    // re-acquired ownership.
+    EXPECT_GT(inj.injectedCount(fault::FaultClass::CohMsgDelay), 100u);
+    EXPECT_GT(inj.injectedCount(fault::FaultClass::CohMsgDrop), 10u);
+    std::uint64_t stale = 0;
+    for (unsigned s = 0; s < f.fabric.numSlices(); ++s)
+        stale += f.fabric.slice(s).stats().counterValue("putm_stale");
+    EXPECT_GT(stale, 0u);
+    CoherenceChecker *ck = f.fabric.checker();
+    ASSERT_NE(ck, nullptr);
+    EXPECT_GE(ck->loadsChecked() + ck->storesChecked(), 6000u);
 }
 
 TEST(CoherenceFuzz, DeterministicAcrossRuns)

@@ -153,6 +153,18 @@ main(int argc, char **argv)
                             core::Counter::PoisonedResponses),
                         (unsigned long long)drv->degradedQueues());
         }
+        // Only printed when --ecc / --scrub-interval armed the resilience
+        // model, so --ecc=off stdout stays byte-identical.
+        if (mem::ResilManager *r = soc.resil()) {
+            std::printf("resil: %llu corrected, %llu uncorrectable, "
+                        "%llu containments, %llu retired pages, "
+                        "%llu scrub repairs\n",
+                        (unsigned long long)r->correctedTotal(),
+                        (unsigned long long)r->uncorrectableTotal(),
+                        (unsigned long long)r->containments(),
+                        (unsigned long long)r->retiredPages(),
+                        (unsigned long long)r->scrubRepairs());
+        }
     }
 
     std::printf("\nspeedup: %.2fx\n",

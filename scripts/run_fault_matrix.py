@@ -16,7 +16,7 @@ check (stdout compared byte-for-byte) and the content-hashed result cache
 script builds the spec, invokes maple_campaign, and applies the
 per-expectation checks to the manifest and the captured stdout/stderr.
 
-Transient fault classes (noc, dram, tlb, mmio, all) must
+Transient fault classes (noc, dram, tlb, mmio, coh-delay, coh-drop, all) must
 
   * terminate within the timeout (the liveness watchdog must convert any
     wedge into a typed error rather than a hang),
@@ -26,6 +26,16 @@ Transient fault classes (noc, dram, tlb, mmio, all) must
 
 A faults-disabled row must match a plain run, and every injection row must
 *differ* from it (a row indistinguishable from the clean run tested nothing).
+
+Soft-error rows (bitflip-*) run with --ecc=secded armed and assert the
+expected *resilience outcome* from the quickstart "resil:" summary line:
+
+  * correct  -- severity-1 flips: >=1 corrected error, zero uncorrectable
+  * contain  -- severity-2 flips: >=1 machine-check containment and >=1
+                retired page, with the result check still PASS (poison is
+                contained, never silently consumed)
+  * scrub    -- directory flips under MSI + a scrub interval: >=1 scrub
+                repair (the audit engine fixed a corrupted sharer vector)
 
 Hard-fault recovery campaigns (DESIGN.md section 10):
 
@@ -45,17 +55,46 @@ import subprocess
 import sys
 
 MATRIX = [
-    ("none", {}),
-    ("noc", {"MAPLE_FAULT_NOC": "0.01:64"}),
-    ("dram", {"MAPLE_FAULT_DRAM": "0.05:2000"}),
-    ("tlb", {"MAPLE_FAULT_TLB": "0.05"}),
-    ("mmio", {"MAPLE_FAULT_MMIO": "0.01:200"}),
+    ("none", {}, "complete"),
+    ("noc", {"MAPLE_FAULT_NOC": "0.01:64"}, "complete"),
+    ("dram", {"MAPLE_FAULT_DRAM": "0.05:2000"}, "complete"),
+    ("tlb", {"MAPLE_FAULT_TLB": "0.05"}, "complete"),
+    ("mmio", {"MAPLE_FAULT_MMIO": "0.01:200"}, "complete"),
+    # Coherence-message faults only exist on the MSI fabric; they are
+    # performance bugs (delay) or retransmit work (drop), never wedges.
+    ("coh-delay", {"MAPLE_COHERENCE": "msi",
+                   "MAPLE_FAULT_COH": "0.01:64"}, "complete"),
+    ("coh-drop", {"MAPLE_COHERENCE": "msi",
+                  "MAPLE_FAULT_COH_DROP": "0.005"}, "complete"),
     ("all", {
         "MAPLE_FAULT_NOC": "0.005:64",
         "MAPLE_FAULT_DRAM": "0.02:2000",
         "MAPLE_FAULT_TLB": "0.02",
         "MAPLE_FAULT_MMIO": "0.005:200",
-    }),
+    }, "complete"),
+    # Soft errors need --ecc=secded to be modeled at all. Severity 1 flips
+    # are SECDED-correctable (latency only: expect >=1 corrected, zero
+    # uncorrectable); the default severity 2 poisons the line and must end
+    # in machine-check containment (>=1 containment, >=1 retired page)
+    # with the workload still producing the right answer.
+    ("bitflip-l1/correct",
+     {"MAPLE_ECC": "secded", "MAPLE_FAULT_BITFLIP_L1": "0.01:1"}, "correct"),
+    # Poison that reaches a MAPLE queue wedges it until the OS recovery
+    # driver resets and replays (the unified hard-fault/poison taxonomy),
+    # so the containment rows arm MAPLE_FAULT_RECOVERY like the hard-fault
+    # campaigns do. Core-consumed poison is contained by page retirement.
+    ("bitflip-llc/contain",
+     {"MAPLE_ECC": "secded", "MAPLE_FAULT_BITFLIP_LLC": "0.002",
+      "MAPLE_FAULT_RECOVERY": "1"}, "contain"),
+    ("bitflip-dram/contain",
+     {"MAPLE_ECC": "secded", "MAPLE_FAULT_BITFLIP_DRAM": "0.002",
+      "MAPLE_FAULT_RECOVERY": "1"}, "contain"),
+    # Directory flips corrupt sharer vectors; the background scrub engine
+    # must audit them back against the caches (>=1 scrub repair).
+    ("bitflip-dir/scrub",
+     {"MAPLE_ECC": "secded", "MAPLE_COHERENCE": "msi",
+      "MAPLE_SCRUB_INTERVAL": "5000",
+      "MAPLE_FAULT_BITFLIP_DIR": "0.02"}, "scrub"),
 ]
 
 RECOVERY = "MAPLE_FAULT_RECOVERY"
@@ -78,6 +117,10 @@ RECOVERY_LINE = re.compile(
     r"recovery: (\d+) recoveries, (\d+) replayed ops, "
     r"(\d+) poisoned responses, (\d+) degraded queues")
 
+RESIL_LINE = re.compile(
+    r"resil: (\d+) corrected, (\d+) uncorrectable, (\d+) containments, "
+    r"(\d+) retired pages, (\d+) scrub repairs")
+
 
 def job_name(row_name):
     """Row names become job names and file names; no path separators."""
@@ -87,7 +130,7 @@ def job_name(row_name):
 def build_rows(only):
     rows = []
     if only != "recovery":
-        rows += [(name, knobs, "complete", None) for name, knobs in MATRIX]
+        rows += [(name, knobs, expect, None) for name, knobs, expect in MATRIX]
     if only != "transient":
         rows += RECOVERY_MATRIX
     return rows
@@ -179,6 +222,26 @@ def check_row(name, expect, entry, stdout, stderr, baseline_stdout):
     if name != "none" and baseline_stdout is not None \
             and stdout == baseline_stdout:
         problems.append("identical to faults-disabled run (no faults fired)")
+
+    if expect in ("correct", "contain", "scrub"):
+        resil = RESIL_LINE.search(stdout.decode(errors="replace"))
+        if resil is None:
+            problems.append("no resil summary line (ECC model not armed?)")
+        else:
+            corrected, uncorr, contained, retired, scrubbed = \
+                (int(g) for g in resil.groups())
+            if expect == "correct":
+                if corrected == 0:
+                    problems.append("no corrected errors (rate too low?)")
+                if uncorr != 0:
+                    problems.append("sev-1 flips must never be uncorrectable")
+            if expect == "contain":
+                if contained == 0:
+                    problems.append("no poison containments fired")
+                if retired == 0:
+                    problems.append("containment retired no pages")
+            if expect == "scrub" and scrubbed == 0:
+                problems.append("scrub engine repaired nothing")
 
     stats = parse_recovery(stdout)
     if expect in ("recover", "degrade"):

@@ -178,6 +178,10 @@ Soc::snapshot(std::ostream &os)
     }
     writeSection(ckpt::Section::Fault,
                  [this](ckpt::Sink &s) { fault_->saveState(s); });
+    if (resil_) {
+        writeSection(ckpt::Section::Resil,
+                     [this](ckpt::Sink &s) { resil_->saveState(s); });
+    }
     if (tracer_) {
         writeSection(ckpt::Section::Trace,
                      [this](ckpt::Sink &s) { tracer_->saveState(s); });
@@ -297,6 +301,16 @@ Soc::restore(std::istream &is)
         }
         case ckpt::Section::Fault:
             fault_->loadState(in);
+            break;
+        case ckpt::Section::Resil:
+            // Like Trace, a runtime variant axis: a stream captured with
+            // the resilience model on may restore into a SoC running
+            // without it (the warm image is identical; only RAS telemetry
+            // and poison bookkeeping are dropped).
+            if (resil_)
+                resil_->loadState(in);
+            else
+                in.skip(len);
             break;
         case ckpt::Section::Trace:
             if (tracer_)

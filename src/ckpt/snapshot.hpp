@@ -43,8 +43,11 @@ inline constexpr std::uint64_t kMagic = 0x54504b434c50414dull;
  * v3: the Fault section grows two coherence fault classes, coherent caches
  * write per-line MSI state, and msi-mode streams add Directory/SliceLlc
  * sections for the sparse directories and the extra LLC slices.
+ * v4: every cache way writes its poison bit, the Fault section grows the
+ * four BitFlip* classes, and resilience-enabled streams add a Resil
+ * section (ECC counters, MCA banks, backing poison, scrub cursor).
  */
-inline constexpr std::uint32_t kFormatVersion = 3;
+inline constexpr std::uint32_t kFormatVersion = 4;
 
 /** Tagged-section identifiers (u32 on the wire). */
 enum class Section : std::uint32_t {
@@ -68,6 +71,7 @@ enum class Section : std::uint32_t {
     Checksum = 12,
     Directory = 13,  ///< coherence fabric: message counters + per-slice dirs
     SliceLlc = 14,   ///< one per extra LLC slice (msi mode): index, cache
+    Resil = 15,      ///< resilience: ECC stats, MCA banks, poison, scrub
 };
 
 /**

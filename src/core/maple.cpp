@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fault/fault.hpp"
+#include "mem/resil.hpp"
 #include "sim/error.hpp"
 #include "sim/log.hpp"
 
@@ -461,8 +462,20 @@ Maple::fetchIntoSlot(unsigned q, unsigned generation, unsigned slot,
     }
     if (generation != queue_generation_[q])
         co_return;  // queue was closed/reconfigured while the fetch flew
-    if (meta.fault_tags & fault::faultClassBit(fault::FaultClass::HardSpad)) {
-        latchError(q, fault::FaultClass::HardSpad, paddr);
+    // One poison taxonomy for both origins: the injected device fault above
+    // and memory-origin poison (an uncorrectable ECC error anywhere below,
+    // reported by the hierarchy as meta.poison) land in the same latched
+    // error + poisoned-slot path, so MapleStatus::Poisoned and the OS
+    // recovery driver cover both with one counter set.
+    const bool device_poison =
+        meta.fault_tags & fault::faultClassBit(fault::FaultClass::HardSpad);
+    if (device_poison || meta.poison) {
+        latchError(q,
+                   device_poison
+                       ? fault::FaultClass::HardSpad
+                       : mem::poisonCause(&meta,
+                                          fault::FaultClass::BitFlipDram),
+                   paddr);
         queues_[q].fillSlotPoisoned(slot, 0);
         co_return;
     }

@@ -65,9 +65,13 @@ Core::load(sim::Addr vaddr, unsigned size)
         if (tm)
             tm->complete(tr_track_, "mmio_load", trace::Category::Core, mmio_start);
     } else {
+        // The metadata slot lets the hierarchy report data-path state back
+        // (RequestMeta::poison): without it, a DRAM uncorrectable error has
+        // no way to mark the fill, and containment could never trigger.
+        mem::RequestMeta meta;
         co_await w_.l1->request(mem::MemRequest::make(
             eq_, mem::RequesterClass::Core, params_.tile, tr.paddr, size,
-            mem::AccessKind::Read));
+            mem::AccessKind::Read, &meta));
         value = 0;
         w_.pm->read(tr.paddr, &value, size);
     }
@@ -109,9 +113,10 @@ Core::drainStore(sim::Addr paddr, std::uint64_t value, unsigned size)
     if (const auto *win = w_.amap->find(paddr)) {
         co_await mmioStore(*win, paddr, value, size);
     } else {
+        mem::RequestMeta meta;  // as in load(): carries poison reports back
         co_await w_.l1->request(mem::MemRequest::make(
             eq_, mem::RequesterClass::Core, params_.tile, paddr, size,
-            mem::AccessKind::Write));
+            mem::AccessKind::Write, &meta));
         w_.pm->write(paddr, &value, size);
     }
     --store_buffer_used_;

@@ -22,6 +22,10 @@ faultClassName(FaultClass c)
       case FaultClass::HardTlb:      return "hard_tlb";
       case FaultClass::CohMsgDelay:  return "coh_msg_delay";
       case FaultClass::CohMsgDrop:   return "coh_msg_drop";
+      case FaultClass::BitFlipL1:    return "bitflip_l1";
+      case FaultClass::BitFlipLlc:   return "bitflip_llc";
+      case FaultClass::BitFlipDir:   return "bitflip_dir";
+      case FaultClass::BitFlipDram:  return "bitflip_dram";
       default:                       return "?";
     }
 }
@@ -31,7 +35,8 @@ FaultConfig::anyEnabled() const
 {
     return noc.prob > 0 || dram.prob > 0 || tlb.prob > 0 || mmio.prob > 0 ||
            hard_spad.prob > 0 || hard_tlb.prob > 0 || coh_delay.prob > 0 ||
-           coh_drop.prob > 0;
+           coh_drop.prob > 0 || bitflip_l1.prob > 0 || bitflip_llc.prob > 0 ||
+           bitflip_dir.prob > 0 || bitflip_dram.prob > 0;
 }
 
 namespace {
@@ -84,6 +89,12 @@ FaultConfig::mergeEnv()
     parseRate("MAPLE_FAULT_COH", coh_delay, /*default_extra=*/64);
     // A drop's cost is the fixed retransmit timeout, not a drawn magnitude.
     parseRate("MAPLE_FAULT_COH_DROP", coh_drop, /*default_extra=*/1);
+    // Severity ceiling 2: the drawn magnitude is 1 (single-bit, correctable
+    // under SECDED) or 2 (multi-bit, uncorrectable) with equal weight.
+    parseRate("MAPLE_FAULT_BITFLIP_L1", bitflip_l1, /*default_extra=*/2);
+    parseRate("MAPLE_FAULT_BITFLIP_LLC", bitflip_llc, /*default_extra=*/2);
+    parseRate("MAPLE_FAULT_BITFLIP_DIR", bitflip_dir, /*default_extra=*/2);
+    parseRate("MAPLE_FAULT_BITFLIP_DRAM", bitflip_dram, /*default_extra=*/2);
     if (const char *p = std::getenv("MAPLE_FAULT_ONLY"); p && *p) {
         std::uint32_t mask = 0;
         std::stringstream ss(p);
@@ -113,7 +124,8 @@ FaultConfig::mergeEnv()
 
 FaultPlan::FaultPlan(const FaultConfig &cfg)
     : rates_{cfg.noc, cfg.dram, cfg.tlb, cfg.mmio, cfg.hard_spad, cfg.hard_tlb,
-             cfg.coh_delay, cfg.coh_drop},
+             cfg.coh_delay, cfg.coh_drop, cfg.bitflip_l1, cfg.bitflip_llc,
+             cfg.bitflip_dir, cfg.bitflip_dram},
       // Distinct splitmix-derived stream per class: the decision sequence of
       // one class is a pure function of (seed, class), so enabling or
       // re-rating another class cannot perturb it.
@@ -124,7 +136,11 @@ FaultPlan::FaultPlan(const FaultConfig &cfg)
                sim::Rng(cfg.seed ^ 0xa0761d6478bd642full),
                sim::Rng(cfg.seed ^ 0xe7037ed1a0b428dbull),
                sim::Rng(cfg.seed ^ 0x60bee2bee120fc15ull),
-               sim::Rng(cfg.seed ^ 0x1b56c4f5231419c9ull)}
+               sim::Rng(cfg.seed ^ 0x1b56c4f5231419c9ull),
+               sim::Rng(cfg.seed ^ 0x7fb5d329728ea185ull),
+               sim::Rng(cfg.seed ^ 0x81dadef4bc2dd44dull),
+               sim::Rng(cfg.seed ^ 0x8ebc6af09c88c6e3ull),
+               sim::Rng(cfg.seed ^ 0x589965cc75374cc3ull)}
 {
 }
 
@@ -181,6 +197,13 @@ stallCauseOf(FaultClass c)
       // the same stall bucket as organic link congestion.
       case FaultClass::CohMsgDelay:
       case FaultClass::CohMsgDrop:   return trace::StallCause::FaultNoc;
+      // ECC correction penalties reuse existing buckets (no new StallCause
+      // entries, keeping the trace CSV schema stable): a DRAM-side flip is
+      // memory latency, SRAM-side corrections land with recovery overhead.
+      case FaultClass::BitFlipDram:  return trace::StallCause::FaultDram;
+      case FaultClass::BitFlipL1:
+      case FaultClass::BitFlipLlc:
+      case FaultClass::BitFlipDir:   return trace::StallCause::FaultRecovery;
       default:                       return trace::StallCause::FaultMmio;
     }
 }
@@ -193,6 +216,10 @@ categoryOf(FaultClass c)
       case FaultClass::CohMsgDelay:  return trace::Category::Noc;
       case FaultClass::CohMsgDrop:   return trace::Category::Noc;
       case FaultClass::DramSpike:    return trace::Category::Mem;
+      case FaultClass::BitFlipL1:
+      case FaultClass::BitFlipLlc:
+      case FaultClass::BitFlipDir:
+      case FaultClass::BitFlipDram:  return trace::Category::Mem;
       default:                       return trace::Category::Maple;
     }
 }
@@ -208,6 +235,10 @@ instantName(FaultClass c)
       case FaultClass::HardTlb:      return "fault:hard_tlb";
       case FaultClass::CohMsgDelay:  return "fault:coh_msg_delay";
       case FaultClass::CohMsgDrop:   return "fault:coh_msg_drop";
+      case FaultClass::BitFlipL1:    return "fault:bitflip_l1";
+      case FaultClass::BitFlipLlc:   return "fault:bitflip_llc";
+      case FaultClass::BitFlipDir:   return "fault:bitflip_dir";
+      case FaultClass::BitFlipDram:  return "fault:bitflip_dram";
       default:                       return "fault:mmio_delay";
     }
 }
@@ -397,6 +428,14 @@ FaultInjector::configFingerprint() const
         fnvMixRate(h, cfg_.coh_delay);
     if (cfg_.coh_drop.prob > 0)
         fnvMixRate(h, cfg_.coh_drop);
+    if (cfg_.bitflip_l1.prob > 0)
+        fnvMixRate(h, cfg_.bitflip_l1);
+    if (cfg_.bitflip_llc.prob > 0)
+        fnvMixRate(h, cfg_.bitflip_llc);
+    if (cfg_.bitflip_dir.prob > 0)
+        fnvMixRate(h, cfg_.bitflip_dir);
+    if (cfg_.bitflip_dram.prob > 0)
+        fnvMixRate(h, cfg_.bitflip_dram);
     return h;
 }
 

@@ -34,6 +34,17 @@
  *   MAPLE_FAULT_COH_DROP=<prob>      per-protocol-message drop probability
  *                                    (the copy burns its flits, the sender
  *                                    times out and retransmits)
+ *   MAPLE_FAULT_BITFLIP_L1=<prob[:sev]>   per-L1-access SRAM bit flip
+ *   MAPLE_FAULT_BITFLIP_LLC=<prob[:sev]>  per-LLC-access SRAM bit flip
+ *   MAPLE_FAULT_BITFLIP_DIR=<prob[:sev]>  per-directory-lookup bit flip
+ *   MAPLE_FAULT_BITFLIP_DRAM=<prob[:sev]> per-DRAM-read bit flip
+ *                                    Bit flips only matter under
+ *                                    MAPLE_ECC=secded (mem/resil.hpp): a
+ *                                    drawn magnitude of 1 is a correctable
+ *                                    single-bit error (latency penalty),
+ *                                    >= 2 is uncorrectable (poison /
+ *                                    directory-entry corruption). With ECC
+ *                                    off the rates are inert.
  *   MAPLE_FAULT_ONLY=<cls[,cls...]>  restrict injection to these requester
  *                                    classes (core, maple_consume,
  *                                    maple_produce, ptw, prefetch, mmio,
@@ -70,6 +81,10 @@ enum class FaultClass : std::uint8_t {
     HardTlb,       ///< hard fault: a device-TLB translation is corrupted
     CohMsgDelay,   ///< extra cycles on one coherence-protocol message
     CohMsgDrop,    ///< a coherence message is lost: timeout + retransmit
+    BitFlipL1,     ///< soft error in an L1 data/tag array (needs ECC model)
+    BitFlipLlc,    ///< soft error in an LLC slice array (needs ECC model)
+    BitFlipDir,    ///< soft error in a sparse-directory entry (needs ECC)
+    BitFlipDram,   ///< soft error in a DRAM burst (needs ECC model)
     kCount
 };
 const char *faultClassName(FaultClass c);
@@ -80,6 +95,14 @@ inline constexpr bool
 isHardFault(FaultClass c)
 {
     return c == FaultClass::HardSpad || c == FaultClass::HardTlb;
+}
+
+/** Soft-error classes modeled by the ECC layer (mem/resil.hpp). */
+inline constexpr bool
+isBitFlip(FaultClass c)
+{
+    return c == FaultClass::BitFlipL1 || c == FaultClass::BitFlipLlc ||
+           c == FaultClass::BitFlipDir || c == FaultClass::BitFlipDram;
 }
 
 /** Bit in RequestMeta::fault_tags marking a fault hit en route. */
@@ -105,6 +128,14 @@ struct FaultConfig {
     FaultRate hard_tlb{};   ///< hard device-TLB corruption (prob only)
     FaultRate coh_delay{};  ///< defaults to max_extra 64 when enabled via env
     FaultRate coh_drop{};   ///< coherence-message loss (timeout cost is fixed)
+    // Soft-error bit flips (mem/resil.hpp decides correctable vs poison).
+    // max_extra is the severity ceiling: a draw of 1 is a single-bit
+    // (correctable) error, >= 2 is multi-bit (uncorrectable); the env
+    // default of 2 gives a 50/50 split.
+    FaultRate bitflip_l1{};
+    FaultRate bitflip_llc{};
+    FaultRate bitflip_dir{};
+    FaultRate bitflip_dram{};
 
     /**
      * Requester classes faults may hit. Opportunities from classes outside

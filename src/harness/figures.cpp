@@ -3,7 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iterator>
 
+#include "fault/fault.hpp"
 #include "harness/stats_io.hpp"
 #include "sim/stats.hpp"
 
@@ -115,9 +117,84 @@ applyTraceFlags(int &argc, char **argv)
     stripFlagsToEnv(argc, argv, kFlags, std::size(kFlags));
 }
 
+namespace {
+
+/**
+ * One row of `--list-faults`: how a FaultClass is enabled and what its
+ * magnitude field means. Kept here (not in src/fault) because flags are a
+ * harness concern; fault.cpp's mergeEnv is the authority for env names.
+ */
+struct FaultClassRow {
+    fault::FaultClass cls;
+    const char *flag;
+    const char *env;
+    const char *value;  ///< value syntax and magnitude default
+    const char *note;
+};
+
+constexpr FaultClassRow kFaultClassRows[] = {
+    {fault::FaultClass::NocLinkStall, "--fault-noc", "MAPLE_FAULT_NOC",
+     "<prob[:cycles]> (default :64)",
+     "extra cycles on one mesh-link reservation"},
+    {fault::FaultClass::DramSpike, "--fault-dram", "MAPLE_FAULT_DRAM",
+     "<prob[:cycles]> (default :2000)", "late data on one DRAM access"},
+    {fault::FaultClass::TlbStorm, "--fault-tlb", "MAPLE_FAULT_TLB",
+     "<prob>", "forced re-walk: translation invalidated first"},
+    {fault::FaultClass::MmioDelay, "--fault-mmio", "MAPLE_FAULT_MMIO",
+     "<prob[:cycles]> (default :200)", "delayed MMIO response"},
+    {fault::FaultClass::HardSpad, "--fault-hard-spad",
+     "MAPLE_FAULT_HARD_SPAD", "<prob>",
+     "hard fault: scratchpad fill poisoned (device recovery)"},
+    {fault::FaultClass::HardTlb, "--fault-hard-tlb", "MAPLE_FAULT_HARD_TLB",
+     "<prob>", "hard fault: device-TLB translation corrupted"},
+    {fault::FaultClass::CohMsgDelay, "--fault-coh", "MAPLE_FAULT_COH",
+     "<prob[:cycles]> (default :64)",
+     "coherence-message delay (needs --coherence=msi)"},
+    {fault::FaultClass::CohMsgDrop, "--fault-coh-drop",
+     "MAPLE_FAULT_COH_DROP", "<prob>",
+     "coherence-message loss: timeout + retransmit (needs --coherence=msi)"},
+    {fault::FaultClass::BitFlipL1, "--fault-bitflip-l1",
+     "MAPLE_FAULT_BITFLIP_L1", "<prob[:sev]> (default :2)",
+     "L1 soft error; sev 1 correctable, >=2 poison (needs --ecc=secded)"},
+    {fault::FaultClass::BitFlipLlc, "--fault-bitflip-llc",
+     "MAPLE_FAULT_BITFLIP_LLC", "<prob[:sev]> (default :2)",
+     "LLC-slice soft error (needs --ecc=secded)"},
+    {fault::FaultClass::BitFlipDir, "--fault-bitflip-dir",
+     "MAPLE_FAULT_BITFLIP_DIR", "<prob[:sev]> (default :2)",
+     "directory-entry soft error (needs --ecc=secded + --coherence=msi)"},
+    {fault::FaultClass::BitFlipDram, "--fault-bitflip-dram",
+     "MAPLE_FAULT_BITFLIP_DRAM", "<prob[:sev]> (default :2)",
+     "DRAM-read soft error (needs --ecc=secded)"},
+};
+
+static_assert(std::size(kFaultClassRows) ==
+                  static_cast<std::size_t>(fault::FaultClass::kCount),
+              "every FaultClass needs a --list-faults row");
+
+[[noreturn]] void
+listFaultsAndExit()
+{
+    std::printf("fault classes (all off by default; probabilities are per "
+                "injection opportunity):\n\n");
+    for (const FaultClassRow &r : kFaultClassRows) {
+        std::printf("  %-14s %s=%s\n", fault::faultClassName(r.cls), r.flag,
+                    r.value);
+        std::printf("  %-14s env %s; %s\n\n", "", r.env, r.note);
+    }
+    std::printf("shared knobs: --fault-seed=<u64> (MAPLE_FAULT_SEED), "
+                "--fault-only=<cls,...> (MAPLE_FAULT_ONLY)\n");
+    std::exit(0);
+}
+
+}  // namespace
+
 void
 applyFaultFlags(int &argc, char **argv)
 {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--list-faults") == 0)
+            listFaultsAndExit();
+    }
     static constexpr Flag kFlags[] = {
         {"--fault-seed", "MAPLE_FAULT_SEED"},
         {"--fault-noc", "MAPLE_FAULT_NOC"},
@@ -126,6 +203,12 @@ applyFaultFlags(int &argc, char **argv)
         {"--fault-mmio", "MAPLE_FAULT_MMIO"},
         {"--fault-hard-spad", "MAPLE_FAULT_HARD_SPAD"},
         {"--fault-hard-tlb", "MAPLE_FAULT_HARD_TLB"},
+        {"--fault-coh", "MAPLE_FAULT_COH"},
+        {"--fault-coh-drop", "MAPLE_FAULT_COH_DROP"},
+        {"--fault-bitflip-l1", "MAPLE_FAULT_BITFLIP_L1"},
+        {"--fault-bitflip-llc", "MAPLE_FAULT_BITFLIP_LLC"},
+        {"--fault-bitflip-dir", "MAPLE_FAULT_BITFLIP_DIR"},
+        {"--fault-bitflip-dram", "MAPLE_FAULT_BITFLIP_DRAM"},
         {"--fault-recovery", "MAPLE_FAULT_RECOVERY"},
         {"--fault-recovery-retries", "MAPLE_FAULT_RECOVERY_RETRIES"},
         {"--fault-recovery-budget", "MAPLE_FAULT_RECOVERY_BUDGET"},
@@ -147,6 +230,10 @@ applyFabricFlags(int &argc, char **argv)
         {"--coherence", "MAPLE_COHERENCE"},
         {"--llc-slices", "MAPLE_LLC_SLICES"},
         {"--coh-check", "MAPLE_COH_CHECK"},
+        {"--ecc", "MAPLE_ECC"},
+        {"--ecc-correct-latency", "MAPLE_ECC_CORRECT_LATENCY"},
+        {"--scrub-interval", "MAPLE_SCRUB_INTERVAL"},
+        {"--scrub-batch", "MAPLE_SCRUB_BATCH"},
     };
     stripFlagsToEnv(argc, argv, kFlags, std::size(kFlags));
 }

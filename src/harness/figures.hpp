@@ -129,8 +129,18 @@ void writeGridJson(const std::string &path, const std::string &bench,
  *                                   to the software-queue fallback
  *   --fault-recovery-backoff=<cyc>  base retry backoff (doubles, capped)
  *   --fault-recovery-timeout=<cyc>  device-side produce/consume wait bound
+ *   --fault-coh=<prob[:cycles]>     coherence-message delays
+ *   --fault-coh-drop=<prob>         coherence-message loss (retransmit)
+ *   --fault-bitflip-l1=<prob[:sev]>   soft errors in the L1 arrays
+ *   --fault-bitflip-llc=<prob[:sev]>  soft errors in the LLC slice arrays
+ *   --fault-bitflip-dir=<prob[:sev]>  soft errors in directory entries
+ *   --fault-bitflip-dram=<prob[:sev]> soft errors on DRAM reads
+ *                                   (sev 1 = correctable, >= 2 = poison;
+ *                                   all four need --ecc=secded to matter)
  *   --watchdog=<0|1>                disable/enable the liveness watchdog
  *   --watchdog-stall-bound=<cycles> park age that counts as a deadlock
+ *   --list-faults                   print every fault class with its flag,
+ *                                   env knob and defaults, then exit
  */
 void applyFaultFlags(int &argc, char **argv);
 
@@ -156,6 +166,16 @@ void applyFaultFlags(int &argc, char **argv);
  *   --coh-check=<0|1>                   flat-memory reference checker on
  *                                       every protocol transition
  *                                       (MAPLE_COH_CHECK)
+ *   --ecc=<off|secded>                  SECDED ECC on L1/LLC/directory/DRAM
+ *                                       (MAPLE_ECC; off is byte-identical
+ *                                       to builds without the model)
+ *   --ecc-correct-latency=<cycles>      penalty per corrected error
+ *                                       (MAPLE_ECC_CORRECT_LATENCY)
+ *   --scrub-interval=<cycles>           background directory scrub period,
+ *                                       msi mode; 0 = off
+ *                                       (MAPLE_SCRUB_INTERVAL)
+ *   --scrub-batch=<n>                   directory entries audited per pass
+ *                                       (MAPLE_SCRUB_BATCH)
  */
 void applyFabricFlags(int &argc, char **argv);
 

@@ -201,6 +201,9 @@ parseScenarioSpec(const json::Value &job)
         job.getInt("host_threads", s.host_threads));
     MAPLE_CHECK(s.host_threads >= 1, json::JsonError,
                 "host_threads must be >= 1");
+    s.ecc = job.getString("ecc", s.ecc);
+    MAPLE_CHECK(s.ecc == "off" || s.ecc == "secded", json::JsonError,
+                "unknown ecc mode \"%s\" (want off|secded)", s.ecc.c_str());
     if (const json::Value *soc = job.get("soc")) {
         s.soc_preset = soc->getString("preset", s.soc_preset);
         MAPLE_CHECK(s.soc_preset == "fpga" || s.soc_preset == "simulated",
@@ -251,6 +254,8 @@ scenarioWarmKey(const ScenarioSpec &s)
         o.emplace_back("coherence", json::Value(s.coherence));
         o.emplace_back("llc_slices", json::Value(s.llc_slices));
     }
+    if (s.ecc != "off")
+        o.emplace_back("ecc", json::Value(s.ecc));
     return json::Value(std::move(o));
 }
 
@@ -267,6 +272,7 @@ scenarioSocConfig(const ScenarioSpec &s)
         cfg.coherence.mode = *m;
     if (cfg.coherence.enabled())
         cfg.llc_slices = s.llc_slices;
+    cfg.resil.ecc = s.ecc == "secded";
     return cfg;
 }
 

@@ -43,6 +43,9 @@ struct ScenarioSpec {
     unsigned num_cores = 2;
     std::string coherence = "none";   ///< "none" or "msi" (structural)
     unsigned llc_slices = 1;          ///< LLC/directory slices (msi only)
+    /** "off" or "secded". Part of the warm key: ECC correction bubbles
+     *  shape the warm image's timing, so an ECC warm image is its own. */
+    std::string ecc = "off";
     /// @}
     /// @name Measure-only parameters (variant axes over one warm image)
     /// @{

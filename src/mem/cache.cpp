@@ -118,6 +118,40 @@ Cache::probe(sim::Addr paddr) const
     return lookupConst(lineBase(paddr)) != nullptr;
 }
 
+EccOutcome
+Cache::resilCheckHit(Way &w, const MemRequest &req, sim::Addr line)
+{
+    if (!resil_ || w.poisoned)
+        return EccOutcome::Clean;  // already-poisoned ways skip the draw
+    EccOutcome o =
+        resil_->check(resil_cls_, req.cls, resil_st_, line, params_.tile);
+    if (o == EccOutcome::Uncorrectable)
+        w.poisoned = true;
+    return o;
+}
+
+bool
+Cache::resilShouldContain(const MemRequest &req) const
+{
+    return resil_l1_ && resil_ && resil_->canContain() &&
+           req.kind != AccessKind::Prefetch &&
+           (req.cls == RequesterClass::Core || req.cls == RequesterClass::Ptw);
+}
+
+void
+Cache::resilDropLine(sim::Addr line)
+{
+    Way *w = lookup(line);
+    if (!w)
+        return;
+    if (fabric_ && w->coh != MsiState::I) {
+        if (CoherenceChecker *ck = checker())
+            ck->onRelease(coh_id_, line);
+        noteInvalidated(line);
+    }
+    *w = Way{};
+}
+
 void
 Cache::invalidateAll()
 {
@@ -152,6 +186,8 @@ Cache::flushAll()
             sim::Addr line = w.tag;
             bool modified = w.dirty || w.coh == MsiState::M;
             bool held = fabric_ && w.coh != MsiState::I;
+            if (resil_ && w.poisoned && modified)
+                resil_->markBackingPoisoned(line);
             w = Way{};  // release the way before any suspension
             if (modified) {
                 stats_.counter("writebacks").inc();
@@ -203,25 +239,65 @@ Cache::accessLine(MemRequest req, sim::Addr line)
     co_await sim::delay(eq_, params_.hit_latency);
 
     bool demand = req.kind != AccessKind::Prefetch;
-    if (Way *w = lookup(line)) {
-        touch(*w);
-        if (req.kind == AccessKind::Write)
-            w->dirty = true;
-        stats_.counter(demand ? "demand_hits" : "prefetch_hits").inc();
-        co_return;
-    }
-    stats_.counter(demand ? "demand_misses" : "prefetch_misses").inc();
+    bool counted = false;
+    while (true) {
+        if (Way *w = lookup(line)) {
+            if (resilCheckHit(*w, req, line) == EccOutcome::Corrected) {
+                // Correction bubble; the way can be evicted across the wait,
+                // so retry the lookup from scratch.
+                co_await sim::delay(eq_, resil_->correctPenalty());
+                continue;
+            }
+            // An LLC-role cache also serves poison recorded against the
+            // backing store: recalled dirty data reaches it via detached
+            // metadata-free writebacks, so the poison rides the side table.
+            bool poisoned =
+                w->poisoned ||
+                (resil_ && !resil_l1_ && resil_->backingPoisoned(line));
+            if (poisoned && demand) {
+                if (resilShouldContain(req)) {
+                    // Machine check: flush the line's holders, retire the
+                    // page, then retry -- the refill returns repaired data.
+                    co_await resil_->contain(
+                        line, params_.tile,
+                        poisonCause(req.meta, resil_cls_));
+                    if (req.meta)
+                        req.meta->poison = false;
+                    continue;
+                }
+                if (req.meta) {
+                    req.meta->poison = true;
+                    req.meta->fault_tags |= fault::faultClassBit(resil_cls_);
+                }
+            }
+            touch(*w);
+            if (req.kind == AccessKind::Write)
+                w->dirty = true;
+            if (!counted)
+                stats_.counter(demand ? "demand_hits" : "prefetch_hits").inc();
+            co_return;
+        }
+        if (!counted) {
+            counted = true;
+            stats_.counter(demand ? "demand_misses" : "prefetch_misses").inc();
+        }
 
-    bool dropped = false;
-    co_await handleMiss(req, line, dropped);
-    if (dropped)
-        co_return;
+        bool dropped = false;
+        co_await handleMiss(req, line, dropped);
+        if (dropped)
+            co_return;
 
-    // The fill installed the line; a concurrent eviction between resumptions
-    // is possible but benign for a timing model -- treat it as present.
-    if (req.kind == AccessKind::Write) {
-        if (Way *w = lookup(line))
-            w->dirty = true;
+        // The fill installed the line; a concurrent eviction between
+        // resumptions is possible but benign for a timing model -- treat it
+        // as present.
+        if (req.kind == AccessKind::Write) {
+            if (Way *w = lookup(line))
+                w->dirty = true;
+        }
+        if (!resil_)
+            co_return;
+        // With resilience on, loop so the poison/ECC checks run against the
+        // just-installed line: a DRAM-poisoned fill must not be served clean.
     }
 }
 
@@ -249,6 +325,29 @@ Cache::accessLineCoherent(MemRequest req, sim::Addr line)
     // later-cycle Inv can land.
     while (true) {
         if (Way *w = lookup(line); w && (!want_m || w->coh == MsiState::M)) {
+            if (resilCheckHit(*w, req, line) == EccOutcome::Corrected) {
+                // Correction bubble; an Inv can land across the wait, so
+                // retry the lookup from scratch like any other resumption.
+                co_await sim::delay(eq_, resil_->correctPenalty());
+                continue;
+            }
+            if (w->poisoned && demand) {
+                if (resilShouldContain(req)) {
+                    // Machine check: the handler recalls every copy through
+                    // the home directory and retires the page, so the retry
+                    // refetches repaired data.
+                    co_await resil_->contain(
+                        line, params_.tile,
+                        poisonCause(req.meta, resil_cls_));
+                    if (req.meta)
+                        req.meta->poison = false;
+                    continue;
+                }
+                if (req.meta) {
+                    req.meta->poison = true;
+                    req.meta->fault_tags |= fault::faultClassBit(resil_cls_);
+                }
+            }
             touch(*w);
             if (want_m)
                 w->dirty = true;
@@ -329,6 +428,11 @@ Cache::cohTakeLine(sim::Addr line)
     if (!w)
         return MsiState::I;  // silently evicted, or our PutM is in flight
     MsiState prior = w->coh;
+    // Poisoned dirty data travels home with the ack; the memory side of the
+    // hierarchy tracks it in the backing-poison set (the recall writeback is
+    // detached and carries no metadata).
+    if (resil_ && w->poisoned && prior == MsiState::M)
+        resil_->markBackingPoisoned(line);
     if (CoherenceChecker *ck = checker())
         ck->onRelease(coh_id_, line);
     noteInvalidated(line);
@@ -351,6 +455,8 @@ Cache::cohDowngrade(sim::Addr line)
         return false;  // our PutM is in flight; the data is already traveling
     if (w->coh != MsiState::M)
         return false;
+    if (resil_ && w->poisoned)
+        resil_->markBackingPoisoned(line);  // dirty data goes home poisoned
     w->coh = MsiState::S;
     w->dirty = false;
     stats_.counter("downgrades").inc();
@@ -382,19 +488,24 @@ Cache::cohInstall(sim::Addr line, MsiState st, const MemRequest &req)
             ck->onRelease(coh_id_, victim.tag);
         if (victim.coh == MsiState::M) {
             stats_.counter("writebacks").inc();
+            if (resil_ && victim.poisoned)
+                resil_->markBackingPoisoned(victim.tag);
             // The dirty victim goes home as a PutM; nobody waits on it, and
             // the home drops it as stale if the line was recalled first.
-            sim::spawnDetached(
-                eq_, fabric_->putM(coh_id_,
-                                   req.child(victim.tag, kLineSize,
-                                             AccessKind::Write),
-                                   victim.tag));
+            // Detached traffic must not carry the requester's metadata
+            // slot -- that pointer dies with the requester's coroutine
+            // frame (poison already went home via markBackingPoisoned).
+            MemRequest putm = req.child(victim.tag, kLineSize,
+                                        AccessKind::Write);
+            putm.meta = nullptr;
+            sim::spawnDetached(eq_, fabric_->putM(coh_id_, putm, victim.tag));
         }
         // S victims evict silently; the home tolerates the stale sharer bit.
     }
     victim.tag = line;
     victim.valid = true;
     victim.dirty = false;
+    victim.poisoned = resil_ && req.meta && req.meta->poison;
     victim.coh = st;
     touch(victim);
     if (ck)
@@ -455,14 +566,22 @@ Cache::handleMiss(MemRequest req, sim::Addr line, bool &dropped)
         stats_.counter("evictions").inc();
         if (victim.dirty) {
             stats_.counter("writebacks").inc();
-            // Writeback consumes downstream bandwidth but nobody waits on it.
-            sim::spawnDetached(eq_, downstream_.request(
-                req.child(victim.tag, kLineSize, AccessKind::Write)));
+            if (resil_ && victim.poisoned)
+                resil_->markBackingPoisoned(victim.tag);
+            // Writeback consumes downstream bandwidth but nobody waits on
+            // it, so it must not carry the requester's metadata slot: that
+            // pointer dies with the requester's coroutine frame (poison
+            // already went home via markBackingPoisoned above).
+            MemRequest wb = req.child(victim.tag, kLineSize,
+                                      AccessKind::Write);
+            wb.meta = nullptr;
+            sim::spawnDetached(eq_, downstream_.request(wb));
         }
     }
     victim.tag = line;
     victim.valid = true;
     victim.dirty = false;
+    victim.poisoned = resil_ && req.meta && req.meta->poison;
     touch(victim);
     if (req.kind == AccessKind::Prefetch)
         stats_.counter("prefetch_fills").inc();

@@ -27,9 +27,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "mem/directory.hpp"
 #include "mem/physical_memory.hpp"
 #include "mem/port.hpp"
+#include "mem/resil.hpp"
 #include "sim/stats.hpp"
 #include "trace/trace.hpp"
 
@@ -76,6 +78,41 @@ class Cache : public Port, public CoherentCache {
 
     bool coherent() const { return fabric_ != nullptr; }
 
+    /**
+     * Attach the soft-error resilience model (mem/resil.hpp). @p l1_role
+     * selects the reaction to poison: an L1-role cache runs machine-check
+     * containment when a core/PTW demand touches a poisoned line, an
+     * LLC-role cache forwards the poison with the data (and also consults
+     * the memory-side backing-poison set, since recalled dirty data reaches
+     * it through detached writebacks that carry no metadata). The role also
+     * picks the BitFlip fault class this cache's ECC draws from.
+     */
+    void
+    setResil(ResilManager *resil, bool l1_role)
+    {
+        resil_ = resil;
+        resil_l1_ = l1_role;
+        resil_cls_ = l1_role ? fault::FaultClass::BitFlipL1
+                             : fault::FaultClass::BitFlipLlc;
+        resil_st_ = l1_role ? ResilStructure::L1 : ResilStructure::Llc;
+    }
+
+    /**
+     * Containment flush: drop any copy of @p line, dirty or poisoned
+     * included -- the functional image lives in PhysicalMemory and the page
+     * is about to be retired, so no modeled data is lost. Used on caches the
+     * directory cannot reach (legacy mode, and the LLC slices behind it).
+     */
+    void resilDropLine(sim::Addr line);
+
+    /** True when this cache holds @p line and the copy is poisoned. */
+    bool
+    linePoisoned(sim::Addr line) const
+    {
+        const Way *w = lookupConst(line);
+        return w != nullptr && w->poisoned;
+    }
+
     /// @name CoherentCache (driven by the home directory, lock held)
     /// @{
     const std::string &cohName() const override { return params_.name; }
@@ -114,12 +151,19 @@ class Cache : public Port, public CoherentCache {
                 out.u64(w.tag);
                 out.b(w.valid);
                 out.b(w.dirty);
+                out.b(w.poisoned);
                 out.u64(w.lru);
                 if (fabric_)
                     out.u8(static_cast<std::uint8_t>(w.coh));
             }
         }
         out.u64(lru_clock_);
+        // The recently-invalidated ring classifies coherence misses; it is
+        // real machine state (a restored run must bucket the same misses
+        // the same way), so it round-trips with the tags.
+        for (sim::Addr a : recent_inv_)
+            out.u64(a);
+        out.u64(recent_inv_next_);
         stats_.saveState(out);
         out.u32(tr_miss_);  // cached lane-group id (tracer table round-trips)
     }
@@ -140,6 +184,7 @@ class Cache : public Port, public CoherentCache {
                 w.tag = in.u64();
                 w.valid = in.b();
                 w.dirty = in.b();
+                w.poisoned = in.b();
                 w.lru = in.u64();
                 if (fabric_) {
                     w.coh = static_cast<MsiState>(in.u8());
@@ -151,6 +196,9 @@ class Cache : public Port, public CoherentCache {
             }
         }
         lru_clock_ = in.u64();
+        for (sim::Addr &a : recent_inv_)
+            a = in.u64();
+        recent_inv_next_ = static_cast<unsigned>(in.u64());
         stats_.loadState(in);
         tr_miss_ = in.u32();
     }
@@ -160,6 +208,7 @@ class Cache : public Port, public CoherentCache {
         sim::Addr tag = 0;
         bool valid = false;
         bool dirty = false;
+        bool poisoned = false;  ///< data carries an uncorrectable ECC error
         std::uint64_t lru = 0;
         MsiState coh = MsiState::I;  ///< stable MSI state (coherent mode)
     };
@@ -194,6 +243,19 @@ class Cache : public Port, public CoherentCache {
     void wakeMshrWaiters();
     void noteInvalidated(sim::Addr line);
 
+    /**
+     * ECC draw + poison bookkeeping for a hit on @p w, shared by both
+     * personalities. Returns Corrected when the caller must model the
+     * correction bubble (delay correctPenalty() and retry the lookup --
+     * anything can change across the wait). A fresh Uncorrectable marks the
+     * way poisoned; @p w is then examined like pre-existing poison.
+     */
+    EccOutcome resilCheckHit(Way &w, const MemRequest &req, sim::Addr line);
+
+    /** True when a poisoned serve to @p req must trigger containment
+     *  instead of forwarding the poison (L1 role, core/PTW demand). */
+    bool resilShouldContain(const MemRequest &req) const;
+
     sim::EventQueue &eq_;
     CacheParams params_;
     Port &downstream_;
@@ -204,6 +266,11 @@ class Cache : public Port, public CoherentCache {
     sim::Signal mshr_wait_;
     sim::StatGroup stats_;
     trace::TraceManager::LaneGroupId tr_miss_ = trace::TraceManager::kNone;
+
+    ResilManager *resil_ = nullptr;
+    bool resil_l1_ = false;
+    fault::FaultClass resil_cls_ = fault::FaultClass::BitFlipLlc;
+    ResilStructure resil_st_ = ResilStructure::Llc;
 
     CoherenceFabric *fabric_ = nullptr;
     unsigned coh_id_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fault/fault.hpp"
+#include "mem/resil.hpp"
 #include "sim/log.hpp"
 
 namespace maple::mem {
@@ -282,6 +283,75 @@ Directory::allocate(sim::Addr line)
     co_return victim;
 }
 
+sim::Cycle
+Directory::resilCheckLookup(sim::Addr line, RequesterClass rc)
+{
+    ResilManager *r = fabric_.resil();
+    if (!r)
+        return 0;
+    EccOutcome o = r->check(fault::FaultClass::BitFlipDir, rc,
+                            ResilStructure::Directory, line, tile_);
+    if (o == EccOutcome::Corrected)
+        return r->correctPenalty();
+    if (o == EccOutcome::Uncorrectable)
+        corruptEntry(line);
+    return 0;
+}
+
+void
+Directory::corruptEntry(sim::Addr line)
+{
+    Entry *e = find(line);
+    if (!e || e->owner >= 0 || e->sharers.size() >= cfg_.max_sharers)
+        return;
+    for (unsigned id = 0; id < fabric_.numCaches(); ++id) {
+        if (!contains(e->sharers, id) &&
+            fabric_.cacheById(id).cohState(line) == MsiState::I) {
+            e->sharers.push_back(id);
+            stats_.counter("corrupt_sharers").inc();
+            return;
+        }
+    }
+}
+
+sim::Task<void>
+Directory::recallLine(sim::Addr line)
+{
+    co_await lock(line);
+    co_await sim::delay(eq_, cfg_.dir_latency);
+    if (Entry *e = find(line)) {
+        stats_.counter("resil_recalls").inc();
+        if (e->owner >= 0)
+            co_await recallOwner(*e, line);
+        co_await invalidateSharers(*e, line);
+        freeIfUntracked(*e);
+    }
+    unlock(line);
+}
+
+unsigned
+Directory::scrubAudit(std::uint64_t slot)
+{
+    Entry &e = sets_[static_cast<std::size_t>(slot / cfg_.dir_assoc)]
+                    [static_cast<std::size_t>(slot % cfg_.dir_assoc)];
+    if (!e.valid || e.owner >= 0 || e.sharers.empty() || busy_.count(e.tag))
+        return 0;
+    unsigned repaired = 0;
+    for (auto it = e.sharers.begin(); it != e.sharers.end();) {
+        if (fabric_.cacheById(*it).cohState(e.tag) == MsiState::I) {
+            it = e.sharers.erase(it);
+            ++repaired;
+        } else {
+            ++it;
+        }
+    }
+    if (repaired) {
+        stats_.counter("scrub_repairs").inc(repaired);
+        freeIfUntracked(e);
+    }
+    return repaired;
+}
+
 sim::Task<void>
 Directory::fetchTransaction(unsigned requester, MemRequest req, sim::Addr line,
                             bool want_m)
@@ -290,6 +360,8 @@ Directory::fetchTransaction(unsigned requester, MemRequest req, sim::Addr line,
     co_await lock(line);
     const sim::Cycle txn_start = eq_.now();
     co_await sim::delay(eq_, cfg_.dir_latency);
+    if (sim::Cycle bubble = resilCheckLookup(line, req.cls))
+        co_await sim::delay(eq_, bubble);
     stats_.counter(want_m ? "getm" : "gets").inc();
 
     Entry *e = find(line);
@@ -395,8 +467,11 @@ Directory::putMTransaction(unsigned requester, MemRequest req, sim::Addr line)
         stats_.counter("putm").inc();
         e->owner = -1;
         freeIfUntracked(*e);
-        sim::spawnDetached(eq_, slice_llc_.request(req.child(
-                                    line, kLineSize, AccessKind::Write)));
+        // Detached: strip the sender's metadata slot (its coroutine frame
+        // may be gone by the time the LLC write lands).
+        MemRequest wb = req.child(line, kLineSize, AccessKind::Write);
+        wb.meta = nullptr;
+        sim::spawnDetached(eq_, slice_llc_.request(wb));
     } else {
         // The line's entry was evicted and re-allocated while this PutM
         // flew; every such path notes the PutM as superseded, so this is
@@ -413,6 +488,8 @@ Directory::dmaTransaction(MemRequest req, sim::Addr line, bool write)
 {
     co_await lock(line);
     co_await sim::delay(eq_, cfg_.dir_latency);
+    if (sim::Cycle bubble = resilCheckLookup(line, req.cls))
+        co_await sim::delay(eq_, bubble);
     stats_.counter(write ? "dma_writes" : "dma_reads").inc();
     Entry *e = find(line);
     if (e) {
@@ -612,14 +689,37 @@ CoherentDmaPort::request(MemRequest req)
 {
     MAPLE_ASSERT(req.size > 0);
     const bool write = req.kind == AccessKind::Write;
-    sim::Addr first = lineBase(req.paddr);
-    sim::Addr last = lineBase(req.paddr + req.size - 1);
-    for (sim::Addr line = first; line <= last; line += kLineSize) {
-        sim::Addr lo = std::max(req.paddr, line);
-        sim::Addr hi = std::min(req.paddr + req.size, line + kLineSize);
-        co_await fabric_.dmaLine(
-            req.child(lo, static_cast<std::uint32_t>(hi - lo), req.kind),
-            line, write);
+    // A core/PTW-class read that returns poison must machine-check, so make
+    // sure a metadata slot exists for the poison to land in.
+    const bool contain_consumer =
+        resil_ && resil_->canContain() && !write &&
+        (req.cls == RequesterClass::Core || req.cls == RequesterClass::Ptw);
+    RequestMeta local;
+    if (contain_consumer && !req.meta)
+        req.meta = &local;
+    while (true) {
+        sim::Addr poisoned = sim::kBadAddr;
+        sim::Addr first = lineBase(req.paddr);
+        sim::Addr last = lineBase(req.paddr + req.size - 1);
+        for (sim::Addr line = first; line <= last; line += kLineSize) {
+            bool before = req.meta && req.meta->poison;
+            sim::Addr lo = std::max(req.paddr, line);
+            sim::Addr hi = std::min(req.paddr + req.size, line + kLineSize);
+            co_await fabric_.dmaLine(
+                req.child(lo, static_cast<std::uint32_t>(hi - lo), req.kind),
+                line, write);
+            if (!before && req.meta && req.meta->poison &&
+                poisoned == sim::kBadAddr)
+                poisoned = line;
+        }
+        if (!contain_consumer || poisoned == sim::kBadAddr)
+            co_return;
+        // Containment flushes the poisoned line's holders and retires its
+        // page; one clean retry of the whole access then succeeds.
+        co_await resil_->contain(
+            poisoned, req.tile,
+            poisonCause(req.meta, fault::FaultClass::BitFlipLlc));
+        req.meta->poison = false;
     }
 }
 

@@ -48,6 +48,8 @@
 
 namespace maple::mem {
 
+class ResilManager;
+
 /**
  * Protocol-side interface of a coherent cache. All methods are synchronous:
  * they flip modeled state at the instant the directory (holding the line's
@@ -123,6 +125,33 @@ class Directory {
      */
     sim::Task<void> dmaTransaction(MemRequest req, sim::Addr line, bool write);
 
+    /**
+     * Machine-check containment flush: recall the owner and invalidate every
+     * sharer of @p line, then untrack it. A no-op when the line is not
+     * tracked. Takes the line lock like any other transaction.
+     */
+    sim::Task<void> recallLine(sim::Addr line);
+
+    /** Directory slots (sets * assoc) -- the scrub cursor space. */
+    std::uint64_t
+    entrySlots() const
+    {
+        return static_cast<std::uint64_t>(num_sets_) * cfg_.dir_assoc;
+    }
+
+    /**
+     * Scrub one directory slot (synchronous, no simulated time): audit the
+     * entry's sharer vector against each cache's ground-truth MSI state and
+     * drop sharer bits whose cache is in I (silent S-evictions and
+     * uncorrectable directory-entry corruption both leave them). Entries
+     * whose line lock is busy are skipped -- the live transaction owns the
+     * truth for that line. Owner bits are never repaired: an M copy's PutM
+     * can be in flight, so cohState() == I does not prove staleness for an
+     * owner (the protocol disambiguates via the stale-PutM notes instead).
+     * Returns the number of repairs.
+     */
+    unsigned scrubAudit(std::uint64_t slot);
+
     sim::TileId tile() const { return tile_; }
     sim::StatGroup &stats() { return stats_; }
     const sim::StatGroup &stats() const { return stats_; }
@@ -175,6 +204,23 @@ class Directory {
     void writebackToSlice(sim::Addr line);
 
     void freeIfUntracked(Entry &e);
+
+    /**
+     * ECC draw on a directory-array lookup (BitFlipDir). Corrected errors
+     * return the correction bubble for the caller to model; uncorrectable
+     * ones force a conservative entry rebuild via corruptEntry().
+     */
+    sim::Cycle resilCheckLookup(sim::Addr line, RequesterClass rc);
+
+    /**
+     * An uncorrectable directory-array error: the rebuilt sharer vector may
+     * include a cache that no longer holds the line. Modeled as one spurious
+     * sharer bit pointing at a cache in I -- protocol-safe (identical to the
+     * staleness silent S-evictions leave; invOne tolerates absent copies)
+     * and exactly what the scrub engine exists to repair. Owned entries are
+     * left alone (owner bits must never be guessed at).
+     */
+    void corruptEntry(sim::Addr line);
 
     /// @name Superseded-PutM disambiguation
     /// A dirty-eviction PutM travels detached and can be delayed past the
@@ -234,6 +280,11 @@ class CoherenceFabric {
     CoherentCache &cacheById(unsigned id) { return *caches_.at(id); }
     unsigned numCaches() const { return static_cast<unsigned>(caches_.size()); }
 
+    /** Attach the soft-error resilience model; slices pick it up from here
+     *  (directory-array ECC + the scrub engine's audits). */
+    void setResil(ResilManager *r) { resil_ = r; }
+    ResilManager *resil() const { return resil_; }
+
     /** Cache-miss / upgrade entry point (awaited by Cache). Installs into
      *  the requester before returning. */
     sim::Task<void> fetch(unsigned requester, MemRequest req, sim::Addr line,
@@ -275,6 +326,7 @@ class CoherenceFabric {
     sim::EventQueue &eq_;
     CoherenceConfig cfg_;
     noc::Mesh &mesh_;
+    ResilManager *resil_ = nullptr;
     std::unique_ptr<CoherenceChecker> checker_;
     std::vector<std::unique_ptr<Directory>> slices_;
     std::vector<CoherentCache *> caches_;
@@ -295,8 +347,13 @@ class CoherentDmaPort : public Port {
 
     sim::Task<void> request(MemRequest req) override;
 
+    /** Attach the resilience model: a core/PTW-class access that reads
+     *  poison triggers machine-check containment and one clean retry. */
+    void setResil(ResilManager *r) { resil_ = r; }
+
   private:
     CoherenceFabric &fabric_;
+    ResilManager *resil_ = nullptr;
 };
 
 }  // namespace maple::mem

@@ -17,6 +17,7 @@
 #include "mem/fabric.hpp"
 #include "mem/physical_memory.hpp"
 #include "mem/port.hpp"
+#include "mem/resil.hpp"
 #include "sim/stats.hpp"
 
 namespace maple::mem {
@@ -70,6 +71,33 @@ class Dram : public Port {
                         fault::faultClassBit(fault::FaultClass::DramSpike);
             }
         }
+        if (resil_ && req.kind != AccessKind::Write) {
+            // ECC on the array read. A corrected error stretches this
+            // access; an uncorrectable one marks the line poisoned in the
+            // backing store (sticky until containment retires the page).
+            EccOutcome o =
+                resil_->check(fault::FaultClass::BitFlipDram, req.cls,
+                              ResilStructure::Dram, lineBase(req.paddr),
+                              req.tile);
+            if (o == EccOutcome::Corrected)
+                done += resil_->correctPenalty();
+            else if (o == EccOutcome::Uncorrectable)
+                resil_->markBackingPoisoned(lineBase(req.paddr));
+            // Any covered line already recorded as poisoned (a poisoned
+            // dirty writeback landed here earlier) poisons the response.
+            if (req.meta && resil_->backingPoisonedLines() > 0) {
+                for (sim::Addr l = lineBase(req.paddr),
+                               end = lineBase(req.paddr + req.size - 1);
+                     l <= end; l += kLineSize) {
+                    if (resil_->backingPoisoned(l)) {
+                        req.meta->poison = true;
+                        req.meta->fault_tags |= fault::faultClassBit(
+                            fault::FaultClass::BitFlipDram);
+                        break;
+                    }
+                }
+            }
+        }
         queue_wait_.sample(static_cast<double>(start - now));
         co_await sim::delay(eq_, done - now);
         auto i = static_cast<std::size_t>(req.cls);
@@ -90,6 +118,9 @@ class Dram : public Port {
     }
 
     Arbiter *arbiter() { return arb_.get(); }
+
+    /** Attach the soft-error resilience model (ECC + backing poison). */
+    void setResil(ResilManager *r) { resil_ = r; }
 
     /** Snapshot support (quiesced: no access in flight holds a channel). */
     void
@@ -128,6 +159,7 @@ class Dram : public Port {
     sim::EventQueue &eq_;
     DramParams params_;
     std::vector<sim::Cycle> channel_free_;
+    ResilManager *resil_ = nullptr;
     sim::Counter reads_;
     sim::Average queue_wait_;
     std::unique_ptr<Arbiter> arb_;

@@ -50,7 +50,7 @@ class PhysicalMemory {
         auto *dst = static_cast<std::uint8_t *>(out);
         while (len > 0) {
             size_t chunk = chunkLen(paddr, len);
-            const Page *pg = findPage(paddr);
+            const Page *pg = findPage(resolve(paddr));
             if (pg) {
                 std::memcpy(dst, pg->data + pageOffset(paddr), chunk);
             } else {
@@ -70,12 +70,36 @@ class PhysicalMemory {
         auto *src = static_cast<const std::uint8_t *>(in);
         while (len > 0) {
             size_t chunk = chunkLen(paddr, len);
-            Page &pg = touchPage(paddr);
+            Page &pg = touchPage(resolve(paddr));
             std::memcpy(pg.data + pageOffset(paddr), src, chunk);
             paddr += chunk;
             src += chunk;
             len -= chunk;
         }
+    }
+
+    /**
+     * Page-retirement forwarding: future accesses to @p old_page land in
+     * @p fresh_page. Containment remaps the afflicted frame out of every
+     * page table, but a request that translated *before* the TLB shootdown
+     * still carries the old physical address (a drained store-buffer entry,
+     * an in-flight fill). A retired frame is never reused, so forwarding
+     * those stragglers to the replacement frame is equivalent to their
+     * having completed before the copy -- no store is silently lost.
+     * Call only after the old frame's contents were copied to @p fresh_page.
+     */
+    void
+    retireFrameTo(sim::Addr old_page, sim::Addr fresh_page)
+    {
+        MAPLE_ASSERT(pageBase(old_page) == old_page &&
+                         pageBase(fresh_page) == fresh_page,
+                     "frame redirects are page granular");
+        // Flatten chains at insert so resolve() stays a single hop even
+        // when a replacement frame is itself retired later.
+        for (auto &[from, to] : redirects_)
+            if (to == old_page)
+                to = fresh_page;
+        redirects_[old_page] = fresh_page;
     }
 
     template <typename T>
@@ -122,6 +146,18 @@ class PhysicalMemory {
             out.u64(base);
             out.bytes(pages_.at(base)->data, kPageSize);
         }
+        // Retired-frame redirects are machine state: a restored run must
+        // keep forwarding stragglers exactly as the original did.
+        std::vector<sim::Addr> olds;
+        olds.reserve(redirects_.size());
+        for (const auto &[old_page, fresh] : redirects_)
+            olds.push_back(old_page);
+        std::sort(olds.begin(), olds.end());
+        out.u64(olds.size());
+        for (sim::Addr old_page : olds) {
+            out.u64(old_page);
+            out.u64(redirects_.at(old_page));
+        }
     }
 
     void
@@ -134,6 +170,11 @@ class PhysicalMemory {
             auto pg = std::make_unique<Page>();
             in.bytes(pg->data, kPageSize);
             pages_[base] = std::move(pg);
+        }
+        redirects_.clear();
+        for (std::uint64_t n = in.u64(); n > 0; --n) {
+            sim::Addr old_page = in.u64();
+            redirects_[old_page] = in.u64();
         }
     }
 
@@ -157,6 +198,17 @@ class PhysicalMemory {
                      (unsigned long long)paddr, len);
     }
 
+    /** Forward a retired frame's address to its replacement frame. */
+    sim::Addr
+    resolve(sim::Addr paddr) const
+    {
+        if (redirects_.empty())
+            return paddr;
+        auto it = redirects_.find(pageBase(paddr));
+        return it == redirects_.end() ? paddr
+                                      : it->second + pageOffset(paddr);
+    }
+
     const Page *
     findPage(sim::Addr paddr) const
     {
@@ -177,6 +229,8 @@ class PhysicalMemory {
 
     sim::Addr size_;
     std::unordered_map<sim::Addr, std::unique_ptr<Page>> pages_;
+    /** Retired frame -> replacement frame (see retireFrameTo). */
+    std::unordered_map<sim::Addr, sim::Addr> redirects_;
 };
 
 }  // namespace maple::mem

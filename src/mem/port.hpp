@@ -76,6 +76,15 @@ const char *requesterClassName(RequesterClass c);
 struct RequestMeta {
     std::uint64_t trace_span = 0;  ///< opaque span cookie (trace subsystem)
     std::uint32_t fault_tags = 0;  ///< bitmask of fault::FaultClass hit en route
+    /**
+     * First-class poison bit (mem/resil.hpp): set when any stage served data
+     * from a line whose ECC reported an uncorrectable error. Consumers react
+     * by structure: cores trigger machine-check containment, MAPLE poisons
+     * the queue slot (MapleStatus::Poisoned) and lets the recovery driver
+     * handle it. The detecting structure also ORs its fault::FaultClass bit
+     * into fault_tags so the consumer can name the poison's origin.
+     */
+    bool poison = false;
     void *scratch = nullptr;       ///< stage-defined extension slot
 };
 

@@ -106,6 +106,39 @@ Process::unmapPage(sim::Addr vaddr)
         mmu->invalidate(page);
 }
 
+bool
+Process::retireFrame(sim::Addr paddr_page)
+{
+    MAPLE_ASSERT((paddr_page & mem::kPageMask) == 0, "frames are page aligned");
+    // Device windows are identity views of MMIO pages, never DRAM frames,
+    // so only heap regions can reference the afflicted frame. One fresh
+    // frame replaces the afflicted one everywhere it is mapped; the
+    // physical-memory redirect catches requests that translated before
+    // the shootdown (drained store-buffer entries, in-flight fills) so no
+    // straggler write is silently lost on the retired frame.
+    std::optional<sim::Addr> fresh;
+    for (const Region &r : regions_) {
+        for (sim::Addr va = r.base; va < r.base + r.size; va += mem::kPageSize) {
+            std::optional<mem::Pte> pte = pt_.walk(va);
+            if (!pte || pte->paddrBase() != paddr_page)
+                continue;
+            if (!fresh) {
+                fresh = kernel_.frames().alloc();
+                std::uint8_t buf[mem::kPageSize];
+                kernel_.physMem().read(paddr_page, buf, mem::kPageSize);
+                kernel_.physMem().write(*fresh, buf, mem::kPageSize);
+                // Only after the copy: a redirect installed earlier would
+                // make the copy read the (empty) replacement frame.
+                kernel_.physMem().retireFrameTo(paddr_page, *fresh);
+            }
+            pt_.map(va, *fresh, pte->writable());
+            for (mem::Mmu *mmu : mmus_)
+                mmu->invalidate(va);
+        }
+    }
+    return fresh.has_value();
+}
+
 void
 Process::attachMmu(mem::Mmu *mmu)
 {

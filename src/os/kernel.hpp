@@ -104,6 +104,16 @@ class Process {
     /** Unmap one page and broadcast a TLB shootdown (tests, reclaim). */
     void unmapPage(sim::Addr vaddr);
 
+    /**
+     * Retire the physical frame @p paddr_page (machine-check containment):
+     * every leaf mapping in this space that points at the frame is switched
+     * to a freshly allocated frame, the page contents are copied over (the
+     * functional image in PhysicalMemory is exact; the soft error is a
+     * timing/RAS-model event), and a TLB shootdown is broadcast.
+     * @return true when at least one mapping was moved.
+     */
+    bool retireFrame(sim::Addr paddr_page);
+
     /// @name Functional data access (workload initialization / validation)
     /// @{
     void writeBytes(sim::Addr vaddr, const void *data, size_t len);

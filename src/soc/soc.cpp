@@ -5,11 +5,67 @@
 #include <cstdlib>
 #include <limits>
 
+#include "os/page_retire.hpp"
 #include "sim/error.hpp"
 #include "sim/log.hpp"
 #include "sim/sharded.hpp"
 
 namespace maple::soc {
+
+/**
+ * MMIO window over the per-tile MCA banks (the page right above the MAPLE
+ * device pages). Each tile owns 32 bytes = four u64 registers:
+ *   +0   status: bit 0 valid, bits [15:8] structure, bits [23:16] cause
+ *   +8   line address of the first latched error
+ *   +16  error count since the last clear
+ *   +24  cycle of the first latched error
+ * Any store inside a tile's 32-byte window clears that tile's bank.
+ */
+class McaMmio : public MmioDevice {
+  public:
+    static constexpr sim::Addr kBankStride = 32;
+
+    McaMmio(sim::Addr base, mem::ResilManager &resil)
+        : base_(base), resil_(resil)
+    {
+    }
+
+    sim::Task<std::uint64_t>
+    mmioLoad(sim::Addr paddr, unsigned size, sim::ThreadId) override
+    {
+        (void)size;
+        std::uint64_t off = paddr - base_;
+        auto tile = static_cast<unsigned>(off / kBankStride);
+        std::uint64_t v = 0;
+        if (tile < resil_.numTiles()) {
+            const mem::McaBank &b = resil_.mca(tile);
+            switch ((off % kBankStride) / 8) {
+              case 0:
+                v = (b.valid ? 1u : 0u) |
+                    (static_cast<std::uint64_t>(b.structure) << 8) |
+                    (static_cast<std::uint64_t>(b.cause) << 16);
+                break;
+              case 1: v = b.addr; break;
+              case 2: v = b.count; break;
+              case 3: v = b.first_cycle; break;
+            }
+        }
+        co_return v;
+    }
+
+    sim::Task<void>
+    mmioStore(sim::Addr paddr, std::uint64_t, unsigned, sim::ThreadId) override
+    {
+        auto tile = static_cast<unsigned>((paddr - base_) / kBankStride);
+        if (tile < resil_.numTiles())
+            resil_.clearMca(tile);
+        co_return;
+    }
+
+  private:
+    sim::Addr base_;
+    mem::ResilManager &resil_;
+};
 
 unsigned
 hostThreadsFromEnv(unsigned fallback)
@@ -118,6 +174,10 @@ Soc::Soc(SocConfig cfg) : cfg_(std::move(cfg))
     cfg_.watchdog.mergeEnv();
     cfg_.host_threads = hostThreadsFromEnv(cfg_.host_threads);
     fault_ = std::make_unique<fault::FaultInjector>(eq_, cfg_.fault);
+    cfg_.resil.mergeEnv();
+    if (cfg_.resil.enabled())
+        resil_ = std::make_unique<mem::ResilManager>(
+            eq_, cfg_.resil, cfg_.mesh_width * cfg_.mesh_height);
 
     // Fabric arbitration knobs (MAPLE_LLC_ARB / MAPLE_DRAM_ARB, or the
     // --llc-arb / --dram-arb harness flags): fifo keeps the historical
@@ -230,6 +290,62 @@ Soc::Soc(SocConfig cfg) : cfg_(std::move(cfg))
         amap_.addDevice(mp.mmio_base, mem::kPageSize, maples_.back().get(), tile);
     }
 
+    // Soft-error resilience: attach the ECC/poison model to every protected
+    // structure, install the OS containment handler and (in msi mode) point
+    // the background scrub engine at the directory slices. The per-tile MCA
+    // banks appear as an MMIO page right above the MAPLE device pages.
+    if (resil_) {
+        dram_->setResil(resil_.get());
+        llc_->setResil(resil_.get(), /*l1_role=*/false);
+        for (auto &s : slice_llcs_)
+            s->setResil(resil_.get(), /*l1_role=*/false);
+        for (auto &l1 : l1s_)
+            l1->setResil(resil_.get(), /*l1_role=*/true);
+        if (coh_) {
+            coh_->setResil(resil_.get());
+            coh_dma_->setResil(resil_.get());
+            resil_->setScrubAuditor([f = coh_.get()](std::uint64_t &cursor,
+                                                     unsigned budget) {
+                const std::uint64_t per = f->slice(0).entrySlots();
+                const std::uint64_t total = per * f->numSlices();
+                unsigned repaired = 0;
+                for (unsigned n = 0; n < budget; ++n) {
+                    std::uint64_t slot = cursor % total;
+                    cursor = (cursor + 1) % total;
+                    repaired += f->slice(static_cast<unsigned>(slot / per))
+                                    .scrubAudit(slot % per);
+                }
+                return repaired;
+            });
+        }
+        os::PageRetireHooks hooks;
+        hooks.flush_line = [this](sim::Addr line) -> sim::Task<void> {
+            if (coh_) {
+                unsigned s = coh_->homeSlice(line);
+                co_await coh_->slice(s).recallLine(line);
+                llcSlice(s).resilDropLine(line);
+            } else {
+                for (auto &l1 : l1s_)
+                    l1->resilDropLine(line);
+                llc_->resilDropLine(line);
+            }
+            co_return;
+        };
+        retirer_ = std::make_unique<os::PageRetirer>(*kernel_, *resil_,
+                                                     std::move(hooks));
+        resil_->setContainHandler(
+            [r = retirer_.get()](sim::Addr line, sim::TileId tile,
+                                 fault::FaultClass cause) {
+                return r->contain(line, tile, cause);
+            });
+        mca_mmio_ = std::make_unique<McaMmio>(mcaMmioBase(), *resil_);
+        sim::Addr window =
+            (sim::Addr(resil_->numTiles()) * McaMmio::kBankStride +
+             mem::kPageMask) &
+            ~sim::Addr(mem::kPageMask);
+        amap_.addDevice(mcaMmioBase(), window, mca_mmio_.get(), memTile());
+    }
+
     if (tracer_)
         registerProbes();
     registerDiagnostics();
@@ -308,6 +424,10 @@ Soc::registerDiagnostics()
             return s;
         });
     }
+    if (resil_) {
+        fault_->addDiagnostic("resil",
+                              [r = resil_.get()] { return r->summary(); });
+    }
 }
 
 Soc::~Soc()
@@ -355,6 +475,10 @@ sim::Cycle
 Soc::run(std::vector<sim::Join> joins, sim::Cycle max_cycles)
 {
     sim::Cycle start = eq_.now();
+    // Restart the background scrub loop for this run phase (it parks itself
+    // whenever the machine drains, so snapshots between phases stay legal).
+    if (resil_)
+        resil_->kickScrub();
     bool drained;
     if (cfg_.host_threads > 1) {
         // The sharded-engine path: the whole SoC is one event domain (its

@@ -27,6 +27,7 @@
 #include "mem/dram.hpp"
 #include "mem/fabric.hpp"
 #include "mem/physical_memory.hpp"
+#include "mem/resil.hpp"
 #include "noc/mesh.hpp"
 #include "os/kernel.hpp"
 #include "sim/coro.hpp"
@@ -34,7 +35,13 @@
 #include "soc/address_map.hpp"
 #include "trace/trace.hpp"
 
+namespace maple::os {
+class PageRetirer;
+}
+
 namespace maple::soc {
+
+class McaMmio;
 
 /** Role of a Soc-owned NoC port: what traffic class it was wired for. */
 enum class PortUse : std::uint8_t {
@@ -79,6 +86,14 @@ struct SocConfig {
     trace::TraceConfig trace{};      // off unless set or MAPLE_TRACE is present
     fault::FaultConfig fault{};      // off unless set or MAPLE_FAULT_* present
     fault::WatchdogConfig watchdog{}; // on by default; MAPLE_WATCHDOG=0 disables
+    /**
+     * Soft-error resilience (mem/resil.hpp): SECDED ECC, poison tracking,
+     * MCA banks and the directory scrub engine (MAPLE_ECC / MAPLE_SCRUB_*
+     * env, --ecc / --scrub-interval harness flags). Off by default: no
+     * ResilManager is constructed and every downstream byte is identical to
+     * builds that predate the subsystem.
+     */
+    mem::ResilConfig resil{};
 
     /**
      * Host worker threads driving run() (MAPLE_THREADS env, --threads in the
@@ -156,6 +171,20 @@ class Soc {
     /** The coherence fabric, or nullptr when running --coherence=none. */
     mem::CoherenceFabric *coherence() { return coh_.get(); }
 
+    /** The resilience manager, or nullptr when the subsystem is off. */
+    mem::ResilManager *resil() { return resil_.get(); }
+
+    /**
+     * Base of the per-tile MCA-bank MMIO window (one page right above the
+     * MAPLE device pages; registered only when resil() is live). Each tile
+     * owns 32 bytes: status, line address, count, first-error cycle; any
+     * store into a tile's window clears its bank.
+     */
+    sim::Addr mcaMmioBase() const
+    {
+        return cfg_.dram_bytes + sim::Addr(cfg_.num_maples) * mem::kPageSize;
+    }
+
     unsigned numLlcSlices() const { return cfg_.llc_slices; }
     /** LLC slice @p s; slice 0 is the historical shared LLC. */
     mem::Cache &llcSlice(unsigned s)
@@ -227,6 +256,9 @@ class Soc {
     // Same lifetime argument as the tracer: the injector detaches from eq_
     // in its destructor, and its diagnostic lambdas only run while eq_ runs.
     std::unique_ptr<fault::FaultInjector> fault_;
+    // Same ordering argument again: every protected structure below holds a
+    // raw ResilManager pointer, so the manager must outlive all of them.
+    std::unique_ptr<mem::ResilManager> resil_;
     std::unique_ptr<mem::PhysicalMemory> pm_;
     std::unique_ptr<os::Kernel> kernel_;
     std::unique_ptr<noc::Mesh> mesh_;
@@ -262,6 +294,11 @@ class Soc {
     std::vector<std::unique_ptr<mem::Cache>> l1s_;
     std::vector<std::unique_ptr<cpu::Core>> cores_;
     std::vector<std::unique_ptr<::maple::core::Maple>> maples_;
+
+    // Containment plumbing (references the kernel and resil_ above, so it
+    // is declared last and destroyed first).
+    std::unique_ptr<os::PageRetirer> retirer_;
+    std::unique_ptr<McaMmio> mca_mmio_;
 };
 
 }  // namespace maple::soc

@@ -35,6 +35,7 @@
 #include "core/maple_runtime.hpp"
 #include "harness/scenario.hpp"
 #include "mem/port.hpp"
+#include "mem/resil.hpp"
 #include "mem/shard_port.hpp"
 #include "os/maple_driver.hpp"
 #include "sim/coro.hpp"
@@ -529,6 +530,60 @@ TEST(ShardedSoc, RecoveryReplayIsByteIdenticalAcrossHostThreads)
     std::string snap4 = recoveryRun(4, cycles4, rec4);
     EXPECT_GT(rec1, 0u) << "rate 0.02 over 128 fetches must fire";
     EXPECT_EQ(rec4, rec1);
+    EXPECT_EQ(cycles4, cycles1);
+    EXPECT_EQ(snap4, snap1);
+}
+
+TEST(ShardedSoc, ResilRunIsByteIdenticalAcrossHostThreads)
+{
+    // Soft errors on top of the sharded run path: the SECDED model corrects
+    // L1 single-bit flips inline, and DRAM multi-bit flips poison lines that
+    // core-class consumers turn into machine-check containment (flush,
+    // page retire, MCA latch). Every draw, correction bubble and
+    // containment must land on the same cycle regardless of host thread
+    // count. Core-only traffic keeps the MAPLE recovery driver (and its
+    // watchdog owner masks, which block snapshots) out of the picture.
+    auto resilRun = [](unsigned host_threads, Cycle &cycles,
+                       std::uint64_t &corrected, std::uint64_t &contained) {
+        soc::SocConfig cfg = soc::SocConfig::fpga();
+        cfg.host_threads = host_threads;
+        cfg.resil.ecc = true;
+        cfg.fault.seed = 31;
+        cfg.fault.bitflip_l1 = {0.01, 1};    // correctable: latency only
+        cfg.fault.bitflip_dram = {0.05, 2};  // uncorrectable: poison
+        soc::Soc soc(cfg);
+        os::Process &proc = soc.createProcess("resil");
+        sim::Addr a = proc.alloc(kN * 4, "A");
+        sim::Addr out = proc.alloc(kN * 4, "out");
+        for (std::uint32_t i = 0; i < kN; ++i)
+            proc.writeScalar<std::uint32_t>(a + 4 * i, i * 3);
+        auto gather = [&](cpu::Core &c) -> sim::Task<void> {
+            for (std::uint32_t i = 0; i < kN; ++i) {
+                std::uint64_t v = co_await c.load(a + 4 * i, 4);
+                co_await c.store(out + 4 * i, v + 1, 4);
+            }
+        };
+        cycles = soc.run({sim::spawn(gather(soc.core(0))),
+                          sim::spawn(gather(soc.core(1)))},
+                         200'000'000);
+        for (std::uint32_t i = 0; i < kN; ++i)
+            EXPECT_EQ(proc.readScalar<std::uint32_t>(out + 4 * i), i * 3 + 1)
+                << "containment must hand back repaired data (element " << i
+                << ")";
+        corrected = soc.resil()->correctedTotal();
+        contained = soc.resil()->containments();
+        std::stringstream fin;
+        soc.snapshot(fin);
+        return fin.str();
+    };
+    Cycle cycles1 = 0, cycles4 = 0;
+    std::uint64_t cor1 = 0, cor4 = 0, con1 = 0, con4 = 0;
+    std::string snap1 = resilRun(1, cycles1, cor1, con1);
+    std::string snap4 = resilRun(4, cycles4, cor4, con4);
+    EXPECT_GT(cor1, 0u) << "1% over the gather must correct something";
+    EXPECT_GT(con1, 0u) << "5% DRAM poison must trigger a containment";
+    EXPECT_EQ(cor4, cor1);
+    EXPECT_EQ(con4, con1);
     EXPECT_EQ(cycles4, cycles1);
     EXPECT_EQ(snap4, snap1);
 }
